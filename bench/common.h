@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "core/router.h"
+
+/// \file common.h
+/// Shared setup for the paper-reproduction benches: build a Design for an
+/// r-benchmark with the evaluation workload of section 5 (20k-cycle stream,
+/// ~40% average module activity unless overridden).
+
+namespace gcr::bench {
+
+struct Instance {
+  benchdata::RBench rb;
+  core::Design design;
+};
+
+inline benchdata::WorkloadSpec eval_workload_spec(int num_sinks,
+                                                  double activity = 0.4) {
+  benchdata::WorkloadSpec w;
+  w.num_instructions = 32;
+  // Functional blocks have bounded size in a real floorplan: scale the
+  // cluster count with the design so co-active modules stay spatially
+  // local on the larger benchmarks too.
+  w.num_clusters = std::max(16, num_sinks / 32);
+  w.target_activity = activity;
+  w.in_cluster_use = 0.9;
+  // Real program traces are phase-local: consecutive cycles usually run
+  // related instructions, so enables toggle far less often than a Bernoulli
+  // stream would suggest.
+  w.locality = 0.85;
+  w.stream_length = 20000;
+  w.seed = 2026;
+  return w;
+}
+
+inline Instance make_instance(const std::string& name, double activity = 0.4) {
+  benchdata::RBench rb = benchdata::generate_rbench(name);
+  benchdata::Workload wl = benchdata::generate_workload(
+      eval_workload_spec(rb.spec.num_sinks, activity), rb.sinks, rb.die);
+  core::Design d{rb.die, rb.sinks, std::move(wl.rtl), std::move(wl.stream), {}};
+  return {std::move(rb), std::move(d)};
+}
+
+inline core::RouterResult run_style(const core::GatedClockRouter& router,
+                                    core::TreeStyle style, int partitions = 1,
+                                    bool auto_tune = false) {
+  core::RouterOptions opts;
+  opts.style = style;
+  opts.controller_partitions = partitions;
+  opts.auto_tune_reduction = auto_tune;
+  return router.route(opts);
+}
+
+}  // namespace gcr::bench

@@ -1,0 +1,78 @@
+/// \file controller_logic_cost.cpp
+/// Quantifies the paper's section-6 open question: the design complexity of
+/// the gate-controller logic, for flat vs hierarchical enable synthesis and
+/// centralized vs distributed controllers. Reports 2-input OR counts, logic
+/// area, and the switched capacitance of the OR output nets (each toggling
+/// with the exact transition probability of its enable union), alongside
+/// the enable-wire cost the controller already pays.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.h"
+#include "eval/table.h"
+#include "gating/controller_logic.h"
+
+using namespace gcr;
+
+namespace {
+
+void print_report() {
+  std::cout << "=== Controller logic complexity (gated+reduced trees) ===\n";
+  eval::Table t({"Bench", "k", "style", "enables", "OR cells",
+                 "logic area 1e3", "logic W pF", "enable-wire W pF"});
+  for (const auto& name : {"r1", "r2"}) {
+    const bench::Instance inst = bench::make_instance(name);
+    const core::GatedClockRouter router(inst.design);
+    for (const int k : {1, 4, 16}) {
+      core::RouterOptions opts;
+      opts.style = core::TreeStyle::GatedReduced;
+      opts.controller_partitions = k;
+      opts.auto_tune_reduction = true;
+      const auto r = router.route(opts);
+      const gating::ControllerPlacement ctrl(inst.rb.die, k);
+      for (const auto style :
+           {gating::LogicStyle::Flat, gating::LogicStyle::Hierarchical}) {
+        const auto rep = gating::synthesize_controller_logic(
+            r.tree, r.activity, router.analyzer(), ctrl, opts.tech, style);
+        t.add_row({name, std::to_string(k),
+                   style == gating::LogicStyle::Flat ? "flat" : "hierarchical",
+                   std::to_string(rep.num_enables),
+                   std::to_string(rep.num_or_gates),
+                   eval::Table::num(rep.logic_area / 1e3, 0),
+                   eval::Table::num(rep.logic_swcap, 2),
+                   eval::Table::num(r.swcap.ctrl_swcap, 1)});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(hierarchical sharing follows the gated-subtree DAG; "
+               "distribution limits reuse to same-partition enables)\n\n";
+}
+
+void BM_LogicSynthesis(benchmark::State& state) {
+  const bench::Instance inst = bench::make_instance("r1");
+  const core::GatedClockRouter router(inst.design);
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  const auto r = router.route(opts);
+  const gating::ControllerPlacement ctrl(inst.rb.die, 1);
+  const auto style = state.range(0) ? gating::LogicStyle::Hierarchical
+                                    : gating::LogicStyle::Flat;
+  for (auto _ : state) {
+    auto rep = gating::synthesize_controller_logic(
+        r.tree, r.activity, router.analyzer(), ctrl, opts.tech, style);
+    benchmark::DoNotOptimize(rep.num_or_gates);
+  }
+}
+BENCHMARK(BM_LogicSynthesis)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

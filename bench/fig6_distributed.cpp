@@ -1,0 +1,70 @@
+/// \file fig6_distributed.cpp
+/// Regenerates the paper's section 6 / Figure 6 analysis: distributed gate
+/// controllers. Dividing the chip into k equal partitions (each with its
+/// own controller at the partition center) shrinks the star routing area by
+/// ~1/sqrt(k): analytically G*D/(4*sqrt(k)) total star length for G gates on
+/// a side-D die. The bench compares the closed form against the measured
+/// star wirelength of real gated trees on r1..r3 and reports the switched
+/// capacitance gain.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.h"
+#include "eval/table.h"
+
+using namespace gcr;
+
+namespace {
+
+constexpr int kPartitions[] = {1, 4, 16, 64};
+
+void print_fig6() {
+  std::cout << "=== Figure 6: centralized vs distributed controllers ===\n";
+  eval::Table t({"Bench", "k", "star WL (1e3)", "analytic (1e3)",
+                 "WL vs k=1", "1/sqrt(k)", "Ctrl W(S)", "Total W"});
+  for (const auto& name : {"r1", "r2", "r3"}) {
+    const bench::Instance inst = bench::make_instance(name);
+    const core::GatedClockRouter router(inst.design);
+    double base_wl = 0.0;
+    for (const int k : kPartitions) {
+      const auto r = bench::run_style(router, core::TreeStyle::Gated, k);
+      const gating::ControllerPlacement ctrl(inst.rb.die, k);
+      const double analytic =
+          ctrl.analytic_total_star_length(r.swcap.num_cells);
+      if (k == 1) base_wl = r.swcap.star_wirelength;
+      t.add_row({name, std::to_string(k),
+                 eval::Table::num(r.swcap.star_wirelength / 1e3, 0),
+                 eval::Table::num(analytic / 1e3, 0),
+                 eval::Table::num(r.swcap.star_wirelength / base_wl, 3),
+                 eval::Table::num(1.0 / std::sqrt(double(k)), 3),
+                 eval::Table::num(r.swcap.ctrl_swcap, 1),
+                 eval::Table::num(r.swcap.total_swcap(), 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(paper: star routing area shrinks by ~1/sqrt(k) with k "
+               "partitions)\n\n";
+}
+
+void BM_ControllerAssignment(benchmark::State& state) {
+  const bench::Instance inst = bench::make_instance("r1");
+  const gating::ControllerPlacement ctrl(inst.rb.die,
+                                         static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = inst.rb.sinks[i++ % inst.rb.sinks.size()];
+    benchmark::DoNotOptimize(ctrl.star_length(s.loc));
+  }
+}
+BENCHMARK(BM_ControllerAssignment)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

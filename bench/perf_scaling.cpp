@@ -1,0 +1,130 @@
+/// \file perf_scaling.cpp
+/// Validates the paper's complexity claims (sections 3.3 and 4.2):
+///   * signal-probability queries: O(K) with the bit-packed tables
+///     (paper: O(KL) over the raw tables),
+///   * transition-probability queries: O(K^2) worst case,
+///   * full construction: O(B + K^2 N^2) -- quadratic in the sink count,
+///     linear in the stream length.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <random>
+
+#include "activity/analyzer.h"
+#include "common.h"
+#include "cts/clustered.h"
+#include "cts/greedy.h"
+
+using namespace gcr;
+
+namespace {
+
+benchdata::Workload workload_for(int k, int n, int b, std::uint64_t seed) {
+  benchdata::RBenchSpec spec{"s", n, 10000.0, 0.005, 0.08, seed};
+  const auto rb = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec w;
+  w.num_instructions = k;
+  w.target_activity = 0.4;
+  w.stream_length = b;
+  w.seed = seed;
+  return benchdata::generate_workload(w, rb.sinks, rb.die);
+}
+
+void BM_SignalProbVsK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto wl = workload_for(k, 64, 4000, 3);
+  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
+  activity::ActivationMask mask(k);
+  for (int i = 0; i < k; i += 2) mask.set(i);
+  for (auto _ : state) benchmark::DoNotOptimize(an.signal_prob(mask));
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_SignalProbVsK)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_TransitionProbVsK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto wl = workload_for(k, 64, 8000, 4);
+  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
+  activity::ActivationMask mask(k);
+  for (int i = 0; i < k; i += 2) mask.set(i);
+  for (auto _ : state) benchmark::DoNotOptimize(an.transition_prob(mask));
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_TransitionProbVsK)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+void BM_TopologyConstructionVsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  benchdata::RBenchSpec spec{"s", n, 20000.0, 0.005, 0.08, 9};
+  const auto rb = benchdata::generate_rbench(spec);
+  const auto wl = workload_for(32, n, 4000, 9);
+  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
+  const auto mods = cts::identity_modules(n);
+  cts::BuildOptions opts;
+  opts.cost = cts::MergeCost::SwitchedCapacitance;
+  opts.control_point = rb.die.center();
+  for (auto _ : state) {
+    auto r = cts::build_topology(rb.sinks, &an, mods, opts);
+    benchmark::DoNotOptimize(r.topo.root());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TopologyConstructionVsN)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity(benchmark::oNSquared)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusteredVsFlatConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool clustered = state.range(1) != 0;
+  benchdata::RBenchSpec spec{"s", n, 40000.0, 0.005, 0.08, 10};
+  const auto rb = benchdata::generate_rbench(spec);
+  const auto wl = workload_for(32, n, 4000, 10);
+  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
+  const auto mods = cts::identity_modules(n);
+  cts::BuildOptions opts;
+  opts.cost = cts::MergeCost::SwitchedCapacitance;
+  opts.control_point = rb.die.center();
+  for (auto _ : state) {
+    if (clustered) {
+      cts::ClusterOptions copts;
+      copts.build = opts;
+      auto r = cts::build_topology_clustered(rb.sinks, &an, mods, copts);
+      benchmark::DoNotOptimize(r.topo.root());
+    } else {
+      auto r = cts::build_topology(rb.sinks, &an, mods, opts);
+      benchmark::DoNotOptimize(r.topo.root());
+    }
+  }
+}
+BENCHMARK(BM_ClusteredVsFlatConstruction)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({8000, 0})
+    ->Args({8000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndR1R2(benchmark::State& state) {
+  const char* name = state.range(0) == 1 ? "r1" : "r2";
+  const bench::Instance inst = bench::make_instance(name);
+  const core::GatedClockRouter router(inst.design);
+  for (auto _ : state) {
+    auto r = bench::run_style(router, core::TreeStyle::GatedReduced);
+    benchmark::DoNotOptimize(r.swcap.total_swcap());
+  }
+}
+BENCHMARK(BM_EndToEndR1R2)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Complexity validation: O(B + K^2 N^2) construction ===\n"
+            << "(see the google-benchmark complexity fits below)\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

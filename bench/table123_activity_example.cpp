@@ -1,0 +1,120 @@
+/// \file table123_activity_example.cpp
+/// Regenerates the worked example of paper section 3: Table 1 (RTL
+/// description), Table 2 (Instruction Frequency Table) and Table 3
+/// (Instruction Transition - Module Activation Table), plus the quoted
+/// probabilities P(M1), P(EN{M5,M6}) and P_tr(EN{M5,M6}).
+/// The timed section benchmarks table construction and the two query paths
+/// (table-driven vs brute-force rescan) whose gap motivates section 3.3.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "activity/analyzer.h"
+#include "activity/brute_force.h"
+#include "benchdata/paper_example.h"
+#include "eval/table.h"
+
+using namespace gcr;
+
+namespace {
+
+void print_tables() {
+  const auto ex = benchdata::paper_example();
+  const activity::ActivityAnalyzer an(ex.rtl, ex.stream);
+
+  std::cout << "=== Table 1: RTL description of instructions ===\n";
+  eval::Table t1({"Instruction", "Used Modules"});
+  for (int i = 0; i < ex.rtl.num_instructions(); ++i) {
+    std::ostringstream mods;
+    ex.rtl.module_set(i).for_each([&](int m) { mods << 'M' << m + 1 << ' '; });
+    t1.add_row({"I" + std::to_string(i + 1), mods.str()});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n=== Table 2: Instruction Frequency Table ===\n";
+  eval::Table t2({"Instruction", "Probability"});
+  for (int i = 0; i < 4; ++i)
+    t2.add_row({"I" + std::to_string(i + 1),
+                eval::Table::num(an.ift().prob(i), 2)});
+  t2.print(std::cout);
+
+  std::cout << "\n=== Table 3: Instruction Transition - Module Activation "
+               "Table ===\n";
+  eval::Table t3({"Prob.", "Instr.", "M1", "M2", "M3", "M4", "M5", "M6"});
+  const char* tags[] = {"00", "01", "10", "11"};
+  for (const auto& row : an.imatt().rows()) {
+    std::vector<std::string> cells{
+        eval::Table::num(row.prob, 3),
+        "I" + std::to_string(row.cur + 1) + " I" + std::to_string(row.nxt + 1)};
+    for (int m = 0; m < 6; ++m)
+      cells.push_back(tags[activity::Imatt::activation_tag(ex.rtl, row, m)]);
+    t3.add_row(std::move(cells));
+  }
+  t3.print(std::cout);
+
+  std::cout << "\n=== Quoted probabilities (paper section 3.2) ===\n";
+  const activity::BruteForceActivity bf(ex.rtl, ex.stream);
+  activity::ModuleSet m1(6);
+  m1.set(0);
+  activity::ModuleSet m56(6);
+  m56.set(4);
+  m56.set(5);
+  eval::Table q({"quantity", "paper", "table-driven", "brute-force"});
+  q.add_row({"P(M1)", "0.75",
+             eval::Table::num(an.signal_prob_of_modules(m1), 4),
+             eval::Table::num(bf.signal_prob(m1), 4)});
+  q.add_row({"P(EN{M5,M6})", "0.55",
+             eval::Table::num(an.signal_prob_of_modules(m56), 4),
+             eval::Table::num(bf.signal_prob(m56), 4)});
+  q.add_row({"Ptr(EN{M5,M6})", "11/19 = 0.5789",
+             eval::Table::num(an.transition_prob_of_modules(m56), 4),
+             eval::Table::num(bf.transition_prob(m56), 4)});
+  q.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_BuildTables(benchmark::State& state) {
+  const auto ex = benchdata::paper_example();
+  for (auto _ : state) {
+    activity::ActivityAnalyzer an(ex.rtl, ex.stream);
+    benchmark::DoNotOptimize(an.ift().prob(0));
+  }
+}
+BENCHMARK(BM_BuildTables);
+
+void BM_TableDrivenQuery(benchmark::State& state) {
+  const auto ex = benchdata::paper_example();
+  const activity::ActivityAnalyzer an(ex.rtl, ex.stream);
+  activity::ModuleSet s(6);
+  s.set(4);
+  s.set(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(an.signal_prob_of_modules(s));
+    benchmark::DoNotOptimize(an.transition_prob_of_modules(s));
+  }
+}
+BENCHMARK(BM_TableDrivenQuery);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  const auto ex = benchdata::paper_example();
+  const activity::BruteForceActivity bf(ex.rtl, ex.stream);
+  activity::ModuleSet s(6);
+  s.set(4);
+  s.set(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.signal_prob(s));
+    benchmark::DoNotOptimize(bf.transition_prob(s));
+  }
+}
+BENCHMARK(BM_BruteForceQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

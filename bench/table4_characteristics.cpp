@@ -1,0 +1,61 @@
+/// \file table4_characteristics.cpp
+/// Regenerates paper Table 4: benchmark characteristics for gated clock
+/// routing -- number of sinks, number of instructions, stream length and
+/// Ave(M(I)), the frequency-weighted average fraction of modules used per
+/// instruction (~40% in the paper). The timed section verifies that the
+/// one-scan table construction is O(B) in the stream length.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "activity/analyzer.h"
+#include "common.h"
+#include "eval/table.h"
+
+using namespace gcr;
+
+namespace {
+
+void print_table4() {
+  std::cout << "=== Table 4: Benchmark characteristics for gated clock "
+               "routing ===\n";
+  eval::Table t({"Bench", "No. of sinks", "No. of instr", "Stream len",
+                 "Ave(M(Ij))"});
+  for (const auto& spec : benchdata::rbench_specs()) {
+    const bench::Instance inst = bench::make_instance(spec.name);
+    const activity::ActivityAnalyzer an(inst.design.rtl, inst.design.stream);
+    t.add_row({spec.name, std::to_string(spec.num_sinks),
+               std::to_string(inst.design.rtl.num_instructions()),
+               std::to_string(inst.design.stream.length()),
+               eval::Table::num(an.ift().average_activity(inst.design.rtl), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(paper: Ave(M(Ij)) ~ 0.4 for all benchmarks)\n\n";
+}
+
+void BM_TableConstructionVsStreamLength(benchmark::State& state) {
+  const auto rb = benchdata::generate_rbench("r1");
+  benchdata::WorkloadSpec spec =
+      bench::eval_workload_spec(rb.spec.num_sinks);
+  spec.stream_length = static_cast<int>(state.range(0));
+  const auto wl = benchdata::generate_workload(spec, rb.sinks, rb.die);
+  for (auto _ : state) {
+    activity::ActivityAnalyzer an(wl.rtl, wl.stream);
+    benchmark::DoNotOptimize(an.ift().prob(0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TableConstructionVsStreamLength)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// \file variation_skew.cpp
+/// Process-variation sensitivity of the three tree styles (beyond the
+/// paper): the construction is zero-skew at nominal parasitics, but
+/// manufacturing spread re-introduces skew. Gated trees put different cell
+/// counts on different root-to-sink paths (especially after reduction), so
+/// their skew under variation differs from the uniformly-buffered
+/// baseline. 10%/15% relative sigmas on wire RC / cell strength, 200
+/// Monte-Carlo trials per row.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.h"
+#include "eval/power.h"
+#include "eval/table.h"
+#include "eval/variation.h"
+
+using namespace gcr;
+
+namespace {
+
+void print_report() {
+  std::cout << "=== Skew under process variation (r1, 200 trials) ===\n";
+  const bench::Instance inst = bench::make_instance("r1");
+  const core::GatedClockRouter router(inst.design);
+
+  eval::Table t({"style", "nominal delay", "mean skew", "p95 skew",
+                 "max skew", "skew/delay %", "power mW @200MHz/3.3V"});
+  for (const auto& [style, label] :
+       {std::pair{core::TreeStyle::Buffered, "buffered"},
+        std::pair{core::TreeStyle::Gated, "gated"},
+        std::pair{core::TreeStyle::GatedReduced, "gated+red"}}) {
+    core::RouterOptions opts;
+    opts.style = style;
+    opts.auto_tune_reduction = style == core::TreeStyle::GatedReduced;
+    const auto r = router.route(opts);
+    eval::VariationSpec spec;
+    spec.trials = 200;
+    const eval::VariationReport rep =
+        eval::variation_analysis(r.tree, opts.tech, spec);
+    t.add_row({label, eval::Table::num(r.delays.max_delay, 0),
+               eval::Table::num(rep.mean_skew, 1),
+               eval::Table::num(rep.p95_skew, 1),
+               eval::Table::num(rep.max_skew, 1),
+               eval::Table::num(100.0 * rep.mean_skew_ratio, 2),
+               eval::Table::num(
+                   eval::dynamic_power_mw(r.swcap.total_swcap()), 1)});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_VariationTrials(benchmark::State& state) {
+  const bench::Instance inst = bench::make_instance("r1");
+  const core::GatedClockRouter router(inst.design);
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::GatedReduced;
+  const auto r = router.route(opts);
+  eval::VariationSpec spec;
+  spec.trials = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto rep = eval::variation_analysis(r.tree, opts.tech, spec);
+    benchmark::DoNotOptimize(rep.mean_skew);
+  }
+}
+BENCHMARK(BM_VariationTrials)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file activity_tables.cpp
+/// Walk through the paper's section 3 example by hand: build the
+/// instruction tables from a 20-cycle trace of a 4-instruction, 6-module
+/// processor, then answer the probability queries the clock router needs --
+/// showing both the brute-force stream rescan (section 3.2) and the
+/// table-driven method (section 3.3) and that they agree.
+///
+/// Run:  ./activity_tables
+
+#include <iostream>
+#include <sstream>
+
+#include "activity/analyzer.h"
+#include "activity/brute_force.h"
+#include "benchdata/paper_example.h"
+#include "eval/table.h"
+#include "io/text_io.h"
+
+using namespace gcr;
+
+int main() {
+  const benchdata::PaperExample ex = benchdata::paper_example();
+
+  std::cout << "Instruction stream (" << ex.stream.length() << " cycles):\n  ";
+  for (const int i : ex.stream.seq) std::cout << 'I' << i + 1 << ' ';
+  std::cout << "\n\nRTL description (which modules each instruction clocks):\n";
+  io::write_rtl(std::cout, ex.rtl);
+
+  const activity::ActivityAnalyzer an(ex.rtl, ex.stream);
+  const activity::BruteForceActivity bf(ex.rtl, ex.stream);
+
+  std::cout << "\nInstruction Frequency Table (one scan of the stream):\n";
+  eval::Table ift({"instr", "P(I)"});
+  for (int i = 0; i < 4; ++i)
+    ift.add_row({"I" + std::to_string(i + 1),
+                 eval::Table::num(an.ift().prob(i), 3)});
+  ift.print(std::cout);
+
+  std::cout << "\nPer-module activities P(M):\n";
+  eval::Table pm({"module", "P(M) table-driven", "P(M) brute-force"});
+  for (int m = 0; m < 6; ++m) {
+    pm.add_row({"M" + std::to_string(m + 1),
+                eval::Table::num(an.signal_prob(an.module_mask(m)), 3),
+                eval::Table::num(bf.module_prob(m), 3)});
+  }
+  pm.print(std::cout);
+
+  // A subtree whose leaves are M5 and M6 -- the paper's running example.
+  activity::ModuleSet subtree(6);
+  subtree.set(4);
+  subtree.set(5);
+  std::cout << "\nSubtree with leaf modules {M5, M6}:\n"
+            << "  P(EN)    = " << an.signal_prob_of_modules(subtree)
+            << "   (paper: 0.55)\n"
+            << "  P_tr(EN) = " << an.transition_prob_of_modules(subtree)
+            << "   (paper: 11 toggles / 19 pairs = 0.5789)\n"
+            << "  brute-force cross-check: " << bf.signal_prob(subtree) << " / "
+            << bf.transition_prob(subtree) << "\n";
+
+  std::cout << "\nInterpretation: the gate feeding that subtree is enabled "
+               "55% of cycles\n(saving 45% of its clock switching) and its "
+               "enable wire toggles 0.58 times\nper cycle (the cost the "
+               "controller tree pays).\n";
+  return 0;
+}

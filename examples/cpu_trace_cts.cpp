@@ -1,0 +1,88 @@
+/// \file cpu_trace_cts.cpp
+/// The full paper flow driven by *real* instruction-level simulation: the
+/// toy RISC processor executes benchmark kernels, the ISA decode table and
+/// the unit floorplan induce the RTL description, and the gated clock tree
+/// is routed from the measured activity -- no probabilistic workload model
+/// anywhere.
+///
+/// Run:  ./cpu_trace_cts [r1|r2|...]
+
+#include <iostream>
+
+#include "benchdata/rbench.h"
+#include "core/router.h"
+#include "cpu/bridge.h"
+#include "eval/table.h"
+
+using namespace gcr;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "r1";
+  benchdata::RBench rb = benchdata::generate_rbench(name);
+
+  // Floorplan the sinks into functional units and derive the RTL
+  // description from the ISA decode table.
+  const cpu::UnitFloorplan plan = cpu::assign_units(rb.sinks);
+  activity::RtlDescription rtl = cpu::make_rtl(plan);
+  activity::InstructionStream stream = cpu::multiprogram_stream(20000);
+
+  std::cout << "CPU-trace-driven gated clock routing on " << name << " ("
+            << rb.spec.num_sinks << " module instances, "
+            << cpu::kNumUnits << " functional units, " << stream.length()
+            << "-cycle multiprogram trace)\n\n";
+
+  // Per-unit activity, measured from the trace.
+  {
+    const activity::ActivityAnalyzer an(rtl, stream);
+    eval::Table t({"unit", "instances", "P(active)", "P_tr(enable)"});
+    for (int u = 0; u < cpu::kNumUnits; ++u) {
+      const auto& sinks = plan.unit_sinks[static_cast<std::size_t>(u)];
+      activity::ModuleSet s(rtl.num_modules());
+      for (const int m : sinks) s.set(m);
+      t.add_row({std::string(cpu::unit_name(static_cast<cpu::Unit>(u))),
+                 std::to_string(sinks.size()),
+                 eval::Table::num(an.signal_prob_of_modules(s), 3),
+                 eval::Table::num(an.transition_prob_of_modules(s), 3)});
+    }
+    t.print(std::cout);
+  }
+
+  core::Design design{rb.die, rb.sinks, std::move(rtl), std::move(stream),
+                      {}};
+  const core::GatedClockRouter router(std::move(design));
+
+  std::cout << "\nRouting results:\n";
+  eval::Table t({"configuration", "W(T)", "W(S)", "W total", "gates", "red.%",
+                 "skew"});
+  const auto add = [&](const char* label, const core::RouterOptions& opts) {
+    const auto r = router.route(opts);
+    t.add_row({label, eval::Table::num(r.swcap.clock_swcap, 1),
+               eval::Table::num(r.swcap.ctrl_swcap, 1),
+               eval::Table::num(r.swcap.total_swcap(), 1),
+               std::to_string(r.swcap.num_cells),
+               eval::Table::num(r.gate_reduction_pct(), 1),
+               eval::Table::num(r.delays.skew(), 6)});
+  };
+
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Buffered;
+  add("buffered", opts);
+  opts.style = core::TreeStyle::Gated;
+  add("gated (Eq.3 topo)", opts);
+  opts.style = core::TreeStyle::GatedReduced;
+  opts.auto_tune_reduction = true;
+  add("gated+red (Eq.3 topo)", opts);
+  opts.topology = core::TopologyScheme::NearestNeighbor;
+  add("gated+red (NN topo)", opts);
+  t.print(std::cout);
+
+  std::cout
+      << "\nTwo lessons from real traces: units like the divider idle "
+         "through whole kernels\nand get gated off almost permanently, but "
+         "cycle-granular enables toggle so often\n(P_tr up to ~0.5) that "
+         "the controller-cost term dominates the paper's Eq. 3 merge\ncost "
+         "and scrambles the geometry -- on such traces a nearest-neighbor "
+         "topology with\nthe same gate-reduction flow is the better "
+         "operating point.\n";
+  return 0;
+}

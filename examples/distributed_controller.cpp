@@ -1,0 +1,60 @@
+/// \file distributed_controller.cpp
+/// Explores the paper's section 6 extension: replacing the centralized gate
+/// controller with k distributed controllers. Sweeps k, compares the
+/// measured star wirelength against the closed-form G*D/(4*sqrt(k)), and
+/// shows the knock-on effect on total switched capacitance and on the
+/// optimal gate-reduction operating point (cheaper enables justify keeping
+/// more gates).
+///
+/// Run:  ./distributed_controller [r1|r2|...]
+
+#include <cmath>
+#include <iostream>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "core/router.h"
+#include "eval/table.h"
+
+using namespace gcr;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "r1";
+  benchdata::RBench rb = benchdata::generate_rbench(name);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = 32;
+  wspec.num_clusters = std::max(16, rb.spec.num_sinks / 32);
+  wspec.target_activity = 0.4;
+  wspec.locality = 0.85;
+  wspec.stream_length = 20000;
+  benchdata::Workload wl =
+      benchdata::generate_workload(wspec, rb.sinks, rb.die);
+  core::Design design{rb.die, rb.sinks, std::move(wl.rtl),
+                      std::move(wl.stream), {}};
+  const core::GatedClockRouter router(std::move(design));
+
+  std::cout << "Distributed gate controllers on " << name << "\n\n";
+  eval::Table t({"k", "star WL 1e3", "analytic 1e3", "W(S)", "W total",
+                 "opt. red. %", "gates kept"});
+  for (const int k : {1, 4, 16, 64}) {
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::GatedReduced;
+    opts.controller_partitions = k;
+    opts.auto_tune_reduction = true;
+    const core::RouterResult r = router.route(opts);
+    const gating::ControllerPlacement ctrl(rb.die, k);
+    t.add_row({std::to_string(k),
+               eval::Table::num(r.swcap.star_wirelength / 1e3, 0),
+               eval::Table::num(
+                   ctrl.analytic_total_star_length(r.swcap.num_cells) / 1e3, 0),
+               eval::Table::num(r.swcap.ctrl_swcap, 1),
+               eval::Table::num(r.swcap.total_swcap(), 1),
+               eval::Table::num(r.gate_reduction_pct(), 1),
+               std::to_string(r.swcap.num_cells)});
+  }
+  t.print(std::cout);
+  std::cout << "\nAs enables get cheaper (larger k), the auto-tuned optimum "
+               "keeps more gates\nand the total switched capacitance drops "
+               "further below the centralized case.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file microprocessor_cts.cpp
+/// The paper's motivating scenario end-to-end: clock-tree synthesis for a
+/// microprocessor whose module activities come from instruction-level
+/// simulation. Builds the r1-class design, routes it with all three
+/// methods, and reports the power/area/skew trade-off table a designer
+/// would use -- including the effect of distributed controllers (section 6).
+///
+/// Run:  ./microprocessor_cts [r1|r2|r3|r4|r5] [avg_activity]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "core/router.h"
+#include "eval/table.h"
+
+using namespace gcr;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "r1";
+  const double activity = argc > 2 ? std::atof(argv[2]) : 0.4;
+
+  benchdata::RBench rb = benchdata::generate_rbench(name);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = 32;
+  wspec.num_clusters = std::max(16, rb.spec.num_sinks / 32);
+  wspec.target_activity = activity;
+  wspec.locality = 0.85;
+  wspec.stream_length = 20000;
+  benchdata::Workload wl =
+      benchdata::generate_workload(wspec, rb.sinks, rb.die);
+
+  std::cout << "Microprocessor gated clock routing on " << name << " ("
+            << rb.spec.num_sinks << " modules, die " << rb.spec.die_side
+            << " lambda, avg activity " << activity << ")\n\n";
+
+  core::Design design{rb.die, rb.sinks, std::move(wl.rtl),
+                      std::move(wl.stream), {}};
+  const core::GatedClockRouter router(std::move(design));
+
+  eval::Table t({"configuration", "W(T) pF", "W(S) pF", "W total", "vs buf",
+                 "area 1e6", "gates", "red.%", "max delay", "skew"});
+  double buffered_w = 0.0;
+  const auto add = [&](const char* label, const core::RouterResult& r) {
+    if (buffered_w == 0.0) buffered_w = r.swcap.total_swcap();
+    t.add_row({label, eval::Table::num(r.swcap.clock_swcap, 1),
+               eval::Table::num(r.swcap.ctrl_swcap, 1),
+               eval::Table::num(r.swcap.total_swcap(), 1),
+               eval::Table::num(r.swcap.total_swcap() / buffered_w, 3),
+               eval::Table::num(r.swcap.total_area() / 1e6, 2),
+               std::to_string(r.swcap.num_cells),
+               eval::Table::num(r.gate_reduction_pct(), 1),
+               eval::Table::num(r.delays.max_delay, 1),
+               eval::Table::num(r.delays.skew(), 6)});
+  };
+
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Buffered;
+  add("buffered (baseline)", router.route(opts));
+
+  opts.style = core::TreeStyle::Gated;
+  add("gated, every edge", router.route(opts));
+
+  opts.style = core::TreeStyle::GatedReduced;
+  opts.auto_tune_reduction = true;
+  add("gated + reduction", router.route(opts));
+
+  opts.controller_partitions = 4;
+  add("  + 4 controllers", router.route(opts));
+  opts.controller_partitions = 16;
+  add("  + 16 controllers", router.route(opts));
+
+  t.print(std::cout);
+  std::cout << "\nReading the table: gating every edge loses to the buffered "
+               "baseline because the\nstar-routed enables switch too much "
+               "capacitance; the reduction heuristic keeps\nonly the gates "
+               "that pay for themselves; distributing the controller "
+               "shrinks the\nremaining enable wirelength by ~1/sqrt(k).\n";
+  return 0;
+}

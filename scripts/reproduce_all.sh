@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and extension study, plus the test
+# log, into out/. Usage: scripts/reproduce_all.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT=out
+mkdir -p "$OUT"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$OUT/tests.txt"
+
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name="$(basename "$b")"
+  echo "== $name =="
+  "$b" 2>&1 | tee "$OUT/$name.txt"
+done
+
+"$BUILD"/examples/layout_svg "$OUT"
+echo "All outputs in $OUT/"

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cassert>
+#include <vector>
+
+/// \file bitset.h
+/// A small dynamic bitset tuned for the two set types the activity engine
+/// manipulates:
+///   * module sets  (which modules a subtree / an instruction uses), and
+///   * activation masks (which *instructions* activate a subtree).
+///
+/// Subtree merging is set union, and the probability queries reduce to
+/// popcount-style scans, so the representation is a flat word vector.
+
+namespace gcr::activity {
+
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(int num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  [[nodiscard]] int size() const { return num_bits_; }
+  [[nodiscard]] bool empty_universe() const { return num_bits_ == 0; }
+
+  void set(int i) {
+    assert(i >= 0 && i < num_bits_);
+    words_[static_cast<std::size_t>(i) >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void reset(int i) {
+    assert(i >= 0 && i < num_bits_);
+    words_[static_cast<std::size_t>(i) >> 6] &=
+        ~(std::uint64_t{1} << (i & 63));
+  }
+
+  [[nodiscard]] bool test(int i) const {
+    assert(i >= 0 && i < num_bits_);
+    return (words_[static_cast<std::size_t>(i) >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// In-place union; the universes must match.
+  BitSet& operator|=(const BitSet& o) {
+    assert(num_bits_ == o.num_bits_);
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] |= o.words_[k];
+    return *this;
+  }
+
+  [[nodiscard]] friend BitSet operator|(BitSet a, const BitSet& b) {
+    a |= b;
+    return a;
+  }
+
+  /// True when the two sets share at least one element.
+  [[nodiscard]] bool intersects(const BitSet& o) const {
+    assert(num_bits_ == o.num_bits_);
+    for (std::size_t k = 0; k < words_.size(); ++k)
+      if (words_[k] & o.words_[k]) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  [[nodiscard]] int count() const {
+    int n = 0;
+    for (const auto w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  /// Call `fn(index)` for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      std::uint64_t w = words_[k];
+      while (w) {
+        const int bit = std::countr_zero(w);
+        fn(static_cast<int>(k * 64) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+  friend bool operator==(const BitSet&, const BitSet&) = default;
+
+ private:
+  int num_bits_{0};
+  std::vector<std::uint64_t> words_;
+};
+
+/// A set of modules (universe = all modules of the design).
+using ModuleSet = BitSet;
+/// A set of instructions (universe = the instruction set).
+using ActivationMask = BitSet;
+
+}  // namespace gcr::activity

@@ -1,0 +1,32 @@
+#include "activity/brute_force.h"
+
+namespace gcr::activity {
+
+double BruteForceActivity::signal_prob(const ModuleSet& s) const {
+  if (stream_->seq.empty()) return 0.0;
+  long long on = 0;
+  for (const InstrId i : stream_->seq)
+    if (rtl_->activates(i, s)) ++on;
+  return static_cast<double>(on) / static_cast<double>(stream_->seq.size());
+}
+
+double BruteForceActivity::transition_prob(const ModuleSet& s) const {
+  const int pairs = stream_->length() - 1;
+  if (pairs <= 0) return 0.0;
+  long long toggles = 0;
+  bool cur = rtl_->activates(stream_->seq.front(), s);
+  for (int t = 1; t < stream_->length(); ++t) {
+    const bool nxt = rtl_->activates(stream_->seq[static_cast<std::size_t>(t)], s);
+    if (nxt != cur) ++toggles;
+    cur = nxt;
+  }
+  return static_cast<double>(toggles) / static_cast<double>(pairs);
+}
+
+double BruteForceActivity::module_prob(ModuleId m) const {
+  ModuleSet s(rtl_->num_modules());
+  s.set(m);
+  return signal_prob(s);
+}
+
+}  // namespace gcr::activity

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "activity/rtl.h"
+#include "activity/stream.h"
+
+/// \file brute_force.h
+/// The "very expensive" reference method of paper section 3.2: rescan the
+/// whole instruction stream for every query. This is the validation oracle
+/// for the table-driven engine -- the two must agree bit-for-bit on counts.
+
+namespace gcr::activity {
+
+class BruteForceActivity {
+ public:
+  BruteForceActivity(const RtlDescription& rtl, const InstructionStream& s)
+      : rtl_(&rtl), stream_(&s) {}
+
+  /// P(EN): fraction of cycles in which any module of `s` is active.
+  [[nodiscard]] double signal_prob(const ModuleSet& s) const;
+
+  /// P_tr(EN): fraction of consecutive cycle pairs across which the OR of
+  /// the module activities changes.
+  [[nodiscard]] double transition_prob(const ModuleSet& s) const;
+
+  /// P(M_m): activity of a single module.
+  [[nodiscard]] double module_prob(ModuleId m) const;
+
+ private:
+  const RtlDescription* rtl_;
+  const InstructionStream* stream_;
+};
+
+}  // namespace gcr::activity

@@ -1,0 +1,44 @@
+#include "activity/imatt.h"
+
+#include <cassert>
+
+namespace gcr::activity {
+
+Imatt::Imatt(const InstructionStream& stream, int num_instructions)
+    : num_instructions_(num_instructions),
+      dense_(static_cast<std::size_t>(num_instructions) * num_instructions,
+             0.0) {
+  assert(num_instructions > 0);
+  const int pairs = stream.length() - 1;
+  if (pairs <= 0) return;
+  const double inv = 1.0 / static_cast<double>(pairs);
+  for (int t = 0; t + 1 < stream.length(); ++t) {
+    const InstrId a = stream.seq[static_cast<std::size_t>(t)];
+    const InstrId b = stream.seq[static_cast<std::size_t>(t) + 1];
+    dense_[static_cast<std::size_t>(a) * num_instructions_ + b] += inv;
+  }
+  for (InstrId a = 0; a < num_instructions_; ++a) {
+    for (InstrId b = 0; b < num_instructions_; ++b) {
+      const double p =
+          dense_[static_cast<std::size_t>(a) * num_instructions_ + b];
+      if (p > 0.0) rows_.push_back({a, b, p});
+    }
+  }
+}
+
+double Imatt::pair_prob(InstrId cur, InstrId nxt) const {
+  assert(cur >= 0 && cur < num_instructions_ && nxt >= 0 &&
+         nxt < num_instructions_);
+  return dense_[static_cast<std::size_t>(cur) * num_instructions_ + nxt];
+}
+
+double Imatt::transition_prob(const RtlDescription& rtl,
+                              const ModuleSet& s) const {
+  double p = 0.0;
+  for (const ImattRow& row : rows_) {
+    if (rtl.activates(row.cur, s) != rtl.activates(row.nxt, s)) p += row.prob;
+  }
+  return p;
+}
+
+}  // namespace gcr::activity

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "activity/bitset.h"
+
+/// \file rtl.h
+/// RTL description of a processor: for each instruction, the set of modules
+/// that are clocked while it executes (paper section 3.1, Table 1).
+
+namespace gcr::activity {
+
+using InstrId = int;
+using ModuleId = int;
+
+class RtlDescription {
+ public:
+  RtlDescription(int num_instructions, int num_modules)
+      : num_modules_(num_modules),
+        uses_(static_cast<std::size_t>(num_instructions),
+              ModuleSet(num_modules)) {}
+
+  [[nodiscard]] int num_instructions() const {
+    return static_cast<int>(uses_.size());
+  }
+  [[nodiscard]] int num_modules() const { return num_modules_; }
+
+  /// Declare that instruction `i` uses module `m`.
+  void add_use(InstrId i, ModuleId m) { uses_.at(i).set(m); }
+
+  [[nodiscard]] bool uses(InstrId i, ModuleId m) const {
+    return uses_.at(i).test(m);
+  }
+
+  /// The full module set of instruction `i`.
+  [[nodiscard]] const ModuleSet& module_set(InstrId i) const {
+    return uses_.at(i);
+  }
+
+  /// True when instruction `i` uses at least one module of `s` -- i.e.
+  /// executing `i` forces the enable of a subtree with leaf modules `s` on.
+  [[nodiscard]] bool activates(InstrId i, const ModuleSet& s) const {
+    return uses_.at(i).intersects(s);
+  }
+
+  /// Average fraction of modules used per instruction, weighting every
+  /// instruction equally (the Ave(M(I)) column of the paper's Table 4 when
+  /// the stream is uniform; see Ift::average_activity for the weighted one).
+  [[nodiscard]] double mean_usage_fraction() const {
+    if (uses_.empty() || num_modules_ == 0) return 0.0;
+    double total = 0.0;
+    for (const auto& s : uses_) total += s.count();
+    return total / (static_cast<double>(uses_.size()) * num_modules_);
+  }
+
+ private:
+  int num_modules_;
+  std::vector<ModuleSet> uses_;
+};
+
+}  // namespace gcr::activity

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "activity/rtl.h"
+
+/// \file stream.h
+/// An instruction stream: the clock-by-clock trace of executed instructions
+/// obtained from instruction-level simulation (paper section 3.2). One
+/// instruction issues per cycle.
+
+namespace gcr::activity {
+
+struct InstructionStream {
+  std::vector<InstrId> seq;
+
+  [[nodiscard]] int length() const { return static_cast<int>(seq.size()); }
+};
+
+}  // namespace gcr::activity

@@ -1,0 +1,20 @@
+#include "benchdata/paper_example.h"
+
+namespace gcr::benchdata {
+
+PaperExample paper_example() {
+  activity::RtlDescription rtl(4, 6);
+  // Table 1 (0-based ids: I1 -> 0, M1 -> 0).
+  for (const int m : {0, 1, 2, 4}) rtl.add_use(0, m);  // I1: M1 M2 M3 M5
+  for (const int m : {0, 3}) rtl.add_use(1, m);        // I2: M1 M4
+  for (const int m : {1, 4, 5}) rtl.add_use(2, m);     // I3: M2 M5 M6
+  for (const int m : {2, 3}) rtl.add_use(3, m);        // I4: M3 M4
+
+  // 20-cycle stream: I1 x8, I2 x7, I3 x3, I4 x2 (see header for the quoted
+  // probabilities this reproduces).
+  PaperExample ex{std::move(rtl), {}};
+  ex.stream.seq = {0, 1, 3, 1, 2, 0, 1, 0, 1, 0, 2, 1, 0, 2, 0, 1, 0, 0, 3, 1};
+  return ex;
+}
+
+}  // namespace gcr::benchdata

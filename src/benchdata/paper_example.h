@@ -1,0 +1,27 @@
+#pragma once
+
+#include "activity/rtl.h"
+#include "activity/stream.h"
+
+/// \file paper_example.h
+/// The worked example of paper section 3: a 4-instruction, 6-module
+/// processor (Table 1) and a 20-cycle instruction stream. The stream is
+/// reconstructed to match every probability the paper quotes:
+///
+///   * I1 and I2 together execute 15 of 20 cycles  -> P(M1) = 0.75
+///   * I1 and I3 together execute 11 of 20 cycles  -> P(EN{M5,M6}) = 0.55
+///   * EN{M5,M6} toggles 11 times over 19 pairs    -> P_tr = 11/19 ~ 0.58
+///
+/// Instruction usage (Table 1):
+///   I1: M1 M2 M3 M5,  I2: M1 M4,  I3: M2 M5 M6,  I4: M3 M4.
+
+namespace gcr::benchdata {
+
+struct PaperExample {
+  activity::RtlDescription rtl;
+  activity::InstructionStream stream;
+};
+
+[[nodiscard]] PaperExample paper_example();
+
+}  // namespace gcr::benchdata

@@ -1,0 +1,49 @@
+#include "benchdata/rbench.h"
+
+#include <array>
+#include <random>
+#include <stdexcept>
+
+namespace gcr::benchdata {
+
+namespace {
+
+// Sink counts match the published r1-r5; die sides scale roughly with
+// sqrt(sink count) to keep sink density comparable across the suite.
+const std::array<RBenchSpec, 5> kSpecs = {{
+    {"r1", 267, 20000.0, 0.005, 0.10, 0x9e3779b97f4a7c15ull},
+    {"r2", 598, 30000.0, 0.005, 0.10, 0xbf58476d1ce4e5b9ull},
+    {"r3", 862, 36000.0, 0.005, 0.10, 0x94d049bb133111ebull},
+    {"r4", 1903, 54000.0, 0.005, 0.10, 0xd6e8feb86659fd93ull},
+    {"r5", 3101, 68000.0, 0.005, 0.10, 0xa0761d6478bd642full},
+}};
+
+}  // namespace
+
+std::span<const RBenchSpec> rbench_specs() { return kSpecs; }
+
+const RBenchSpec& rbench_spec(const std::string& name) {
+  for (const auto& s : kSpecs)
+    if (s.name == name) return s;
+  throw std::out_of_range("unknown r-benchmark: " + name);
+}
+
+RBench generate_rbench(const RBenchSpec& spec) {
+  RBench b;
+  b.spec = spec;
+  b.die = geom::DieArea::square(spec.die_side);
+  b.sinks.reserve(static_cast<std::size_t>(spec.num_sinks));
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_real_distribution<double> coord(0.0, spec.die_side);
+  std::uniform_real_distribution<double> cap(spec.cap_lo, spec.cap_hi);
+  for (int i = 0; i < spec.num_sinks; ++i) {
+    b.sinks.push_back({{coord(rng), coord(rng)}, cap(rng)});
+  }
+  return b;
+}
+
+RBench generate_rbench(const std::string& name) {
+  return generate_rbench(rbench_spec(name));
+}
+
+}  // namespace gcr::benchdata

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clocktree/sink.h"
+#include "geom/die.h"
+
+/// \file rbench.h
+/// Synthetic stand-ins for the r1-r5 zero-skew clock routing benchmarks
+/// [Tsay'91] used in the paper's evaluation (section 5). The originals are
+/// not redistributable; these generators reproduce their published sink
+/// counts and a comparable uniform sink spread with realistic load caps,
+/// deterministically from a fixed seed (see DESIGN.md, substitutions).
+
+namespace gcr::benchdata {
+
+struct RBenchSpec {
+  std::string name;
+  int num_sinks{0};
+  double die_side{0.0};    ///< square die, lambda
+  double cap_lo{0.0};      ///< sink load cap range [pF]
+  double cap_hi{0.0};
+  std::uint64_t seed{0};
+};
+
+/// The five specs (r1..r5) with the published sink counts.
+[[nodiscard]] std::span<const RBenchSpec> rbench_specs();
+
+/// Spec by name ("r1".."r5"); throws std::out_of_range for unknown names.
+[[nodiscard]] const RBenchSpec& rbench_spec(const std::string& name);
+
+struct RBench {
+  RBenchSpec spec;
+  geom::DieArea die;
+  ct::SinkList sinks;
+};
+
+/// Deterministically generate a benchmark instance from its spec.
+[[nodiscard]] RBench generate_rbench(const RBenchSpec& spec);
+[[nodiscard]] RBench generate_rbench(const std::string& name);
+
+}  // namespace gcr::benchdata

@@ -1,0 +1,95 @@
+#include "benchdata/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace gcr::benchdata {
+
+Workload generate_workload(const WorkloadSpec& spec,
+                           std::span<const ct::Sink> sinks,
+                           const geom::DieArea& die) {
+  assert(spec.num_instructions > 0);
+  assert(!sinks.empty());
+  const int n = static_cast<int>(sinks.size());
+  const int k = spec.num_instructions;
+  std::mt19937_64 rng(spec.seed);
+
+  // ---- spatial clusters: a g x g grid over the die --------------------
+  const int grid = std::max(
+      1, static_cast<int>(std::lround(std::ceil(std::sqrt(spec.num_clusters)))));
+  const int num_clusters = grid * grid;
+  std::vector<int> cluster_of(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    const geom::Point& p = sinks[static_cast<std::size_t>(m)].loc;
+    const int cx = std::clamp(
+        static_cast<int>((p.x - die.xlo) / die.width() * grid), 0, grid - 1);
+    const int cy = std::clamp(
+        static_cast<int>((p.y - die.ylo) / die.height() * grid), 0, grid - 1);
+    cluster_of[static_cast<std::size_t>(m)] = cy * grid + cx;
+  }
+
+  // ---- per-instruction module sets -------------------------------------
+  // E[fraction used] = p_select * p_use = target_activity. An instruction
+  // exercises a *contiguous* region of the floorplan (a functional unit and
+  // its neighbors), so co-activity decays with distance -- the spatial
+  // correlation that makes subtree gating effective on real processors.
+  double p_use = std::clamp(spec.in_cluster_use, 0.01, 1.0);
+  double p_select = std::clamp(spec.target_activity / p_use, 0.0, 1.0);
+  if (p_select >= 1.0) p_use = std::clamp(spec.target_activity, 0.0, 1.0);
+
+  activity::RtlDescription rtl(k, n);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::uniform_int_distribution<int> pick_cell(0, num_clusters - 1);
+  for (int i = 0; i < k; ++i) {
+    // Activate the ceil(p_select * #cells) grid cells nearest a random
+    // center (random tie-breaking keeps region shapes varied).
+    const int center = pick_cell(rng);
+    const int ccx = center % grid;
+    const int ccy = center / grid;
+    std::vector<std::pair<double, int>> by_dist;
+    by_dist.reserve(static_cast<std::size_t>(num_clusters));
+    for (int c = 0; c < num_clusters; ++c) {
+      const double d = std::abs(c % grid - ccx) + std::abs(c / grid - ccy);
+      by_dist.emplace_back(d + 0.2 * unif(rng), c);
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    const int want = std::max(
+        1, static_cast<int>(std::lround(p_select * num_clusters)));
+    std::vector<char> sel(static_cast<std::size_t>(num_clusters), 0);
+    for (int c = 0; c < want; ++c)
+      sel[static_cast<std::size_t>(by_dist[static_cast<std::size_t>(c)].second)] = 1;
+
+    bool any = false;
+    for (int m = 0; m < n; ++m) {
+      if (sel[static_cast<std::size_t>(cluster_of[static_cast<std::size_t>(m)])] &&
+          unif(rng) < p_use) {
+        rtl.add_use(i, m);
+        any = true;
+      }
+    }
+    if (!any)
+      rtl.add_use(i, std::uniform_int_distribution<int>(0, n - 1)(rng));
+  }
+
+  // ---- Markov instruction stream ---------------------------------------
+  // Zipf-ish popularity so the IFT is non-uniform (rare instructions exist,
+  // as in real traces), with a locality self-loop.
+  std::vector<double> pop(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) pop[static_cast<std::size_t>(i)] = 1.0 / (1.0 + i);
+  std::shuffle(pop.begin(), pop.end(), rng);
+  std::discrete_distribution<int> pick(pop.begin(), pop.end());
+
+  Workload w{std::move(rtl), {}};
+  w.stream.seq.reserve(static_cast<std::size_t>(spec.stream_length));
+  int cur = pick(rng);
+  for (int t = 0; t < spec.stream_length; ++t) {
+    w.stream.seq.push_back(cur);
+    if (unif(rng) >= spec.locality) cur = pick(rng);
+  }
+  return w;
+}
+
+}  // namespace gcr::benchdata

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "activity/rtl.h"
+#include "activity/stream.h"
+#include "clocktree/sink.h"
+#include "geom/die.h"
+
+/// \file workload.h
+/// Synthetic CPU workload generator: the "probabilistic model of the CPU
+/// when it executes typical programs" the paper used to produce its
+/// instruction streams (section 5). Module usage is *spatially clustered*
+/// (an instruction exercises whole functional blocks, and blocks are placed
+/// contiguously), which is exactly the correlation that makes subtree
+/// gating effective; the stream is first-order Markov with a locality knob
+/// giving the enables realistic (sub-Bernoulli) transition rates.
+
+namespace gcr::benchdata {
+
+struct WorkloadSpec {
+  int num_instructions{32};     ///< K; keep <= 64 for 1-word masks
+  int num_clusters{16};         ///< spatial module clusters (grid cells)
+  double target_activity{0.4};  ///< Ave(M(I)): expected module fraction used
+  double in_cluster_use{0.9};   ///< P(module used | its cluster selected)
+  double locality{0.7};         ///< Markov self-transition probability
+  int stream_length{20000};     ///< B
+  std::uint64_t seed{1};
+};
+
+struct Workload {
+  activity::RtlDescription rtl;
+  activity::InstructionStream stream;
+};
+
+/// Generate a workload over the given sinks (module i = sink i); clusters
+/// are assigned from the sink locations within `die`.
+[[nodiscard]] Workload generate_workload(const WorkloadSpec& spec,
+                                         std::span<const ct::Sink> sinks,
+                                         const geom::DieArea& die);
+
+}  // namespace gcr::benchdata

@@ -1,0 +1,176 @@
+#include "clocktree/bounded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gcr::ct {
+
+namespace {
+
+/// Stage delay of a gate (optional) plus a wire of length `len` driving
+/// downstream cap `cap`.
+double stage_delay(bool gated, double len, double cap,
+                   const tech::TechParams& t, double gate_size) {
+  double d = t.wire_res(len) * (0.5 * t.wire_cap(len) + cap);
+  if (gated) {
+    d += t.gate_delay +
+         (t.gate_output_res / gate_size) * (t.wire_cap(len) + cap);
+  }
+  return d;
+}
+
+struct Union {
+  double lo;
+  double hi;
+  [[nodiscard]] double width() const { return hi - lo; }
+};
+
+Union merged_interval(const SkewTap& a, bool ga, const SkewTap& b, bool gb,
+                      double la, double lb, const tech::TechParams& t) {
+  const double da = stage_delay(ga, la, a.cap, t, 1.0);
+  const double db = stage_delay(gb, lb, b.cap, t, 1.0);
+  return {std::min(a.dmin + da, b.dmin + db),
+          std::max(a.dmax + da, b.dmax + db)};
+}
+
+}  // namespace
+
+std::pair<double, double> branch_interval(const SkewTap& sub, bool gated,
+                                          double len,
+                                          const tech::TechParams& t,
+                                          double gate_size) {
+  const double d = stage_delay(gated, len, sub.cap, t, gate_size);
+  return {sub.dmin + d, sub.dmax + d};
+}
+
+BoundedMergeResult bounded_skew_merge(const SkewTap& a, bool gate_a,
+                                      const SkewTap& b, bool gate_b,
+                                      const tech::TechParams& t,
+                                      double bound) {
+  assert(bound >= 0.0);
+  const double dist = a.ms.distance_to(b.ms);
+
+  // 1. Search the plain split x in [0, dist] minimizing the merged width
+  //    (piecewise-quadratic; dense sampling + local refinement is robust).
+  const auto width_at = [&](double x) {
+    return merged_interval(a, gate_a, b, gate_b, x, dist - x, t).width();
+  };
+  double best_x = 0.0;
+  double best_w = width_at(0.0);
+  constexpr int kSamples = 48;
+  for (int i = 1; i <= kSamples; ++i) {
+    const double x = dist * i / kSamples;
+    const double w = width_at(x);
+    if (w < best_w) {
+      best_w = w;
+      best_x = x;
+    }
+  }
+  // Ternary refinement around the best sample.
+  {
+    double lo = std::max(0.0, best_x - dist / kSamples);
+    double hi = std::min(dist, best_x + dist / kSamples);
+    for (int it = 0; it < 60 && hi - lo > 1e-9 * std::max(1.0, dist); ++it) {
+      const double m1 = lo + (hi - lo) / 3.0;
+      const double m2 = hi - (hi - lo) / 3.0;
+      if (width_at(m1) <= width_at(m2)) hi = m2; else lo = m1;
+    }
+    const double x = 0.5 * (lo + hi);
+    if (width_at(x) < best_w) {
+      best_w = width_at(x);
+      best_x = x;
+    }
+  }
+
+  BoundedMergeResult r;
+  if (best_w <= bound + 1e-12) {
+    // No detour needed: the skew budget absorbs the imbalance.
+    r.len_a = best_x;
+    r.len_b = dist - best_x;
+    const auto isect =
+        a.ms.inflated(r.len_a).intersect(b.ms.inflated(r.len_b), 1e-6);
+    r.ms = isect.value_or(a.ms.nearest_region_to(b.ms));
+  } else {
+    // Fall back to exact balancing of the interval *midpoints* via the
+    // zero-skew engine (including its snaking); the merged width at mid
+    // alignment is max(width_a, width_b) <= bound inductively, so this is
+    // always feasible. bound == 0 therefore reproduces the zero-skew flow.
+    const SubtreeTap mid_a{a.ms, 0.5 * (a.dmin + a.dmax), a.cap};
+    const SubtreeTap mid_b{b.ms, 0.5 * (b.dmin + b.dmax), b.cap};
+    const MergeResult zs = zero_skew_merge(mid_a, gate_a, mid_b, gate_b, t);
+    r.len_a = zs.len_a;
+    r.len_b = zs.len_b;
+    r.ms = zs.ms;
+  }
+
+  const Union u =
+      merged_interval(a, gate_a, b, gate_b, r.len_a, r.len_b, t);
+  r.dmin = u.lo;
+  r.dmax = u.hi;
+  r.cap = branch_cap({a.ms, 0.0, a.cap}, gate_a, r.len_a, t) +
+          branch_cap({b.ms, 0.0, b.cap}, gate_b, r.len_b, t);
+  return r;
+}
+
+RoutedTree embed_bounded(const Topology& topo, std::span<const Sink> sinks,
+                         const std::vector<bool>& edge_gated,
+                         const tech::TechParams& tech,
+                         const BoundedEmbedOptions& opts) {
+  assert(topo.valid());
+  assert(static_cast<int>(sinks.size()) == topo.num_leaves());
+  assert(static_cast<int>(edge_gated.size()) == topo.num_nodes());
+
+  RoutedTree out;
+  out.num_leaves = topo.num_leaves();
+  out.root = topo.root();
+  out.nodes.resize(static_cast<std::size_t>(topo.num_nodes()));
+
+  std::vector<SkewTap> taps(static_cast<std::size_t>(topo.num_nodes()));
+  for (int id = 0; id < topo.num_nodes(); ++id) {
+    const TreeNode& tn = topo.node(id);
+    RoutedNode& rn = out.nodes[static_cast<std::size_t>(id)];
+    rn.left = tn.left;
+    rn.right = tn.right;
+    rn.parent = tn.parent;
+    rn.gated = edge_gated[static_cast<std::size_t>(id)] && tn.parent >= 0;
+
+    SkewTap& tap = taps[static_cast<std::size_t>(id)];
+    if (tn.is_leaf()) {
+      const Sink& s = sinks[static_cast<std::size_t>(id)];
+      tap = {geom::TiltedRect::from_point(s.loc), 0.0, 0.0, s.cap};
+    } else {
+      const auto& ta = taps[static_cast<std::size_t>(tn.left)];
+      const auto& tb = taps[static_cast<std::size_t>(tn.right)];
+      const bool ga = out.nodes[static_cast<std::size_t>(tn.left)].gated;
+      const bool gb = out.nodes[static_cast<std::size_t>(tn.right)].gated;
+      const BoundedMergeResult m =
+          bounded_skew_merge(ta, ga, tb, gb, tech, opts.skew_bound);
+      out.nodes[static_cast<std::size_t>(tn.left)].edge_len = m.len_a;
+      out.nodes[static_cast<std::size_t>(tn.right)].edge_len = m.len_b;
+      tap = {m.ms, m.dmin, m.dmax, m.cap};
+    }
+    rn.ms = tap.ms;
+    rn.delay = tap.dmax;
+    rn.down_cap = tap.cap;
+  }
+
+  const std::vector<int> post = topo.postorder();
+  for (auto it = post.rbegin(); it != post.rend(); ++it) {
+    const int id = *it;
+    RoutedNode& rn = out.nodes[static_cast<std::size_t>(id)];
+    if (id == out.root) {
+      rn.loc = rn.ms.nearest_point_to(opts.root_hint);
+      rn.edge_len = 0.0;
+      rn.gated = false;
+      continue;
+    }
+    const geom::Point parent_loc =
+        out.nodes[static_cast<std::size_t>(rn.parent)].loc;
+    rn.loc = rn.ms.nearest_point_to(parent_loc);
+    assert(geom::manhattan_dist(rn.loc, parent_loc) <= rn.edge_len + 1e-6);
+  }
+  return out;
+}
+
+}  // namespace gcr::ct

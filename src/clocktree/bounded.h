@@ -1,0 +1,79 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "clocktree/routed_tree.h"
+#include "clocktree/sink.h"
+#include "clocktree/topology.h"
+#include "clocktree/zskew.h"
+#include "tech/params.h"
+
+/// \file bounded.h
+/// Bounded-skew extension of the zero-skew engine. The paper routes under
+/// an exact zero-skew constraint; real flows usually accept a skew budget
+/// B, which buys back the *snake wire* exact balancing demands whenever
+/// sibling branches are electrically asymmetric (e.g. after gate
+/// reduction).
+///
+/// Each subtree carries a sink-delay interval [dmin, dmax]; a wire/gate
+/// stage shifts both ends equally, so interval width only grows at merges
+/// (it becomes the width of the union). The merge chooses the split of the
+/// plain (non-snaked) distance minimizing the merged width; if that width
+/// fits within B the merge costs no detour wire at all, otherwise the wire
+/// is elongated just enough -- down to exact mid-alignment, whose width
+/// max(w_a, w_b) <= B holds inductively, so a bound that admits the sinks
+/// is always feasible.
+///
+/// This is the "snake-elimination" fragment of BST-DME [Cong-Koh]: merging
+/// segments stay Manhattan arcs (full BST merging regions are future work),
+/// so the savings appear exactly where exact zero skew pays detours.
+
+namespace gcr::ct {
+
+/// A subtree with a sink-delay interval.
+struct SkewTap {
+  geom::TiltedRect ms;
+  double dmin{0.0};
+  double dmax{0.0};
+  double cap{0.0};
+
+  [[nodiscard]] double width() const { return dmax - dmin; }
+};
+
+struct BoundedMergeResult {
+  geom::TiltedRect ms;
+  double len_a{0.0};
+  double len_b{0.0};
+  double dmin{0.0};
+  double dmax{0.0};
+  double cap{0.0};
+};
+
+/// Delay interval through a branch (gate + wire of length `len`).
+[[nodiscard]] std::pair<double, double> branch_interval(
+    const SkewTap& sub, bool gated, double len, const tech::TechParams& t,
+    double gate_size = 1.0);
+
+/// Merge under skew bound `bound` (>= max(width_a, width_b) required; the
+/// zero-skew engine is the bound == 0 special case up to floating point).
+[[nodiscard]] BoundedMergeResult bounded_skew_merge(const SkewTap& a,
+                                                    bool gate_a,
+                                                    const SkewTap& b,
+                                                    bool gate_b,
+                                                    const tech::TechParams& t,
+                                                    double bound);
+
+struct BoundedEmbedOptions {
+  geom::Point root_hint{0.0, 0.0};
+  double skew_bound{0.0};  ///< global sink-skew budget [ohm*pF]
+};
+
+/// DME embedding under a skew bound; node.delay stores the subtree's dmax.
+[[nodiscard]] RoutedTree embed_bounded(const Topology& topo,
+                                       std::span<const Sink> sinks,
+                                       const std::vector<bool>& edge_gated,
+                                       const tech::TechParams& tech,
+                                       const BoundedEmbedOptions& opts);
+
+}  // namespace gcr::ct

@@ -1,0 +1,86 @@
+#include "clocktree/elmore.h"
+
+#include <cassert>
+#include <limits>
+
+namespace gcr::ct {
+
+namespace {
+
+double factor_of(const std::vector<double>& f, int id) {
+  return f.empty() ? 1.0 : f[static_cast<std::size_t>(id)];
+}
+
+}  // namespace
+
+DelayReport elmore_delays(const RoutedTree& tree, const tech::TechParams& tech,
+                          const ElmoreFactors* factors) {
+  const int n = tree.num_nodes();
+  static const ElmoreFactors kNominal;
+  const ElmoreFactors& f = factors ? *factors : kNominal;
+  assert(f.wire_res.empty() || static_cast<int>(f.wire_res.size()) == n);
+  assert(f.wire_cap.empty() || static_cast<int>(f.wire_cap.size()) == n);
+  assert(f.gate_res.empty() || static_cast<int>(f.gate_res.size()) == n);
+  assert(f.gate_delay.empty() || static_cast<int>(f.gate_delay.size()) == n);
+
+  // Per-node parasitics of the parent edge, with variation applied.
+  const auto edge_res = [&](int id) {
+    return tech.wire_res(tree.node(id).edge_len) * factor_of(f.wire_res, id);
+  };
+  const auto edge_cap = [&](int id) {
+    return tech.wire_cap(tree.node(id).edge_len) * factor_of(f.wire_cap, id);
+  };
+
+  // Downstream capacitance at each node (ids ascend bottom-up).
+  std::vector<double> down(static_cast<std::size_t>(n), 0.0);
+  for (int id = 0; id < n; ++id) {
+    const RoutedNode& node = tree.node(id);
+    if (node.is_leaf()) {
+      down[static_cast<std::size_t>(id)] = node.down_cap;  // sink load
+      continue;
+    }
+    double cap = 0.0;
+    for (const int child : {node.left, node.right}) {
+      const RoutedNode& c = tree.node(child);
+      cap += c.gated
+                 ? c.gate_size * tech.gate_input_cap
+                 : edge_cap(child) + down[static_cast<std::size_t>(child)];
+    }
+    down[static_cast<std::size_t>(id)] = cap;
+  }
+
+  // Delay accumulates root -> leaf. A parent is created by the merge of its
+  // children, so parent ids are strictly larger than child ids; descending
+  // id order visits every parent before its children.
+  std::vector<double> delay(static_cast<std::size_t>(n), 0.0);
+  DelayReport rep;
+  rep.sink_delay.assign(static_cast<std::size_t>(tree.num_leaves), 0.0);
+  rep.max_delay = -std::numeric_limits<double>::infinity();
+  rep.min_delay = std::numeric_limits<double>::infinity();
+
+  for (int id = n - 1; id >= 0; --id) {
+    const RoutedNode& node = tree.node(id);
+    double d = 0.0;
+    if (node.parent >= 0) {
+      d = delay[static_cast<std::size_t>(node.parent)];
+      const double load = edge_cap(id) + down[static_cast<std::size_t>(id)];
+      if (node.gated) {
+        d += tech.gate_delay * factor_of(f.gate_delay, id) +
+             (tech.gate_output_res / node.gate_size) *
+                 factor_of(f.gate_res, id) * load;
+      }
+      d += edge_res(id) *
+           (0.5 * edge_cap(id) + down[static_cast<std::size_t>(id)]);
+    }
+    delay[static_cast<std::size_t>(id)] = d;
+    if (node.is_leaf()) {
+      rep.sink_delay[static_cast<std::size_t>(id)] = d;
+      rep.max_delay = std::max(rep.max_delay, d);
+      rep.min_delay = std::min(rep.min_delay, d);
+    }
+  }
+  if (tree.num_leaves == 0) rep.max_delay = rep.min_delay = 0.0;
+  return rep;
+}
+
+}  // namespace gcr::ct

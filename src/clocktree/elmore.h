@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "clocktree/routed_tree.h"
+#include "tech/params.h"
+
+/// \file elmore.h
+/// Independent Elmore delay evaluation of an embedded tree. This re-derives
+/// downstream capacitances and source-to-sink delays from the routed tree
+/// alone (stored wirelengths + gate flags + sink caps), without reusing any
+/// of the merge-phase arithmetic -- it is the referee that certifies the
+/// zero-skew property of the construction.
+
+namespace gcr::ct {
+
+struct DelayReport {
+  std::vector<double> sink_delay;  ///< per sink id [ohm*pF]
+  double max_delay{0.0};
+  double min_delay{0.0};
+
+  [[nodiscard]] double skew() const { return max_delay - min_delay; }
+};
+
+/// Per-node multiplicative deviations from nominal parasitics, used by the
+/// process-variation analysis (eval/variation.h). Empty vectors mean
+/// nominal (factor 1) everywhere; otherwise one factor per node, applying
+/// to the node's parent edge / gate.
+struct ElmoreFactors {
+  std::vector<double> wire_res;
+  std::vector<double> wire_cap;
+  std::vector<double> gate_res;
+  std::vector<double> gate_delay;
+};
+
+[[nodiscard]] DelayReport elmore_delays(const RoutedTree& tree,
+                                        const tech::TechParams& tech,
+                                        const ElmoreFactors* factors = nullptr);
+
+}  // namespace gcr::ct

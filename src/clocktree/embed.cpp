@@ -1,0 +1,107 @@
+#include "clocktree/embed.h"
+
+#include <cassert>
+
+namespace gcr::ct {
+
+RoutedTree embed(const Topology& topo, std::span<const Sink> sinks,
+                 const std::vector<bool>& edge_gated,
+                 const tech::TechParams& tech, const EmbedOptions& opts) {
+  assert(topo.valid());
+  assert(static_cast<int>(sinks.size()) == topo.num_leaves());
+  assert(static_cast<int>(edge_gated.size()) == topo.num_nodes());
+
+  RoutedTree out;
+  out.num_leaves = topo.num_leaves();
+  out.root = topo.root();
+  out.nodes.resize(static_cast<std::size_t>(topo.num_nodes()));
+
+  // ---- bottom-up: merging segments, edge lengths, caps, delays ----------
+  std::vector<SubtreeTap> taps(static_cast<std::size_t>(topo.num_nodes()));
+  for (int id = 0; id < topo.num_nodes(); ++id) {
+    const TreeNode& tn = topo.node(id);
+    RoutedNode& rn = out.nodes[static_cast<std::size_t>(id)];
+    rn.left = tn.left;
+    rn.right = tn.right;
+    rn.parent = tn.parent;
+    rn.gated = edge_gated[static_cast<std::size_t>(id)] && tn.parent >= 0;
+
+    SubtreeTap& tap = taps[static_cast<std::size_t>(id)];
+    if (tn.is_leaf()) {
+      const Sink& s = sinks[static_cast<std::size_t>(id)];
+      tap.ms = geom::TiltedRect::from_point(s.loc);
+      tap.delay = 0.0;
+      tap.cap = s.cap;
+    } else {
+      const auto& ta = taps[static_cast<std::size_t>(tn.left)];
+      const auto& tb = taps[static_cast<std::size_t>(tn.right)];
+      RoutedNode& na = out.nodes[static_cast<std::size_t>(tn.left)];
+      RoutedNode& nb = out.nodes[static_cast<std::size_t>(tn.right)];
+
+      MergeResult m = zero_skew_merge(ta, na.gated, tb, nb.gated, tech);
+      double best_sa = 1.0, best_sb = 1.0;
+      if (opts.sizing == GateSizing::MinWirelength &&
+          (na.gated || nb.gated) && !opts.gate_sizes.empty()) {
+        // Enumerate child-gate sizes; keep the combination with the least
+        // total wire (snaking is what sizing buys back), tie-broken by the
+        // smallest total gate area.
+        double best_wire = m.len_a + m.len_b;
+        double best_area = (na.gated ? 1.0 : 0.0) + (nb.gated ? 1.0 : 0.0);
+        const std::vector<double> unit{1.0};
+        const auto& sizes_a = na.gated ? opts.gate_sizes : unit;
+        const auto& sizes_b = nb.gated ? opts.gate_sizes : unit;
+        for (const double sa : sizes_a) {
+          for (const double sb : sizes_b) {
+            const MergeResult cand =
+                zero_skew_merge(ta, na.gated, tb, nb.gated, tech, sa, sb);
+            const double wire = cand.len_a + cand.len_b;
+            const double area =
+                (na.gated ? sa : 0.0) + (nb.gated ? sb : 0.0);
+            if (wire < best_wire - 1e-9 ||
+                (wire < best_wire + 1e-9 && area < best_area)) {
+              best_wire = wire;
+              best_area = area;
+              best_sa = sa;
+              best_sb = sb;
+              m = cand;
+            }
+          }
+        }
+      }
+      na.edge_len = m.len_a;
+      nb.edge_len = m.len_b;
+      na.gate_size = na.gated ? best_sa : 1.0;
+      nb.gate_size = nb.gated ? best_sb : 1.0;
+      tap.ms = m.ms;
+      tap.delay = m.delay;
+      tap.cap = m.cap;
+    }
+    rn.ms = tap.ms;
+    rn.delay = tap.delay;
+    rn.down_cap = tap.cap;
+  }
+
+  // ---- top-down: place every node on its merging segment ----------------
+  const std::vector<int> post = topo.postorder();
+  // Walk parents before children: reverse postorder.
+  for (auto it = post.rbegin(); it != post.rend(); ++it) {
+    const int id = *it;
+    RoutedNode& rn = out.nodes[static_cast<std::size_t>(id)];
+    if (id == out.root) {
+      rn.loc = rn.ms.nearest_point_to(opts.root_hint);
+      rn.edge_len = 0.0;
+      rn.gated = false;
+      continue;
+    }
+    const geom::Point parent_loc =
+        out.nodes[static_cast<std::size_t>(rn.parent)].loc;
+    rn.loc = rn.ms.nearest_point_to(parent_loc);
+    // The physical wire is edge_len long even when the placed endpoints are
+    // closer (snaking); the geometric distance can never exceed it.
+    assert(geom::manhattan_dist(rn.loc, parent_loc) <= rn.edge_len + 1e-6);
+  }
+
+  return out;
+}
+
+}  // namespace gcr::ct

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+
+#include "clocktree/routed_tree.h"
+#include "clocktree/sink.h"
+#include "clocktree/topology.h"
+#include "clocktree/zskew.h"
+#include "tech/params.h"
+
+/// \file embed.h
+/// Deferred-Merge Embedding over a fixed topology and gate assignment:
+///   1. bottom-up: compute merging segments, edge lengths, subtree caps and
+///      zero-skew delays for every node (exact zero skew at each merge);
+///   2. top-down: place the root on its merging segment nearest `root_hint`
+///      (typically the chip center, where the clock source enters) and every
+///      other node on its segment nearest its placed parent.
+///
+/// Because internal node ids ascend in merge order, ascending id order is a
+/// valid bottom-up schedule.
+
+namespace gcr::ct {
+
+/// How gate sizes are chosen during the bottom-up phase.
+enum class GateSizing {
+  Unit,           ///< every gate is a unit AND (the paper's base flow)
+  MinWirelength,  ///< per merge, pick child-gate sizes from `gate_sizes`
+                  ///< minimizing total edge length (kills snake wire that
+                  ///< would otherwise compensate gate-delay imbalance)
+};
+
+struct EmbedOptions {
+  geom::Point root_hint{0.0, 0.0};  ///< pull the root towards this point
+  GateSizing sizing{GateSizing::Unit};
+  std::vector<double> gate_sizes{0.5, 1.0, 2.0, 4.0};  ///< candidate sizes
+};
+
+/// `edge_gated[id]` == gate at the top of the edge from id's parent to id;
+/// the root entry is ignored. Requires topo.valid() and one sink per leaf.
+[[nodiscard]] RoutedTree embed(const Topology& topo,
+                               std::span<const Sink> sinks,
+                               const std::vector<bool>& edge_gated,
+                               const tech::TechParams& tech,
+                               const EmbedOptions& opts = {});
+
+}  // namespace gcr::ct

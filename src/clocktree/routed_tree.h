@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/tilted_rect.h"
+
+/// \file routed_tree.h
+/// A fully embedded (placed + routed) clock tree. Produced by embed(); all
+/// evaluation (switched capacitance, Elmore delay verification, area,
+/// export) runs on this structure.
+
+namespace gcr::ct {
+
+struct RoutedNode {
+  int left{-1};
+  int right{-1};
+  int parent{-1};
+  geom::Point loc;        ///< embedded location of the node
+  geom::TiltedRect ms;    ///< merging segment (diagnostics / tests)
+  double edge_len{0.0};   ///< wirelength of the edge to the parent
+                          ///< (>= Manhattan distance when snaked; 0 at root)
+  bool gated{false};      ///< masking gate at the top of the edge to parent
+  double gate_size{1.0};  ///< relative size of that gate (1 = unit AND)
+  double down_cap{0.0};   ///< downstream cap at this node [pF]
+                          ///< (for a leaf: the sink load cap)
+  double delay{0.0};      ///< zero-skew delay from this node to its sinks
+
+  [[nodiscard]] bool is_leaf() const { return left < 0; }
+};
+
+struct RoutedTree {
+  std::vector<RoutedNode> nodes;  ///< ids 0..num_leaves-1 are sinks
+  int root{-1};
+  int num_leaves{0};
+
+  [[nodiscard]] const RoutedNode& node(int id) const { return nodes.at(id); }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes.size()); }
+
+  /// Total clock wirelength (sum of edge lengths, including snaking).
+  [[nodiscard]] double total_wirelength() const {
+    double len = 0.0;
+    for (const auto& n : nodes) len += n.edge_len;
+    return len;
+  }
+
+  /// Number of masking gates (or buffers) in the tree.
+  [[nodiscard]] int num_gates() const {
+    int g = 0;
+    for (const auto& n : nodes) g += n.gated ? 1 : 0;
+    return g;
+  }
+
+  /// Ids of all gated nodes (nodes whose parent edge carries a gate).
+  [[nodiscard]] std::vector<int> gated_nodes() const {
+    std::vector<int> ids;
+    for (int i = 0; i < num_nodes(); ++i)
+      if (nodes[static_cast<std::size_t>(i)].gated) ids.push_back(i);
+    return ids;
+  }
+
+  /// The chip-plane location of the gate on node id's parent edge: the gate
+  /// sits immediately after the parent node, i.e. at the parent's location.
+  [[nodiscard]] geom::Point gate_location(int id) const {
+    const int p = nodes.at(static_cast<std::size_t>(id)).parent;
+    return p >= 0 ? nodes.at(static_cast<std::size_t>(p)).loc
+                  : nodes.at(static_cast<std::size_t>(id)).loc;
+  }
+};
+
+}  // namespace gcr::ct

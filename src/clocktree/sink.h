@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+
+/// \file sink.h
+/// A clock sink: the clock pin of a module, with its location and load
+/// capacitance. Sink i of a design corresponds to module i of the RTL
+/// description unless an explicit mapping is supplied.
+
+namespace gcr::ct {
+
+struct Sink {
+  geom::Point loc;
+  double cap{0.0};  ///< load capacitance [pF]
+};
+
+using SinkList = std::vector<Sink>;
+
+}  // namespace gcr::ct

@@ -1,0 +1,57 @@
+#include "clocktree/topology.h"
+
+#include <vector>
+
+namespace gcr::ct {
+
+std::vector<int> Topology::postorder() const {
+  std::vector<int> order;
+  if (root_ < 0) return order;
+  order.reserve(static_cast<std::size_t>(num_nodes()));
+  // Iterative postorder: push root, emit reversed preorder (node after
+  // children by reversing a node-right-left preorder).
+  std::vector<int> stack{root_};
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(num_nodes()));
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    const TreeNode& n = nodes_.at(static_cast<std::size_t>(id));
+    if (n.left >= 0) stack.push_back(n.left);
+    if (n.right >= 0) stack.push_back(n.right);
+  }
+  order.assign(out.rbegin(), out.rend());
+  return order;
+}
+
+bool Topology::valid() const {
+  if (root_ < 0) return false;
+  std::vector<char> seen(static_cast<std::size_t>(num_nodes()), 0);
+  std::vector<int> stack{root_};
+  int count = 0;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (id < 0 || id >= num_nodes()) return false;
+    if (seen[static_cast<std::size_t>(id)]) return false;  // shared node
+    seen[static_cast<std::size_t>(id)] = 1;
+    ++count;
+    const TreeNode& n = nodes_.at(static_cast<std::size_t>(id));
+    const bool has_l = n.left >= 0;
+    const bool has_r = n.right >= 0;
+    if (has_l != has_r) return false;  // must be full binary
+    if (has_l) {
+      if (nodes_.at(static_cast<std::size_t>(n.left)).parent != id ||
+          nodes_.at(static_cast<std::size_t>(n.right)).parent != id)
+        return false;
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    } else if (id >= num_leaves_) {
+      return false;  // internal node without children
+    }
+  }
+  return count == num_nodes() && nodes_.at(static_cast<std::size_t>(root_)).parent == -1;
+}
+
+}  // namespace gcr::ct

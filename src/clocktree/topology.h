@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+/// \file topology.h
+/// Abstract (un-embedded) clock tree topology: a full binary tree over the
+/// sinks. Node ids 0..num_leaves-1 are the sinks; internal nodes are
+/// appended as merges happen, so for N sinks the tree has 2N-1 nodes and the
+/// root is created last.
+
+namespace gcr::ct {
+
+struct TreeNode {
+  int left{-1};
+  int right{-1};
+  int parent{-1};
+
+  [[nodiscard]] bool is_leaf() const { return left < 0 && right < 0; }
+};
+
+class Topology {
+ public:
+  explicit Topology(int num_leaves)
+      : nodes_(static_cast<std::size_t>(num_leaves)), num_leaves_(num_leaves) {
+    if (num_leaves == 1) root_ = 0;
+  }
+
+  [[nodiscard]] int num_leaves() const { return num_leaves_; }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int root() const { return root_; }
+  [[nodiscard]] const TreeNode& node(int id) const { return nodes_.at(id); }
+  [[nodiscard]] bool is_leaf(int id) const { return nodes_.at(id).is_leaf(); }
+
+  /// Merge two parentless subtrees; returns the new internal node id.
+  /// The caller is responsible for merging every subtree exactly once so a
+  /// single root remains; the final merge sets root().
+  int merge(int a, int b) {
+    const int id = num_nodes();
+    nodes_.push_back({a, b, -1});
+    nodes_.at(a).parent = id;
+    nodes_.at(b).parent = id;
+    root_ = id;  // the last merge wins; valid() checks it covers everything
+    return id;
+  }
+
+  /// Node ids in a postorder walk from the root (children before parents).
+  /// Because internal ids are assigned in merge order, ascending id order is
+  /// already a valid bottom-up order; this returns a root-derived postorder
+  /// for callers that need parent-before-child reversals.
+  [[nodiscard]] std::vector<int> postorder() const;
+
+  /// Structural sanity: every node reachable from the root exactly once,
+  /// internal nodes have exactly two children, parents are consistent.
+  [[nodiscard]] bool valid() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+  int num_leaves_;
+  int root_{-1};
+};
+
+}  // namespace gcr::ct

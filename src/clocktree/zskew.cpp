@@ -1,0 +1,91 @@
+#include "clocktree/zskew.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gcr::ct {
+
+BranchCoeffs branch_coeffs(const SubtreeTap& sub, bool gated,
+                           const tech::TechParams& t, double gate_size) {
+  if (gated) {
+    assert(gate_size > 0.0);
+    const double rg = t.gate_output_res / gate_size;
+    return {sub.delay + t.gate_delay + rg * sub.cap,
+            rg * t.unit_cap + t.unit_res * sub.cap};
+  }
+  return {sub.delay, t.unit_res * sub.cap};
+}
+
+double branch_delay(const SubtreeTap& sub, bool gated, double len,
+                    const tech::TechParams& t, double gate_size) {
+  const BranchCoeffs c = branch_coeffs(sub, gated, t, gate_size);
+  return c.a + c.b * len + 0.5 * t.unit_res * t.unit_cap * len * len;
+}
+
+double branch_cap(const SubtreeTap& sub, bool gated, double len,
+                  const tech::TechParams& t, double gate_size) {
+  return gated ? gate_size * t.gate_input_cap : t.wire_cap(len) + sub.cap;
+}
+
+namespace {
+
+/// Positive root of (rc/2) x^2 + b x - d = 0 with d >= 0 (snaking length).
+double snake_length(double rc, double b, double d) {
+  assert(d >= 0.0);
+  if (d == 0.0) return 0.0;
+  if (rc <= 0.0) {
+    // No distributed wire parasitics: linear equation.
+    return b > 0.0 ? d / b : 0.0;
+  }
+  return (-b + std::sqrt(b * b + 2.0 * rc * d)) / rc;
+}
+
+}  // namespace
+
+MergeResult zero_skew_merge(const SubtreeTap& a, bool gate_a,
+                            const SubtreeTap& b, bool gate_b,
+                            const tech::TechParams& t, double size_a,
+                            double size_b) {
+  const double rc = t.unit_res * t.unit_cap;
+  const double dist = a.ms.distance_to(b.ms);
+  const BranchCoeffs ca = branch_coeffs(a, gate_a, t, size_a);
+  const BranchCoeffs cb = branch_coeffs(b, gate_b, t, size_b);
+
+  MergeResult r;
+  // Balance point: x = length of the edge to a, dist - x to b.
+  const double denom = ca.b + cb.b + rc * dist;
+  double x;
+  if (denom <= 0.0) {
+    x = 0.5 * dist;  // both branches electrically weightless: split evenly
+  } else {
+    x = (cb.a - ca.a + dist * (cb.b + 0.5 * rc * dist)) / denom;
+  }
+
+  if (x >= 0.0 && x <= dist) {
+    r.len_a = x;
+    r.len_b = dist - x;
+    const auto isect =
+        a.ms.inflated(r.len_a).intersect(b.ms.inflated(r.len_b), 1e-6);
+    assert(isect.has_value());
+    r.ms = isect.value_or(a.ms.nearest_region_to(b.ms));
+  } else if (x < 0.0) {
+    // Subtree a is too slow: merge point sits on ms(a); snake the wire to b.
+    r.len_a = 0.0;
+    r.len_b = snake_length(rc, cb.b, ca.a - cb.a);
+    assert(r.len_b >= dist - 1e-6);
+    r.ms = a.ms.nearest_region_to(b.ms);
+  } else {
+    // Subtree b is too slow: symmetric case.
+    r.len_b = 0.0;
+    r.len_a = snake_length(rc, ca.b, cb.a - ca.a);
+    assert(r.len_a >= dist - 1e-6);
+    r.ms = b.ms.nearest_region_to(a.ms);
+  }
+
+  r.delay = branch_delay(a, gate_a, r.len_a, t, size_a);
+  r.cap = branch_cap(a, gate_a, r.len_a, t, size_a) +
+          branch_cap(b, gate_b, r.len_b, t, size_b);
+  return r;
+}
+
+}  // namespace gcr::ct

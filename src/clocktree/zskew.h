@@ -1,0 +1,79 @@
+#pragma once
+
+#include "geom/tilted_rect.h"
+#include "tech/params.h"
+
+/// \file zskew.h
+/// Exact zero-skew merging under the Elmore delay model (Tsay'91), extended
+/// with optional masking gates at the top of each new edge.
+///
+/// Electrical model of one branch. Let a subtree have root delay t (the
+/// equal Elmore delay from its root to every sink) and downstream
+/// capacitance C at its root. A new edge of length L connects a parent
+/// Steiner point to that root; a masking AND gate may sit at the *top* of
+/// the edge (immediately after the parent node, paper section 1 / Fig. 1).
+/// The gate may be *sized* (paper section 1: "they also serve as buffers
+/// and can be sized to adjust the phase delay"): a gate of size s presents
+/// input cap s*C_g and drives with resistance R_g/s.
+///
+///   gated:    delay(L) = D_g + (R_g/s) (c L + C) + r L (c L / 2 + C) + t
+///             cap seen by the parent = s*C_g (the gate isolates the subtree)
+///   ungated:  delay(L) = r L (c L / 2 + C) + t
+///             cap seen by the parent = c L + C
+///
+/// Both are quadratics  A + B L + (rc/2) L^2  with
+///   gated:   A = t + D_g + (R_g/s) C,  B = (R_g/s) c + r C
+///   ungated: A = t,                    B = r C.
+///
+/// The merge point splits the distance between the two merging segments so
+/// the two branch delays are equal; when one subtree is too slow even with
+/// all the wire on the other side, the short side gets length 0 and the
+/// long side's wire is elongated (snaked) by solving the quadratic.
+
+namespace gcr::ct {
+
+/// One subtree as seen from above, ready to be merged.
+struct SubtreeTap {
+  geom::TiltedRect ms;  ///< merging segment of the subtree root
+  double delay{0.0};    ///< zero-skew root-to-sink delay [ohm*pF]
+  double cap{0.0};      ///< downstream cap at the subtree root [pF]
+};
+
+/// Result of merging two subtrees.
+struct MergeResult {
+  geom::TiltedRect ms;   ///< merging segment of the new node
+  double len_a{0.0};     ///< wirelength of the edge to subtree a (with snaking)
+  double len_b{0.0};     ///< wirelength of the edge to subtree b
+  double delay{0.0};     ///< zero-skew delay of the merged node
+  double cap{0.0};       ///< cap at the merged node looking down
+};
+
+/// Quadratic coefficients (A, B) of a branch; see file comment.
+struct BranchCoeffs {
+  double a{0.0};
+  double b{0.0};
+};
+
+[[nodiscard]] BranchCoeffs branch_coeffs(const SubtreeTap& sub, bool gated,
+                                         const tech::TechParams& t,
+                                         double gate_size = 1.0);
+
+/// Delay through a branch of edge length `len`.
+[[nodiscard]] double branch_delay(const SubtreeTap& sub, bool gated,
+                                  double len, const tech::TechParams& t,
+                                  double gate_size = 1.0);
+
+/// Capacitance the parent sees through a branch of edge length `len`.
+[[nodiscard]] double branch_cap(const SubtreeTap& sub, bool gated, double len,
+                                const tech::TechParams& t,
+                                double gate_size = 1.0);
+
+/// Merge two subtrees with optional gates (of the given sizes) at the tops
+/// of the new edges.
+[[nodiscard]] MergeResult zero_skew_merge(const SubtreeTap& a, bool gate_a,
+                                          const SubtreeTap& b, bool gate_b,
+                                          const tech::TechParams& t,
+                                          double size_a = 1.0,
+                                          double size_b = 1.0);
+
+}  // namespace gcr::ct

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "activity/rtl.h"
+#include "activity/stream.h"
+#include "clocktree/sink.h"
+#include "geom/die.h"
+
+/// \file design.h
+/// Everything the gated clock router consumes: sink locations and loads,
+/// the die, the RTL description (instruction -> used modules) and the
+/// instruction stream from instruction-level simulation.
+
+namespace gcr::core {
+
+struct Design {
+  geom::DieArea die;
+  ct::SinkList sinks;
+  activity::RtlDescription rtl;
+  activity::InstructionStream stream;
+  /// sink_module[i] = module id of sink i. Empty means identity (sink i is
+  /// module i), which requires rtl.num_modules() >= sinks.size().
+  std::vector<int> sink_module;
+
+  [[nodiscard]] int num_sinks() const { return static_cast<int>(sinks.size()); }
+
+  [[nodiscard]] std::vector<int> resolved_sink_modules() const {
+    if (!sink_module.empty()) return sink_module;
+    std::vector<int> ids(sinks.size());
+    for (std::size_t i = 0; i < sinks.size(); ++i) ids[i] = static_cast<int>(i);
+    return ids;
+  }
+};
+
+}  // namespace gcr::core

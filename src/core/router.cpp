@@ -1,0 +1,155 @@
+#include "core/router.h"
+
+#include <cassert>
+#include <limits>
+
+#include "clocktree/embed.h"
+#include "cts/clustered.h"
+#include "cts/mmm.h"
+
+namespace gcr::core {
+
+namespace {
+
+/// Technology view for the buffered baseline: the inserted cells are
+/// half-size buffers, so the electrical gate parameters seen by the merge
+/// and embedding math are the buffer's.
+tech::TechParams buffered_view(const tech::TechParams& t) {
+  tech::TechParams b = t;
+  b.gate_input_cap = t.buffer_input_cap();
+  b.gate_output_res = t.buffer_output_res();
+  b.gate_delay = t.buffer_delay();
+  b.gate_area = t.buffer_area();
+  return b;
+}
+
+}  // namespace
+
+GatedClockRouter::GatedClockRouter(Design design)
+    : design_(std::move(design)),
+      leaf_module_(design_.resolved_sink_modules()),
+      analyzer_(design_.rtl, design_.stream) {
+  assert(static_cast<int>(leaf_module_.size()) == design_.num_sinks());
+}
+
+RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
+  const bool buffered = opts.style == TreeStyle::Buffered;
+  const tech::TechParams build_tech =
+      buffered ? buffered_view(opts.tech) : opts.tech;
+  const geom::Point cp = design_.die.center();
+
+  // 1. Topology: nearest-neighbor for the baseline; the selected scheme
+  //    (Eq. 3 by default) for the gated styles.
+  cts::BuildResult built = [&] {
+    if (!buffered && opts.topology == TopologyScheme::Mmm) {
+      cts::BuildResult r{cts::build_mmm_topology(design_.sinks), {}, {}, {}};
+      cts::TopologyActivity act_topo =
+          cts::annotate_topology(r.topo, analyzer_, leaf_module_);
+      r.mask = std::move(act_topo.mask);
+      r.p_en = std::move(act_topo.p_en);
+      r.p_tr = std::move(act_topo.p_tr);
+      return r;
+    }
+    cts::BuildOptions bopts;
+    if (buffered) {
+      bopts.cost = cts::MergeCost::NearestNeighbor;
+    } else {
+      switch (opts.topology) {
+        case TopologyScheme::MinSwitchedCap:
+          bopts.cost = cts::MergeCost::SwitchedCapacitance;
+          break;
+        case TopologyScheme::NearestNeighbor:
+          bopts.cost = cts::MergeCost::NearestNeighbor;
+          break;
+        case TopologyScheme::ActivityOnly:
+          bopts.cost = cts::MergeCost::ActivityOnly;
+          break;
+        case TopologyScheme::Mmm: break;  // handled above
+      }
+    }
+    bopts.gated_edges = true;  // buffers balance like gates (buffered_view)
+    bopts.control_point = cp;
+    bopts.tech = build_tech;
+    if (!buffered && opts.clustered) {
+      cts::ClusterOptions copts;
+      copts.build = bopts;
+      return cts::build_topology_clustered(design_.sinks, &analyzer_,
+                                           leaf_module_, copts);
+    }
+    return cts::build_topology(design_.sinks, &analyzer_, leaf_module_,
+                               bopts);
+  }();
+
+  // Node activity depends only on the topology, not the embedding.
+  gating::NodeActivity act{built.mask, built.p_en, built.p_tr};
+  const gating::ControllerPlacement ctrl(design_.die,
+                                         opts.controller_partitions);
+  const gating::CellStyle cell_style =
+      buffered ? gating::CellStyle::Buffer : gating::CellStyle::MaskingGate;
+
+  // 2. Gate assignment and embedding.
+  const int n = built.topo.num_nodes();
+  std::vector<bool> gated(static_cast<std::size_t>(n), true);
+  gated[static_cast<std::size_t>(built.topo.root())] = false;
+
+  ct::EmbedOptions eopts;
+  eopts.root_hint = cp;
+  eopts.sizing = opts.gate_sizing;
+  ct::BoundedEmbedOptions bopts_embed;
+  bopts_embed.root_hint = cp;
+  bopts_embed.skew_bound = opts.skew_bound;
+  const auto do_embed = [&](const std::vector<bool>& gate_set) {
+    return opts.skew_bound > 0.0
+               ? ct::embed_bounded(built.topo, design_.sinks, gate_set,
+                                   build_tech, bopts_embed)
+               : ct::embed(built.topo, design_.sinks, gate_set, build_tech,
+                           eopts);
+  };
+
+  int gates_before = 0;
+  ct::RoutedTree tree;
+  gating::SwCapReport swcap;
+  if (opts.style == TreeStyle::GatedReduced) {
+    // The reduction rules consult the fully gated embedding for edge
+    // lengths / caps, then the tree is re-embedded with the reduced set so
+    // the skew constraint holds for the final gate assignment.
+    const ct::RoutedTree full = do_embed(gated);
+    gates_before = full.num_gates();
+    if (opts.auto_tune_reduction) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int step = 0; step <= 10; ++step) {
+        const auto params =
+            gating::GateReductionParams::from_strength(0.1 * step);
+        auto cand_gates =
+            gating::reduce_gates(full, built.p_en, build_tech, params);
+        auto cand_tree = do_embed(cand_gates);
+        auto cand_swcap =
+            gating::evaluate_swcap(cand_tree, act, ctrl, build_tech, cell_style);
+        if (cand_swcap.total_swcap() < best) {
+          best = cand_swcap.total_swcap();
+          tree = std::move(cand_tree);
+          swcap = cand_swcap;
+        }
+      }
+    } else {
+      gated = gating::reduce_gates(full, built.p_en, build_tech, opts.reduction);
+      tree = do_embed(gated);
+      swcap = gating::evaluate_swcap(tree, act, ctrl, build_tech, cell_style);
+    }
+  } else {
+    tree = do_embed(gated);
+    gates_before = tree.num_gates();
+    swcap = gating::evaluate_swcap(tree, act, ctrl, build_tech, cell_style);
+  }
+
+  // 3. Package the result.
+  RouterResult res;
+  res.gates_before_reduction = buffered ? 0 : gates_before;
+  res.activity = std::move(act);
+  res.swcap = swcap;
+  res.delays = ct::elmore_delays(tree, build_tech);
+  res.tree = std::move(tree);
+  return res;
+}
+
+}  // namespace gcr::core

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+
+#include "activity/analyzer.h"
+#include "clocktree/elmore.h"
+#include "clocktree/bounded.h"
+#include "clocktree/embed.h"
+#include "clocktree/routed_tree.h"
+#include "core/design.h"
+#include "cts/greedy.h"
+#include "gating/controller.h"
+#include "gating/gate_reduction.h"
+#include "gating/swcap.h"
+#include "tech/params.h"
+
+/// \file router.h
+/// The paper's PROCEDURE GatedClockRouting (section 4.2), packaged as the
+/// library's top-level API. One router instance owns the activity engine
+/// built from the design's instruction stream; route() runs the full flow
+/// for a chosen tree style:
+///
+///   Buffered      -- conventional baseline: nearest-neighbor topology,
+///                    half-size buffers on every edge, no enables.
+///   Gated         -- the paper's Eq. 3 greedy with a masking gate on every
+///                    edge (section 5.1 "gated").
+///   GatedReduced  -- Gated followed by the gate-reduction heuristic and a
+///                    re-embedding with the surviving gates (section 4.3).
+
+namespace gcr::core {
+
+enum class TreeStyle { Buffered, Gated, GatedReduced };
+
+/// Topology generation scheme for the gated styles (Buffered always uses
+/// nearest-neighbor, the conventional baseline).
+enum class TopologyScheme {
+  MinSwitchedCap,   ///< the paper's Eq. 3 greedy
+  NearestNeighbor,  ///< geometry-only greedy [Edahiro'91]
+  ActivityOnly,     ///< joint-activity greedy ([Tellez et al.'95] style)
+  Mmm,              ///< top-down means-and-medians [Jackson et al.'90]
+};
+
+struct RouterOptions {
+  TreeStyle style{TreeStyle::GatedReduced};
+  TopologyScheme topology{TopologyScheme::MinSwitchedCap};
+  /// Two-level clustered construction (greedy within grid cells, then over
+  /// cell subtrees): near-linear scaling for large N at a small wirelength
+  /// premium. Applies to the greedy schemes of gated styles.
+  bool clustered{false};
+  gating::GateReductionParams reduction{};
+  /// When set (GatedReduced only), sweep the reduction-strength knob and
+  /// keep the gate set minimizing total switched capacitance -- the
+  /// operating-point selection of the paper's Figure 5 ("we controlled the
+  /// number of gates by giving different parameters"). Overrides
+  /// `reduction`.
+  bool auto_tune_reduction{false};
+  /// Size gates per merge to minimize wire (paper section 1: gates "can be
+  /// sized to adjust the phase delay"); Unit reproduces the base flow.
+  ct::GateSizing gate_sizing{ct::GateSizing::Unit};
+  /// Skew budget [ohm*pF]. 0 routes with exact zero skew (the paper's
+  /// constraint); > 0 uses the bounded-skew engine, trading sink skew for
+  /// the snake wirelength exact balancing would pay. Ignores gate_sizing.
+  double skew_bound{0.0};
+  int controller_partitions{1};  ///< perfect square; 1 = centralized CP
+  tech::TechParams tech{};
+};
+
+struct RouterResult {
+  ct::RoutedTree tree;
+  gating::NodeActivity activity;
+  gating::SwCapReport swcap;
+  ct::DelayReport delays;
+  int gates_before_reduction{0};  ///< 2N-2 for gated styles, 0 for buffered
+
+  /// Fraction of gates removed by the reduction heuristic.
+  [[nodiscard]] double gate_reduction_pct() const {
+    if (gates_before_reduction == 0) return 0.0;
+    return 100.0 *
+           (1.0 - static_cast<double>(tree.num_gates()) /
+                      static_cast<double>(gates_before_reduction));
+  }
+};
+
+class GatedClockRouter {
+ public:
+  explicit GatedClockRouter(Design design);
+
+  [[nodiscard]] const Design& design() const { return design_; }
+  [[nodiscard]] const activity::ActivityAnalyzer& analyzer() const {
+    return analyzer_;
+  }
+
+  /// Run the full flow for the requested style.
+  [[nodiscard]] RouterResult route(const RouterOptions& opts) const;
+
+ private:
+  Design design_;
+  std::vector<int> leaf_module_;
+  activity::ActivityAnalyzer analyzer_;
+};
+
+}  // namespace gcr::core

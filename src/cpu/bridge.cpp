@@ -1,0 +1,136 @@
+#include "cpu/bridge.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+
+namespace gcr::cpu {
+
+namespace {
+
+constexpr std::array<double, kNumUnits> kDefaultWeights = {
+    2.0,  // Fetch
+    2.0,  // Decode
+    1.5,  // RegRead
+    1.5,  // RegWrite
+    2.0,  // Alu
+    1.0,  // Shifter
+    2.0,  // Multiplier
+    1.5,  // Divider
+    2.0,  // LoadStore
+    1.0,  // Branch
+    1.0,  // Immediate
+};
+
+/// Seed the first 4096 data words deterministically (sort/dot/memcpy
+/// inputs).
+void seed_memory(Machine& m) {
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  for (std::size_t a = 0; a < 4096; ++a) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    m.set_mem(a, static_cast<long long>(x % 100000));
+  }
+}
+
+}  // namespace
+
+std::span<const double> default_unit_weights() { return kDefaultWeights; }
+
+UnitFloorplan assign_units(std::span<const ct::Sink> sinks,
+                           std::span<const double> weights) {
+  assert(!sinks.empty());
+  if (weights.empty()) weights = kDefaultWeights;
+  assert(static_cast<int>(weights.size()) == kNumUnits);
+  const int n = static_cast<int>(sinks.size());
+
+  // Boustrophedon order: vertical bands by x, alternating y direction, so
+  // consecutive ranks are spatial neighbors and each unit gets one
+  // contiguous region.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  double xlo = 1e300, xhi = -1e300;
+  for (const auto& s : sinks) {
+    xlo = std::min(xlo, s.loc.x);
+    xhi = std::max(xhi, s.loc.x);
+  }
+  const int bands = std::max(1, static_cast<int>(std::sqrt(n / 4.0)));
+  const double bw = std::max(1e-9, (xhi - xlo) / bands);
+  const auto band_of = [&](int i) {
+    return std::min(bands - 1, static_cast<int>(
+                                   (sinks[static_cast<std::size_t>(i)].loc.x -
+                                    xlo) / bw));
+  };
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int ba = band_of(a);
+    const int bb = band_of(b);
+    if (ba != bb) return ba < bb;
+    const double ya = sinks[static_cast<std::size_t>(a)].loc.y;
+    const double yb = sinks[static_cast<std::size_t>(b)].loc.y;
+    return (ba % 2 == 0) ? ya < yb : ya > yb;
+  });
+
+  // Contiguous chunks with sizes proportional to the unit weights.
+  const double total_w = std::accumulate(weights.begin(), weights.end(), 0.0);
+  UnitFloorplan plan;
+  plan.unit_of_sink.assign(static_cast<std::size_t>(n), kNumUnits - 1);
+  plan.unit_sinks.assign(static_cast<std::size_t>(kNumUnits), {});
+  int next = 0;
+  double acc = 0.0;
+  for (int u = 0; u < kNumUnits; ++u) {
+    acc += weights[static_cast<std::size_t>(u)];
+    const int end =
+        (u == kNumUnits - 1)
+            ? n
+            : std::min(n, static_cast<int>(std::lround(acc / total_w * n)));
+    for (; next < end; ++next) {
+      const int s = order[static_cast<std::size_t>(next)];
+      plan.unit_of_sink[static_cast<std::size_t>(s)] = u;
+      plan.unit_sinks[static_cast<std::size_t>(u)].push_back(s);
+    }
+  }
+  return plan;
+}
+
+activity::RtlDescription make_rtl(const UnitFloorplan& plan) {
+  activity::RtlDescription rtl(kNumOpcodes, plan.num_sinks());
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    for (const Unit u : units_of(static_cast<Opcode>(op))) {
+      for (const int s :
+           plan.unit_sinks[static_cast<std::size_t>(static_cast<int>(u))]) {
+        rtl.add_use(op, s);
+      }
+    }
+  }
+  return rtl;
+}
+
+activity::InstructionStream make_stream(const Trace& trace) {
+  activity::InstructionStream s;
+  s.seq.reserve(trace.ops.size());
+  for (const Opcode op : trace.ops) s.seq.push_back(static_cast<int>(op));
+  return s;
+}
+
+Trace run_with_data(const Program& prog, long long max_cycles) {
+  Machine m;
+  seed_memory(m);
+  return m.run(prog, max_cycles);
+}
+
+activity::InstructionStream multiprogram_stream(long long target_cycles) {
+  const std::vector<NamedProgram> kernels = benchmark_kernels();
+  activity::InstructionStream out;
+  std::size_t k = 0;
+  while (static_cast<long long>(out.seq.size()) < target_cycles) {
+    const Trace t = run_with_data(kernels[k % kernels.size()].prog);
+    for (const Opcode op : t.ops) out.seq.push_back(static_cast<int>(op));
+    ++k;
+  }
+  out.seq.resize(static_cast<std::size_t>(target_cycles));
+  return out;
+}
+
+}  // namespace gcr::cpu

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "activity/rtl.h"
+#include "activity/stream.h"
+#include "clocktree/sink.h"
+#include "cpu/program.h"
+#include "geom/die.h"
+
+/// \file bridge.h
+/// Bridge from the toy processor to the clock router's activity engine:
+///
+///   * a *floorplan* assigns every clock sink to a functional unit (units
+///     occupy spatially contiguous regions, their areas proportional to
+///     configurable weights), so each architectural unit is implemented by
+///     a group of placed module instances;
+///   * the ISA decode table expands to the RTL description over *sinks*
+///     (opcode uses sink s iff s's unit is clocked by that opcode);
+///   * executed traces become the instruction stream (instruction classes
+///     = opcodes, K = kNumOpcodes).
+
+namespace gcr::cpu {
+
+struct UnitFloorplan {
+  std::vector<int> unit_of_sink;            ///< sink -> unit index
+  std::vector<std::vector<int>> unit_sinks; ///< unit -> its sinks
+
+  [[nodiscard]] int num_sinks() const {
+    return static_cast<int>(unit_of_sink.size());
+  }
+};
+
+/// Default relative silicon weights of the units (fetch/decode/datapath
+/// larger than single-purpose blocks).
+[[nodiscard]] std::span<const double> default_unit_weights();
+
+/// Assign sinks to units in spatially contiguous bands, areas proportional
+/// to `weights` (defaults when empty).
+[[nodiscard]] UnitFloorplan assign_units(std::span<const ct::Sink> sinks,
+                                         std::span<const double> weights = {});
+
+/// The RTL description over sinks induced by the ISA decode table and the
+/// floorplan.
+[[nodiscard]] activity::RtlDescription make_rtl(const UnitFloorplan& plan);
+
+/// The instruction stream of one executed trace.
+[[nodiscard]] activity::InstructionStream make_stream(const Trace& trace);
+
+/// Run the standard benchmark kernels round-robin (with seeded data
+/// memory) until at least `target_cycles` cycles are traced; concatenated
+/// stream.
+[[nodiscard]] activity::InstructionStream multiprogram_stream(
+    long long target_cycles);
+
+/// Run a single program with seeded data memory.
+[[nodiscard]] Trace run_with_data(const Program& prog,
+                                  long long max_cycles = 1'000'000);
+
+}  // namespace gcr::cpu

@@ -1,0 +1,107 @@
+#include "cpu/isa.h"
+
+#include <array>
+
+namespace gcr::cpu {
+
+namespace {
+
+using U = Unit;
+
+// Shorthand: every instruction clocks fetch + decode; register operands
+// clock the file's read/write ports; the executing unit is per-opcode.
+constexpr std::array kAdd = {U::Fetch, U::Decode, U::RegRead, U::RegWrite,
+                             U::Alu};
+constexpr std::array kLogic = {U::Fetch, U::Decode, U::RegRead, U::RegWrite,
+                               U::Alu};
+constexpr std::array kShift = {U::Fetch, U::Decode, U::RegRead, U::RegWrite,
+                               U::Shifter, U::Immediate};
+constexpr std::array kMul = {U::Fetch, U::Decode, U::RegRead, U::RegWrite,
+                             U::Multiplier};
+constexpr std::array kDiv = {U::Fetch, U::Decode, U::RegRead, U::RegWrite,
+                             U::Divider};
+constexpr std::array kLi = {U::Fetch, U::Decode, U::RegWrite, U::Immediate};
+constexpr std::array kAddi = {U::Fetch, U::Decode, U::RegRead, U::RegWrite,
+                              U::Alu, U::Immediate};
+constexpr std::array kLd = {U::Fetch, U::Decode, U::RegRead, U::RegWrite,
+                            U::LoadStore, U::Immediate};
+constexpr std::array kSt = {U::Fetch, U::Decode, U::RegRead, U::LoadStore,
+                            U::Immediate};
+constexpr std::array kBr = {U::Fetch, U::Decode, U::RegRead, U::Branch,
+                            U::Immediate};
+constexpr std::array kJmp = {U::Fetch, U::Decode, U::Branch, U::Immediate};
+constexpr std::array kNop = {U::Fetch, U::Decode};
+
+}  // namespace
+
+std::string_view unit_name(Unit u) {
+  switch (u) {
+    case Unit::Fetch: return "fetch";
+    case Unit::Decode: return "decode";
+    case Unit::RegRead: return "regread";
+    case Unit::RegWrite: return "regwrite";
+    case Unit::Alu: return "alu";
+    case Unit::Shifter: return "shifter";
+    case Unit::Multiplier: return "multiplier";
+    case Unit::Divider: return "divider";
+    case Unit::LoadStore: return "loadstore";
+    case Unit::Branch: return "branch";
+    case Unit::Immediate: return "immediate";
+    case Unit::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kLi: return "li";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kCount: break;
+  }
+  return "?";
+}
+
+std::span<const Unit> units_of(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub: return kAdd;
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor: return kLogic;
+    case Opcode::kShl:
+    case Opcode::kShr: return kShift;
+    case Opcode::kMul: return kMul;
+    case Opcode::kDiv: return kDiv;
+    case Opcode::kLi: return kLi;
+    case Opcode::kAddi: return kAddi;
+    case Opcode::kLd: return kLd;
+    case Opcode::kSt: return kSt;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt: return kBr;
+    case Opcode::kJmp: return kJmp;
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kCount: break;
+  }
+  return kNop;
+}
+
+}  // namespace gcr::cpu

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+
+/// \file isa.h
+/// Instruction set of the toy microprocessor used to generate *real*
+/// instruction-level traces (paper section 3: the activity statistics come
+/// from "instruction level simulation of the processor with a number of
+/// benchmark programs" plus "knowledge about the RTL description").
+///
+/// The ISA is a small load/store RISC; each opcode exercises a fixed set of
+/// functional units -- that mapping *is* the RTL description of Table 1.
+
+namespace gcr::cpu {
+
+/// Functional units (architectural modules) of the processor.
+enum class Unit : int {
+  Fetch = 0,
+  Decode,
+  RegRead,
+  RegWrite,
+  Alu,
+  Shifter,
+  Multiplier,
+  Divider,
+  LoadStore,
+  Branch,
+  Immediate,
+  kCount,
+};
+
+inline constexpr int kNumUnits = static_cast<int>(Unit::kCount);
+
+[[nodiscard]] std::string_view unit_name(Unit u);
+
+enum class Opcode : int {
+  kAdd = 0,  ///< rd = rs1 + rs2
+  kSub,      ///< rd = rs1 - rs2
+  kAnd,      ///< rd = rs1 & rs2
+  kOr,       ///< rd = rs1 | rs2
+  kXor,      ///< rd = rs1 ^ rs2
+  kShl,      ///< rd = rs1 << imm
+  kShr,      ///< rd = rs1 >> imm
+  kMul,      ///< rd = rs1 * rs2
+  kDiv,      ///< rd = rs1 / rs2 (0 on divide-by-zero)
+  kLi,       ///< rd = imm
+  kAddi,     ///< rd = rs1 + imm
+  kLd,       ///< rd = mem[rs1 + imm]
+  kSt,       ///< mem[rs1 + imm] = rs2
+  kBeq,      ///< if rs1 == rs2 jump to imm
+  kBne,      ///< if rs1 != rs2 jump to imm
+  kBlt,      ///< if rs1 <  rs2 jump to imm
+  kJmp,      ///< jump to imm
+  kNop,      ///< idle cycle (only fetch/decode clock)
+  kHalt,     ///< stop simulation
+  kCount,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+
+[[nodiscard]] std::string_view opcode_name(Opcode op);
+
+/// The functional units opcode `op` clocks while executing -- the RTL
+/// description row for this instruction class.
+[[nodiscard]] std::span<const Unit> units_of(Opcode op);
+
+struct Instr {
+  Opcode op{Opcode::kNop};
+  int rd{0};
+  int rs1{0};
+  int rs2{0};
+  long long imm{0};
+};
+
+}  // namespace gcr::cpu

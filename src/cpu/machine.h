@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cpu/isa.h"
+
+/// \file machine.h
+/// A cycle-per-instruction interpreter of the toy ISA. Running a program
+/// yields the instruction trace (one opcode per cycle) that drives the
+/// activity analysis -- the "instruction level simulation" of paper
+/// section 3.2.
+
+namespace gcr::cpu {
+
+struct Program {
+  std::vector<Instr> code;
+};
+
+struct Trace {
+  std::vector<Opcode> ops;   ///< executed opcode per cycle
+  bool halted{false};        ///< reached kHalt (vs. cycle limit)
+  long long cycles{0};
+};
+
+class Machine {
+ public:
+  static constexpr int kNumRegs = 32;
+  static constexpr std::size_t kMemWords = 1 << 16;
+
+  Machine();
+
+  /// Reset registers, memory and pc.
+  void reset();
+
+  [[nodiscard]] long long reg(int r) const { return regs_.at(r); }
+  void set_reg(int r, long long v) { regs_.at(r) = v; }
+  [[nodiscard]] long long mem(std::size_t addr) const { return mem_.at(addr); }
+  void set_mem(std::size_t addr, long long v) { mem_.at(addr) = v; }
+
+  /// Execute `prog` from pc 0 for at most `max_cycles`, recording the
+  /// per-cycle opcode trace. Register 0 is hard-wired to zero.
+  Trace run(const Program& prog, long long max_cycles = 1'000'000);
+
+ private:
+  std::array<long long, kNumRegs> regs_{};
+  std::vector<long long> mem_;
+};
+
+}  // namespace gcr::cpu

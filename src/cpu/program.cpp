@@ -1,0 +1,188 @@
+#include "cpu/program.h"
+
+#include <stdexcept>
+
+namespace gcr::cpu {
+
+Assembler& Assembler::label(const std::string& name) {
+  labels_[name] = static_cast<long long>(prog_.code.size());
+  return *this;
+}
+
+Assembler& Assembler::op3(Opcode op, int rd, int rs1, int rs2) {
+  prog_.code.push_back({op, rd, rs1, rs2, 0});
+  return *this;
+}
+
+Assembler& Assembler::shl(int rd, int rs1, long long imm) {
+  prog_.code.push_back({Opcode::kShl, rd, rs1, 0, imm});
+  return *this;
+}
+
+Assembler& Assembler::shr(int rd, int rs1, long long imm) {
+  prog_.code.push_back({Opcode::kShr, rd, rs1, 0, imm});
+  return *this;
+}
+
+Assembler& Assembler::li(int rd, long long imm) {
+  prog_.code.push_back({Opcode::kLi, rd, 0, 0, imm});
+  return *this;
+}
+
+Assembler& Assembler::addi(int rd, int rs1, long long imm) {
+  prog_.code.push_back({Opcode::kAddi, rd, rs1, 0, imm});
+  return *this;
+}
+
+Assembler& Assembler::ld(int rd, int rs1, long long imm) {
+  prog_.code.push_back({Opcode::kLd, rd, rs1, 0, imm});
+  return *this;
+}
+
+Assembler& Assembler::st(int rs1, int rs2, long long imm) {
+  prog_.code.push_back({Opcode::kSt, 0, rs1, rs2, imm});
+  return *this;
+}
+
+Assembler& Assembler::branch(Opcode op, int rs1, int rs2,
+                             const std::string& target) {
+  fixups_.emplace_back(prog_.code.size(), target);
+  prog_.code.push_back({op, 0, rs1, rs2, -1});
+  return *this;
+}
+
+Assembler& Assembler::beq(int rs1, int rs2, const std::string& t) {
+  return branch(Opcode::kBeq, rs1, rs2, t);
+}
+Assembler& Assembler::bne(int rs1, int rs2, const std::string& t) {
+  return branch(Opcode::kBne, rs1, rs2, t);
+}
+Assembler& Assembler::blt(int rs1, int rs2, const std::string& t) {
+  return branch(Opcode::kBlt, rs1, rs2, t);
+}
+Assembler& Assembler::jmp(const std::string& t) {
+  return branch(Opcode::kJmp, 0, 0, t);
+}
+
+Assembler& Assembler::nop() {
+  prog_.code.push_back({Opcode::kNop, 0, 0, 0, 0});
+  return *this;
+}
+
+Assembler& Assembler::halt() {
+  prog_.code.push_back({Opcode::kHalt, 0, 0, 0, 0});
+  return *this;
+}
+
+Program Assembler::finish() {
+  for (const auto& [pos, name] : fixups_) {
+    const auto it = labels_.find(name);
+    if (it == labels_.end())
+      throw std::runtime_error("undefined label: " + name);
+    prog_.code[pos].imm = it->second;
+  }
+  return std::move(prog_);
+}
+
+Program prog_fibonacci(int n) {
+  Assembler a;
+  // r1 = i, r2 = fib(i-1), r3 = fib(i), r4 = n, r5 = tmp
+  a.li(2, 0).li(3, 1).li(1, 1).li(4, n);
+  a.label("loop");
+  a.beq(1, 4, "done");
+  a.add(5, 2, 3);   // tmp = a + b
+  a.add(2, 3, 0);   // a = b
+  a.add(3, 5, 0);   // b = tmp
+  a.addi(1, 1, 1);  // ++i
+  a.jmp("loop");
+  a.label("done").halt();
+  return a.finish();
+}
+
+Program prog_memcpy(int words) {
+  Assembler a;
+  // r1 = src index, r2 = dst base, r3 = limit, r4 = data
+  a.li(1, 0).li(2, 4096).li(3, words);
+  a.label("loop");
+  a.beq(1, 3, "done");
+  a.ld(4, 1, 0);
+  a.add(5, 2, 1);
+  a.st(5, 4, 0);
+  a.addi(1, 1, 1);
+  a.jmp("loop");
+  a.label("done").halt();
+  return a.finish();
+}
+
+Program prog_dot_product(int n) {
+  Assembler a;
+  // r1 = i, r2 = n, r7 = acc
+  a.li(1, 0).li(2, n).li(7, 0);
+  a.label("loop");
+  a.beq(1, 2, "done");
+  a.ld(3, 1, 0);        // x[i]
+  a.ld(4, 1, 4096);     // y[i]
+  a.mul(5, 3, 4);
+  a.add(7, 7, 5);
+  a.addi(1, 1, 1);
+  a.jmp("loop");
+  a.label("done").halt();
+  return a.finish();
+}
+
+Program prog_bubble_sort(int n) {
+  Assembler a;
+  // r1 = i (outer), r2 = j (inner), r3 = n-1, r4/r5 = elems, r6 = j+1
+  a.li(1, 0).li(3, n - 1);
+  a.label("outer");
+  a.beq(1, 3, "done");
+  a.li(2, 0);
+  a.label("inner");
+  a.beq(2, 3, "next_outer");
+  a.ld(4, 2, 0);
+  a.addi(6, 2, 1);
+  a.ld(5, 6, 0);
+  a.blt(4, 5, "no_swap");
+  a.st(2, 5, 0);
+  a.st(6, 4, 0);
+  a.label("no_swap");
+  a.addi(2, 2, 1);
+  a.jmp("inner");
+  a.label("next_outer");
+  a.addi(1, 1, 1);
+  a.jmp("outer");
+  a.label("done").halt();
+  return a.finish();
+}
+
+Program prog_hash_mix(int iters) {
+  Assembler a;
+  // r1 = i, r2 = iters, r3 = state, r4/r5 = scratch
+  a.li(1, 0).li(2, iters).li(3, 0x9e3779b9LL).li(6, 1013904223LL);
+  a.label("loop");
+  a.beq(1, 2, "done");
+  a.shl(4, 3, 13);
+  a.xor_(3, 3, 4);
+  a.shr(5, 3, 7);
+  a.xor_(3, 3, 5);
+  a.mul(3, 3, 6);
+  a.addi(4, 1, 17);
+  a.div(5, 3, 4);
+  a.xor_(3, 3, 5);
+  a.addi(1, 1, 1);
+  a.jmp("loop");
+  a.label("done").halt();
+  return a.finish();
+}
+
+std::vector<NamedProgram> benchmark_kernels() {
+  std::vector<NamedProgram> out;
+  out.push_back({"fibonacci", prog_fibonacci(400)});
+  out.push_back({"memcpy", prog_memcpy(400)});
+  out.push_back({"dot_product", prog_dot_product(300)});
+  out.push_back({"bubble_sort", prog_bubble_sort(40)});
+  out.push_back({"hash_mix", prog_hash_mix(250)});
+  return out;
+}
+
+}  // namespace gcr::cpu

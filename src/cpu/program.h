@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/machine.h"
+
+/// \file program.h
+/// A tiny assembler (labels + fixups) and the benchmark kernels whose
+/// traces drive the activity analysis -- the "number of benchmark
+/// programs" of paper section 3.2. The kernels are chosen for diverse
+/// functional-unit profiles: ALU-bound, memory-bound, multiplier-bound and
+/// control-bound.
+
+namespace gcr::cpu {
+
+class Assembler {
+ public:
+  /// Define a label at the current position.
+  Assembler& label(const std::string& name);
+
+  Assembler& add(int rd, int rs1, int rs2) { return op3(Opcode::kAdd, rd, rs1, rs2); }
+  Assembler& sub(int rd, int rs1, int rs2) { return op3(Opcode::kSub, rd, rs1, rs2); }
+  Assembler& and_(int rd, int rs1, int rs2) { return op3(Opcode::kAnd, rd, rs1, rs2); }
+  Assembler& or_(int rd, int rs1, int rs2) { return op3(Opcode::kOr, rd, rs1, rs2); }
+  Assembler& xor_(int rd, int rs1, int rs2) { return op3(Opcode::kXor, rd, rs1, rs2); }
+  Assembler& mul(int rd, int rs1, int rs2) { return op3(Opcode::kMul, rd, rs1, rs2); }
+  Assembler& div(int rd, int rs1, int rs2) { return op3(Opcode::kDiv, rd, rs1, rs2); }
+  Assembler& shl(int rd, int rs1, long long imm);
+  Assembler& shr(int rd, int rs1, long long imm);
+  Assembler& li(int rd, long long imm);
+  Assembler& addi(int rd, int rs1, long long imm);
+  Assembler& ld(int rd, int rs1, long long imm);
+  Assembler& st(int rs1, int rs2, long long imm);  ///< mem[rs1+imm] = rs2
+  Assembler& beq(int rs1, int rs2, const std::string& target);
+  Assembler& bne(int rs1, int rs2, const std::string& target);
+  Assembler& blt(int rs1, int rs2, const std::string& target);
+  Assembler& jmp(const std::string& target);
+  Assembler& nop();
+  Assembler& halt();
+
+  /// Resolve label fixups and return the program. Throws on an undefined
+  /// label.
+  [[nodiscard]] Program finish();
+
+ private:
+  Assembler& op3(Opcode op, int rd, int rs1, int rs2);
+  Assembler& branch(Opcode op, int rs1, int rs2, const std::string& target);
+
+  Program prog_;
+  std::map<std::string, long long> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+/// Iterative Fibonacci; result fib(n) ends in r3.
+[[nodiscard]] Program prog_fibonacci(int n);
+/// Copy `words` memory words from address 0 to address 4096.
+[[nodiscard]] Program prog_memcpy(int words);
+/// Dot product of two length-n vectors at 0 and 4096; result in r7.
+[[nodiscard]] Program prog_dot_product(int n);
+/// Bubble sort of n words at address 0 (control/branch heavy).
+[[nodiscard]] Program prog_bubble_sort(int n);
+/// Hash-style mixing loop (shift/xor/div heavy).
+[[nodiscard]] Program prog_hash_mix(int iters);
+
+/// All kernels with human-readable names (for sweeps over programs).
+struct NamedProgram {
+  std::string name;
+  Program prog;
+};
+[[nodiscard]] std::vector<NamedProgram> benchmark_kernels();
+
+}  // namespace gcr::cpu

@@ -1,0 +1,111 @@
+#include "cts/clustered.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gcr::cts {
+
+namespace {
+
+/// Replay the merges of a local topology inside the global one.
+/// `local_to_global[k]` maps the local *leaf* k; grows with internal nodes
+/// as merges replay. Returns the global id of the local root.
+int splice(const ct::Topology& local, std::vector<int> local_to_global,
+           ct::Topology& global) {
+  local_to_global.resize(static_cast<std::size_t>(local.num_nodes()), -1);
+  for (int id = local.num_leaves(); id < local.num_nodes(); ++id) {
+    const ct::TreeNode& n = local.node(id);
+    local_to_global[static_cast<std::size_t>(id)] =
+        global.merge(local_to_global[static_cast<std::size_t>(n.left)],
+                     local_to_global[static_cast<std::size_t>(n.right)]);
+  }
+  return local_to_global[static_cast<std::size_t>(local.root())];
+}
+
+}  // namespace
+
+BuildResult build_topology_clustered(std::span<const ct::Sink> sinks,
+                                     const activity::ActivityAnalyzer* analyzer,
+                                     std::span<const int> leaf_module,
+                                     const ClusterOptions& opts) {
+  const int n = static_cast<int>(sinks.size());
+  assert(n > 0);
+  int grid = opts.grid;
+  if (grid <= 0)
+    grid = std::max(2, static_cast<int>(std::lround(std::sqrt(n) / 8.0)));
+
+  // Bucket sinks into grid cells over the sink bounding box.
+  double xlo = 1e300, xhi = -1e300, ylo = 1e300, yhi = -1e300;
+  for (const auto& s : sinks) {
+    xlo = std::min(xlo, s.loc.x);
+    xhi = std::max(xhi, s.loc.x);
+    ylo = std::min(ylo, s.loc.y);
+    yhi = std::max(yhi, s.loc.y);
+  }
+  const double w = std::max(1e-9, xhi - xlo);
+  const double h = std::max(1e-9, yhi - ylo);
+  std::vector<std::vector<int>> cells(
+      static_cast<std::size_t>(grid) * grid);
+  for (int i = 0; i < n; ++i) {
+    const auto& p = sinks[static_cast<std::size_t>(i)].loc;
+    const int cx = std::min(grid - 1, static_cast<int>((p.x - xlo) / w * grid));
+    const int cy = std::min(grid - 1, static_cast<int>((p.y - ylo) / h * grid));
+    cells[static_cast<std::size_t>(cy) * grid + cx].push_back(i);
+  }
+  std::erase_if(cells, [](const auto& c) { return c.empty(); });
+
+  ct::Topology global(n);
+  std::vector<SeedSink> tops;  // one pseudo-sink per cell
+  std::vector<int> cell_roots;
+
+  for (const auto& cell : cells) {
+    // Local build over the cell's sinks.
+    std::vector<SeedSink> seeds;
+    seeds.reserve(cell.size());
+    activity::ActivationMask cell_mask(
+        analyzer ? analyzer->num_instructions() : 0);
+    geom::Point centroid{0.0, 0.0};
+    double cap = 0.0;
+    for (const int s : cell) {
+      SeedSink seed{sinks[static_cast<std::size_t>(s)],
+                    activity::ActivationMask()};
+      if (analyzer) {
+        seed.mask =
+            analyzer->module_mask(leaf_module[static_cast<std::size_t>(s)]);
+        cell_mask |= seed.mask;
+      }
+      centroid.x += seed.sink.loc.x;
+      centroid.y += seed.sink.loc.y;
+      cap += seed.sink.cap;
+      seeds.push_back(std::move(seed));
+    }
+    centroid.x /= static_cast<double>(cell.size());
+    centroid.y /= static_cast<double>(cell.size());
+
+    BuildResult local = build_topology_seeded(seeds, analyzer, opts.build);
+    cell_roots.push_back(splice(local.topo, cell, global));
+    // The top level sees the cell as a pseudo-sink at its centroid. The
+    // cap only steers merge costs; the real embedding recomputes it.
+    tops.push_back({{centroid, opts.build.gated_edges
+                                   ? opts.build.tech.gate_input_cap
+                                   : cap},
+                    std::move(cell_mask)});
+  }
+
+  // Top-level build over the cells, then splice it in.
+  BuildResult top = build_topology_seeded(tops, analyzer, opts.build);
+  splice(top.topo, cell_roots, global);
+
+  BuildResult out{std::move(global), {}, {}, {}};
+  assert(out.topo.valid());
+  if (analyzer) {
+    TopologyActivity act = annotate_topology(out.topo, *analyzer, leaf_module);
+    out.mask = std::move(act.mask);
+    out.p_en = std::move(act.p_en);
+    out.p_tr = std::move(act.p_tr);
+  }
+  return out;
+}
+
+}  // namespace gcr::cts

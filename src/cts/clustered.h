@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+#include "cts/greedy.h"
+
+/// \file clustered.h
+/// Two-level clustered construction for large designs. The flat greedy
+/// engines are O(N^2); beyond ~5k sinks that dominates the flow. The
+/// clustered mode partitions the die into a grid of cells, runs the chosen
+/// greedy within each cell, and then merges the cell subtrees with the
+/// same greedy at the top level -- the standard hierarchical CTS recipe.
+/// Activity bookkeeping (masks, P(EN), P_tr) is identical to the flat
+/// engine's, so every downstream stage (reduction, embedding, evaluation)
+/// is unchanged.
+
+namespace gcr::cts {
+
+struct ClusterOptions {
+  BuildOptions build;  ///< cost/tech shared by both levels
+  int grid{0};         ///< cells per side; 0 = auto (~sqrt(N)/8, >= 2)
+};
+
+[[nodiscard]] BuildResult build_topology_clustered(
+    std::span<const ct::Sink> sinks, const activity::ActivityAnalyzer* analyzer,
+    std::span<const int> leaf_module, const ClusterOptions& opts);
+
+}  // namespace gcr::cts

@@ -1,0 +1,247 @@
+#include "cts/greedy.h"
+
+#include <cassert>
+#include <limits>
+
+namespace gcr::cts {
+
+namespace {
+
+struct Candidate {
+  int node{-1};  ///< topology node id
+  ct::SubtreeTap tap;
+  activity::ActivationMask mask;
+  double p_en{1.0};
+  double p_tr{0.0};
+  double cp_dist{0.0};  ///< dist(CP, mid(ms)) -- Eq. 3 star estimate
+  bool alive{false};
+};
+
+struct BestPartner {
+  double cost{std::numeric_limits<double>::infinity()};
+  int partner{-1};
+  bool stale{true};
+};
+
+class GreedyEngine {
+ public:
+  GreedyEngine(std::span<const SeedSink> seeds,
+               const activity::ActivityAnalyzer* analyzer,
+               const BuildOptions& opts)
+      : opts_(opts),
+        analyzer_(analyzer),
+        topo_(static_cast<int>(seeds.size())) {
+    assert(!seeds.empty());
+    assert(opts.cost == MergeCost::NearestNeighbor || analyzer != nullptr);
+    const int n = static_cast<int>(seeds.size());
+    cands_.resize(static_cast<std::size_t>(2 * n - 1));
+    best_.resize(cands_.size());
+    for (int i = 0; i < n; ++i) {
+      const SeedSink& seed = seeds[static_cast<std::size_t>(i)];
+      Candidate& c = cands_[static_cast<std::size_t>(i)];
+      c.node = i;
+      c.tap.ms = geom::TiltedRect::from_point(seed.sink.loc);
+      c.tap.delay = 0.0;
+      c.tap.cap = seed.sink.cap;
+      c.alive = true;
+      if (analyzer_) {
+        c.mask = seed.mask;
+        c.p_en = analyzer_->signal_prob(c.mask);
+        c.p_tr = analyzer_->transition_prob(c.mask);
+      }
+      c.cp_dist = geom::manhattan_dist(opts.control_point, c.tap.ms.center());
+      active_.push_back(i);
+    }
+  }
+
+  BuildResult run() {
+    const int n = topo_.num_leaves();
+    for (int step = 0; step + 1 < n; ++step) {
+      const auto [a, b] = pick_min_pair();
+      merge(a, b);
+    }
+    BuildResult out{std::move(topo_), {}, {}, {}};
+    if (analyzer_) {
+      out.mask.reserve(cands_.size());
+      out.p_en.reserve(cands_.size());
+      out.p_tr.reserve(cands_.size());
+      for (const Candidate& c : cands_) {
+        out.mask.push_back(c.mask);
+        out.p_en.push_back(c.p_en);
+        out.p_tr.push_back(c.p_tr);
+      }
+    }
+    return out;
+  }
+
+ private:
+  /// Cost of merging two live candidates.
+  double pair_cost(const Candidate& x, const Candidate& y) const {
+    if (opts_.cost == MergeCost::NearestNeighbor)
+      return x.tap.ms.distance_to(y.tap.ms);
+    if (opts_.cost == MergeCost::ActivityOnly) {
+      // Joint enable probability dominates; distance only breaks ties
+      // (scaled well below the smallest probability step of the stream).
+      const double p_union = analyzer_->signal_prob(x.mask | y.mask);
+      return p_union + 1e-12 * x.tap.ms.distance_to(y.tap.ms);
+    }
+    // Eq. 3: switched capacitance added by this merge (probability weights
+    // floored; see BuildOptions::min_prob_weight).
+    const ct::MergeResult m = ct::zero_skew_merge(
+        x.tap, opts_.gated_edges, y.tap, opts_.gated_edges, opts_.tech);
+    const tech::TechParams& t = opts_.tech;
+    const double px = std::max(x.p_en, opts_.min_prob_weight);
+    const double py = std::max(y.p_en, opts_.min_prob_weight);
+    return (t.wire_cap(m.len_a) + x.tap.cap) * px +
+           (t.wire_cap(m.len_b) + y.tap.cap) * py +
+           (t.wire_cap(x.cp_dist) + t.gate_enable_cap) * x.p_tr +
+           (t.wire_cap(y.cp_dist) + t.gate_enable_cap) * y.p_tr;
+  }
+
+  void recompute_best(int i) {
+    BestPartner bp;
+    const Candidate& ci = cands_[static_cast<std::size_t>(i)];
+    for (const int j : active_) {
+      if (j == i) continue;
+      const double cost = pair_cost(ci, cands_[static_cast<std::size_t>(j)]);
+      if (cost < bp.cost) {
+        bp.cost = cost;
+        bp.partner = j;
+      }
+    }
+    bp.stale = false;
+    best_[static_cast<std::size_t>(i)] = bp;
+  }
+
+  std::pair<int, int> pick_min_pair() {
+    assert(active_.size() >= 2);
+    int argmin = -1;
+    double minc = std::numeric_limits<double>::infinity();
+    for (const int i : active_) {
+      BestPartner& bp = best_[static_cast<std::size_t>(i)];
+      if (bp.stale || !cands_[static_cast<std::size_t>(bp.partner)].alive)
+        recompute_best(i);
+      if (best_[static_cast<std::size_t>(i)].cost < minc) {
+        minc = best_[static_cast<std::size_t>(i)].cost;
+        argmin = i;
+      }
+    }
+    return {argmin, best_[static_cast<std::size_t>(argmin)].partner};
+  }
+
+  void merge(int a, int b) {
+    Candidate& ca = cands_[static_cast<std::size_t>(a)];
+    Candidate& cb = cands_[static_cast<std::size_t>(b)];
+    const ct::MergeResult m = ct::zero_skew_merge(
+        ca.tap, opts_.gated_edges, cb.tap, opts_.gated_edges, opts_.tech);
+
+    const int id = topo_.merge(ca.node, cb.node);
+    Candidate& cn = cands_[static_cast<std::size_t>(id)];
+    cn.node = id;
+    cn.tap.ms = m.ms;
+    cn.tap.delay = m.delay;
+    cn.tap.cap = m.cap;
+    cn.alive = true;
+    if (analyzer_) {
+      cn.mask = ca.mask | cb.mask;
+      cn.p_en = analyzer_->signal_prob(cn.mask);
+      cn.p_tr = analyzer_->transition_prob(cn.mask);
+    }
+    cn.cp_dist = geom::manhattan_dist(opts_.control_point, cn.tap.ms.center());
+
+    ca.alive = false;
+    cb.alive = false;
+    std::erase(active_, a);
+    std::erase(active_, b);
+
+    // The new candidate may beat existing best partners; refresh in one
+    // scan and compute its own best on the way.
+    BestPartner bp;
+    for (const int j : active_) {
+      const double cost = pair_cost(cn, cands_[static_cast<std::size_t>(j)]);
+      if (cost < bp.cost) {
+        bp.cost = cost;
+        bp.partner = j;
+      }
+      BestPartner& bj = best_[static_cast<std::size_t>(j)];
+      if (!bj.stale && cost < bj.cost) {
+        bj.cost = cost;
+        bj.partner = id;
+      }
+    }
+    bp.stale = false;
+    best_[static_cast<std::size_t>(id)] = bp;
+    active_.push_back(id);
+  }
+
+  BuildOptions opts_;
+  const activity::ActivityAnalyzer* analyzer_;
+  ct::Topology topo_;
+  std::vector<Candidate> cands_;
+  std::vector<BestPartner> best_;
+  std::vector<int> active_;
+};
+
+}  // namespace
+
+BuildResult build_topology_seeded(std::span<const SeedSink> seeds,
+                                  const activity::ActivityAnalyzer* analyzer,
+                                  const BuildOptions& opts) {
+  if (seeds.size() == 1) {
+    BuildResult out{ct::Topology(1), {}, {}, {}};
+    if (analyzer) {
+      out.mask.push_back(seeds[0].mask);
+      out.p_en.push_back(analyzer->signal_prob(out.mask[0]));
+      out.p_tr.push_back(analyzer->transition_prob(out.mask[0]));
+    }
+    return out;
+  }
+  GreedyEngine engine(seeds, analyzer, opts);
+  return engine.run();
+}
+
+BuildResult build_topology(std::span<const ct::Sink> sinks,
+                           const activity::ActivityAnalyzer* analyzer,
+                           std::span<const int> leaf_module,
+                           const BuildOptions& opts) {
+  std::vector<SeedSink> seeds;
+  seeds.reserve(sinks.size());
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    SeedSink s{sinks[i], activity::ActivationMask()};
+    if (analyzer) s.mask = analyzer->module_mask(leaf_module[i]);
+    seeds.push_back(std::move(s));
+  }
+  return build_topology_seeded(seeds, analyzer, opts);
+}
+
+std::vector<int> identity_modules(int num_sinks) {
+  std::vector<int> ids(static_cast<std::size_t>(num_sinks));
+  for (int i = 0; i < num_sinks; ++i) ids[static_cast<std::size_t>(i)] = i;
+  return ids;
+}
+
+TopologyActivity annotate_topology(const ct::Topology& topo,
+                                   const activity::ActivityAnalyzer& analyzer,
+                                   std::span<const int> leaf_module) {
+  const int n = topo.num_nodes();
+  TopologyActivity act;
+  act.mask.assign(static_cast<std::size_t>(n),
+                  activity::ActivationMask(analyzer.num_instructions()));
+  act.p_en.assign(static_cast<std::size_t>(n), 0.0);
+  act.p_tr.assign(static_cast<std::size_t>(n), 0.0);
+  for (int id = 0; id < n; ++id) {  // ids ascend bottom-up
+    const ct::TreeNode& node = topo.node(id);
+    auto& mask = act.mask[static_cast<std::size_t>(id)];
+    if (node.is_leaf()) {
+      mask = analyzer.module_mask(leaf_module[static_cast<std::size_t>(id)]);
+    } else {
+      mask = act.mask[static_cast<std::size_t>(node.left)] |
+             act.mask[static_cast<std::size_t>(node.right)];
+    }
+    act.p_en[static_cast<std::size_t>(id)] = analyzer.signal_prob(mask);
+    act.p_tr[static_cast<std::size_t>(id)] = analyzer.transition_prob(mask);
+  }
+  return act;
+}
+
+}  // namespace gcr::cts

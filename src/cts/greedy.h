@@ -1,0 +1,107 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "activity/analyzer.h"
+#include "clocktree/sink.h"
+#include "clocktree/topology.h"
+#include "clocktree/zskew.h"
+#include "geom/point.h"
+#include "tech/params.h"
+
+/// \file greedy.h
+/// Greedy bottom-up topology construction (paper section 4.2).
+///
+/// Both engines repeatedly merge the pair of active subtrees with the
+/// minimum cost, performing an exact zero-skew merge at each step:
+///
+///   * NearestNeighbor -- the conventional heuristic [Edahiro'91]: cost is
+///     the Manhattan distance between merging segments. Used for the
+///     buffered baseline tree.
+///   * SwitchedCapacitance -- the paper's Eq. 3: the switched capacitance a
+///     merge adds, counting the two new gated clock edges (weighted by the
+///     subtrees' enable signal probabilities) and the two new star-routed
+///     enable wires (estimated as the distance from the control point CP to
+///     the midpoint of each merging segment, weighted by the enables'
+///     transition probabilities).
+///
+/// The engine caches each candidate's electrical tap, activation mask,
+/// P(EN), P_tr(EN) and CP distance, so evaluating a pair cost is a closed-
+/// form zero-skew merge plus a handful of flops; a best-partner array with
+/// lazy recomputation keeps the whole construction near O(N^2).
+
+namespace gcr::cts {
+
+enum class MergeCost {
+  NearestNeighbor,
+  SwitchedCapacitance,
+  /// Activity-pattern clustering in the spirit of [Tellez-Farrahi-
+  /// Sarrafzadeh'95]: merge the pair whose joint enable probability is
+  /// lowest (most co-active / least union growth), geometry only as a tie
+  /// break. Included as a prior-work-style baseline for ablation.
+  ActivityOnly,
+};
+
+struct BuildOptions {
+  MergeCost cost{MergeCost::NearestNeighbor};
+  /// Gates assumed at the tops of the new edges during merging; the
+  /// buffered baseline also sets this (buffers balance like gates) but
+  /// passes buffer-valued gate parameters in `tech`.
+  bool gated_edges{true};
+  geom::Point control_point{0.0, 0.0};  ///< CP for the Eq. 3 estimate
+  /// Floor on the probability weights in the Eq. 3 cost. With a literal
+  /// Eq. 3, wire among never-active sinks is free and the greedy strings
+  /// them across the die -- harmless while they stay gated, pathological
+  /// once gate reduction merges them into live enable domains. The floor
+  /// keeps a geometric term in every merge; 0 reproduces the literal paper
+  /// cost.
+  double min_prob_weight{0.05};
+  tech::TechParams tech{};
+};
+
+struct BuildResult {
+  ct::Topology topo;
+  /// Per-node activity (empty when no analyzer was supplied).
+  std::vector<activity::ActivationMask> mask;
+  std::vector<double> p_en;
+  std::vector<double> p_tr;
+};
+
+/// Build a topology over `sinks`. `analyzer` may be null only for
+/// NearestNeighbor cost; `leaf_module[i]` maps sink i to its module.
+[[nodiscard]] BuildResult build_topology(
+    std::span<const ct::Sink> sinks,
+    const activity::ActivityAnalyzer* analyzer,
+    std::span<const int> leaf_module, const BuildOptions& opts);
+
+/// A pre-aggregated starting candidate: a point location/cap with an
+/// explicit activation mask (used by the clustered builder, where the
+/// leaves of the top level are whole cell subtrees rather than modules).
+struct SeedSink {
+  ct::Sink sink;
+  activity::ActivationMask mask;
+};
+
+/// Build a topology over arbitrary seeds; leaf i of the result is seed i.
+[[nodiscard]] BuildResult build_topology_seeded(
+    std::span<const SeedSink> seeds,
+    const activity::ActivityAnalyzer* analyzer, const BuildOptions& opts);
+
+/// Identity sink->module map helper.
+[[nodiscard]] std::vector<int> identity_modules(int num_sinks);
+
+/// Per-node activity annotation for a topology built elsewhere (e.g. MMM):
+/// the same masks / P(EN) / P_tr(EN) arrays build_topology produces.
+struct TopologyActivity {
+  std::vector<activity::ActivationMask> mask;
+  std::vector<double> p_en;
+  std::vector<double> p_tr;
+};
+
+[[nodiscard]] TopologyActivity annotate_topology(
+    const ct::Topology& topo, const activity::ActivityAnalyzer& analyzer,
+    std::span<const int> leaf_module);
+
+}  // namespace gcr::cts

@@ -1,0 +1,62 @@
+#include "cts/mmm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace gcr::cts {
+
+namespace {
+
+struct Builder {
+  std::span<const ct::Sink> sinks;
+  ct::Topology topo;
+  std::vector<int> order;  ///< permutation of sink indices being split
+
+  explicit Builder(std::span<const ct::Sink> s)
+      : sinks(s), topo(static_cast<int>(s.size())),
+        order(static_cast<std::size_t>(s.size())) {
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  /// Build the subtree over order[lo, hi) and return its root node id.
+  int build(int lo, int hi) {
+    assert(hi > lo);
+    if (hi - lo == 1) return order[static_cast<std::size_t>(lo)];
+
+    // Split at the median of the wider spread dimension.
+    double xlo = 1e300, xhi = -1e300, ylo = 1e300, yhi = -1e300;
+    for (int i = lo; i < hi; ++i) {
+      const geom::Point& p = sinks[static_cast<std::size_t>(
+                                       order[static_cast<std::size_t>(i)])]
+                                 .loc;
+      xlo = std::min(xlo, p.x);
+      xhi = std::max(xhi, p.x);
+      ylo = std::min(ylo, p.y);
+      yhi = std::max(yhi, p.y);
+    }
+    const bool by_x = (xhi - xlo) >= (yhi - ylo);
+    const int mid = lo + (hi - lo) / 2;
+    std::nth_element(order.begin() + lo, order.begin() + mid,
+                     order.begin() + hi, [&](int a, int b) {
+                       const auto& pa = sinks[static_cast<std::size_t>(a)].loc;
+                       const auto& pb = sinks[static_cast<std::size_t>(b)].loc;
+                       return by_x ? pa.x < pb.x : pa.y < pb.y;
+                     });
+    const int left = build(lo, mid);
+    const int right = build(mid, hi);
+    return topo.merge(left, right);
+  }
+};
+
+}  // namespace
+
+ct::Topology build_mmm_topology(std::span<const ct::Sink> sinks) {
+  assert(!sinks.empty());
+  Builder b(sinks);
+  if (sinks.size() > 1) b.build(0, static_cast<int>(sinks.size()));
+  return std::move(b.topo);
+}
+
+}  // namespace gcr::cts

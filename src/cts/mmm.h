@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+#include "clocktree/sink.h"
+#include "clocktree/topology.h"
+
+/// \file mmm.h
+/// Method of Means and Medians [Jackson-Srinivasan-Kuh'90]: the classic
+/// top-down topology generator. The sink set is recursively bisected at the
+/// median along its wider spread dimension, producing a balanced binary
+/// topology that any of the embedders (zero-skew or bounded-skew) can
+/// route. Included as a third topology baseline next to nearest-neighbor
+/// and the paper's min-switched-capacitance greedy.
+
+namespace gcr::cts {
+
+[[nodiscard]] ct::Topology build_mmm_topology(std::span<const ct::Sink> sinks);
+
+}  // namespace gcr::cts

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file power.h
+/// Conversion from switched capacitance to dynamic power (paper Eq. 1):
+/// during layout synthesis Vdd and f are fixed, so the router optimizes
+/// switched capacitance; reports convert back to watts for designers.
+
+namespace gcr::eval {
+
+struct PowerParams {
+  double freq_mhz{200.0};  ///< clock frequency [MHz]
+  double vdd{3.3};         ///< supply voltage [V]
+};
+
+/// P = W * Vdd^2 * f for a switched capacitance W (pF switched per cycle,
+/// with the paper's convention folding the toggle count into W). Returns
+/// milliwatts: pF * V^2 * MHz = uW.
+[[nodiscard]] inline double dynamic_power_mw(double swcap_pf,
+                                             const PowerParams& p = {}) {
+  return swcap_pf * p.vdd * p.vdd * p.freq_mhz * 1e-3;
+}
+
+}  // namespace gcr::eval

@@ -1,0 +1,130 @@
+#include "eval/simulate.h"
+
+#include <cassert>
+
+#include "activity/bitset.h"
+
+namespace gcr::eval {
+
+SimulationResult simulate_swcap(const ct::RoutedTree& tree,
+                                const activity::RtlDescription& rtl,
+                                const activity::InstructionStream& stream,
+                                const std::vector<int>& leaf_module,
+                                const gating::ControllerPlacement& ctrl,
+                                const tech::TechParams& tech, bool masking) {
+  const int n = tree.num_nodes();
+  const int k = rtl.num_instructions();
+  assert(static_cast<int>(leaf_module.size()) == tree.num_leaves);
+
+  // Instruction-activation mask per node (bottom-up union).
+  std::vector<activity::ActivationMask> mask(
+      static_cast<std::size_t>(n), activity::ActivationMask(k));
+  for (int id = 0; id < n; ++id) {
+    const ct::RoutedNode& node = tree.node(id);
+    if (node.is_leaf()) {
+      const int m = leaf_module[static_cast<std::size_t>(id)];
+      for (int i = 0; i < k; ++i)
+        if (rtl.uses(i, m)) mask[static_cast<std::size_t>(id)].set(i);
+    } else {
+      mask[static_cast<std::size_t>(id)] =
+          mask[static_cast<std::size_t>(node.left)] |
+          mask[static_cast<std::size_t>(node.right)];
+    }
+  }
+
+  // Controlling gate node of each edge (-1 = root domain, always clocked),
+  // walking parents before children (descending ids).
+  std::vector<int> dom(static_cast<std::size_t>(n), -1);
+  for (int id = n - 1; id >= 0; --id) {
+    const ct::RoutedNode& node = tree.node(id);
+    if (node.parent < 0)
+      dom[static_cast<std::size_t>(id)] = -1;
+    else if (masking && node.gated)
+      dom[static_cast<std::size_t>(id)] = id;
+    else
+      dom[static_cast<std::size_t>(id)] = dom[static_cast<std::size_t>(node.parent)];
+  }
+
+  // Aggregate switched capacitance per enable domain. Domain -1 is the
+  // always-on group (the root's own pin loads included).
+  const double cell_in_cap =
+      masking ? tech.gate_input_cap : tech.buffer_input_cap();
+  std::vector<double> group_cap(static_cast<std::size_t>(n) + 1, 0.0);
+  const auto group_of = [&](int id) {
+    return static_cast<std::size_t>(dom[static_cast<std::size_t>(id)] + 1);
+  };
+  for (int id = 0; id < n; ++id) {
+    const ct::RoutedNode& node = tree.node(id);
+    double pin_cap = 0.0;
+    if (node.is_leaf()) {
+      pin_cap = node.down_cap;
+    } else {
+      for (const int ch : {node.left, node.right}) {
+        const ct::RoutedNode& c = tree.node(ch);
+        if (c.gated) pin_cap += c.gate_size * cell_in_cap;
+      }
+    }
+    if (node.parent >= 0) {
+      group_cap[group_of(id)] += tech.wire_cap(node.edge_len) + pin_cap;
+    } else {
+      group_cap[0] += pin_cap;  // always clocked at the root
+    }
+  }
+
+  // Gates with their enable wire capacitances.
+  struct GateSim {
+    int node;
+    double enable_cap;
+    bool prev{false};
+  };
+  std::vector<GateSim> gates;
+  if (masking) {
+    for (const int id : tree.gated_nodes()) {
+      const double star = ctrl.star_length(tree.gate_location(id));
+      gates.push_back(
+          {id,
+           tech.wire_cap(star) +
+               tree.node(id).gate_size * tech.gate_enable_cap,
+           false});
+    }
+  }
+
+  // Distinct domains actually present (root group + one per gate).
+  std::vector<int> domains;  // node ids; -1 encoded as group 0 handled apart
+  for (int id = 0; id < n; ++id)
+    if (masking && tree.node(id).gated) domains.push_back(id);
+
+  SimulationResult res;
+  res.cycles = stream.length();
+  if (stream.seq.empty()) return res;
+
+  double clock_acc = 0.0;
+  double ctrl_acc = 0.0;
+  bool first = true;
+  for (const int instr : stream.seq) {
+    // Clock tree: the always-on group plus every enabled domain.
+    double cycle_cap = group_cap[0];
+    for (const int id : domains) {
+      if (mask[static_cast<std::size_t>(id)].test(instr))
+        cycle_cap += group_cap[static_cast<std::size_t>(id) + 1];
+    }
+    clock_acc += cycle_cap;
+
+    // Controller tree: enable wires that toggled since the previous cycle.
+    for (GateSim& g : gates) {
+      const bool now = mask[static_cast<std::size_t>(g.node)].test(instr);
+      if (!first && now != g.prev) ctrl_acc += g.enable_cap;
+      g.prev = now;
+    }
+    first = false;
+  }
+
+  res.clock_swcap_per_cycle = clock_acc / static_cast<double>(stream.length());
+  // Toggles are counted over length-1 transitions; normalize like P_tr.
+  res.ctrl_swcap_per_cycle =
+      stream.length() > 1 ? ctrl_acc / static_cast<double>(stream.length() - 1)
+                          : 0.0;
+  return res;
+}
+
+}  // namespace gcr::eval

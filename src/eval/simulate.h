@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "activity/rtl.h"
+#include "activity/stream.h"
+#include "clocktree/routed_tree.h"
+#include "gating/controller.h"
+#include "tech/params.h"
+
+/// \file simulate.h
+/// Cycle-accurate switched-capacitance simulation: replay the instruction
+/// stream over an embedded gated clock tree, tracking for every cycle which
+/// enables are on (clock edges switch) and which enables toggled
+/// (controller wires switch), and accumulate the actual switched
+/// capacitance per cycle.
+///
+/// This is the ground truth the analytic evaluator (gating::evaluate_swcap)
+/// must match: the analytic path multiplies capacitances by probabilities
+/// measured from the same stream, so for the *same* stream the two agree up
+/// to floating-point accumulation. The simulator exists (a) as a referee in
+/// the test suite, and (b) to evaluate a routed tree under traces other
+/// than the one it was optimized for (workload robustness studies).
+
+namespace gcr::eval {
+
+struct SimulationResult {
+  double clock_swcap_per_cycle{0.0};  ///< average W(T) [pF/cycle]
+  double ctrl_swcap_per_cycle{0.0};   ///< average W(S) [pF/cycle]
+  long long cycles{0};
+
+  [[nodiscard]] double total_per_cycle() const {
+    return clock_swcap_per_cycle + ctrl_swcap_per_cycle;
+  }
+};
+
+/// Replay `stream` over `tree`. `leaf_module[i]` maps sink i to its module;
+/// `masking` false simulates a buffered tree (everything clocks always, no
+/// enable wires).
+[[nodiscard]] SimulationResult simulate_swcap(
+    const ct::RoutedTree& tree, const activity::RtlDescription& rtl,
+    const activity::InstructionStream& stream,
+    const std::vector<int>& leaf_module, const gating::ControllerPlacement& ctrl,
+    const tech::TechParams& tech, bool masking = true);
+
+}  // namespace gcr::eval

@@ -1,0 +1,59 @@
+#include "eval/variation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace gcr::eval {
+
+VariationReport variation_analysis(const ct::RoutedTree& tree,
+                                   const tech::TechParams& tech,
+                                   const VariationSpec& spec) {
+  assert(spec.trials > 0);
+  const int n = tree.num_nodes();
+  std::mt19937_64 rng(spec.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  // Factors are truncated below so a pathological draw cannot flip signs.
+  const auto draw = [&](double sigma) {
+    return std::max(0.2, 1.0 + sigma * gauss(rng));
+  };
+
+  const ct::DelayReport nominal = ct::elmore_delays(tree, tech);
+  const double nominal_delay = std::max(nominal.max_delay, 1e-12);
+
+  ct::ElmoreFactors f;
+  f.wire_res.assign(static_cast<std::size_t>(n), 1.0);
+  f.wire_cap.assign(static_cast<std::size_t>(n), 1.0);
+  f.gate_res.assign(static_cast<std::size_t>(n), 1.0);
+  f.gate_delay.assign(static_cast<std::size_t>(n), 1.0);
+
+  std::vector<double> skews;
+  skews.reserve(static_cast<std::size_t>(spec.trials));
+  double delay_acc = 0.0;
+  for (int trial = 0; trial < spec.trials; ++trial) {
+    for (int id = 0; id < n; ++id) {
+      f.wire_res[static_cast<std::size_t>(id)] = draw(spec.wire_res_sigma);
+      f.wire_cap[static_cast<std::size_t>(id)] = draw(spec.wire_cap_sigma);
+      f.gate_res[static_cast<std::size_t>(id)] = draw(spec.gate_res_sigma);
+      f.gate_delay[static_cast<std::size_t>(id)] = draw(spec.gate_delay_sigma);
+    }
+    const ct::DelayReport rep = ct::elmore_delays(tree, tech, &f);
+    skews.push_back(rep.skew());
+    delay_acc += rep.max_delay;
+  }
+  std::sort(skews.begin(), skews.end());
+
+  VariationReport out;
+  double acc = 0.0;
+  for (const double s : skews) acc += s;
+  out.mean_skew = acc / spec.trials;
+  out.max_skew = skews.back();
+  out.p95_skew =
+      skews[static_cast<std::size_t>(0.95 * (spec.trials - 1))];
+  out.mean_delay = delay_acc / spec.trials;
+  out.mean_skew_ratio = out.mean_skew / nominal_delay;
+  return out;
+}
+
+}  // namespace gcr::eval

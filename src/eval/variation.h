@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "clocktree/elmore.h"
+#include "clocktree/routed_tree.h"
+#include "tech/params.h"
+
+/// \file variation.h
+/// Monte-Carlo process-variation analysis of a routed clock tree. The
+/// construction guarantees zero (or bounded) skew at *nominal* parasitics;
+/// manufacturing spreads wire RC and gate strength, and the skew that
+/// re-emerges depends on the tree's structure -- in particular on how many
+/// gates/buffers sit on each root-to-sink path. Each trial draws
+/// independent multiplicative factors per edge/gate and re-runs the Elmore
+/// referee.
+
+namespace gcr::eval {
+
+struct VariationSpec {
+  double wire_res_sigma{0.10};   ///< relative sigma of each edge's R
+  double wire_cap_sigma{0.10};   ///< relative sigma of each edge's C
+  double gate_res_sigma{0.15};   ///< relative sigma of each gate's drive
+  double gate_delay_sigma{0.15}; ///< relative sigma of intrinsic delay
+  int trials{200};
+  std::uint64_t seed{1};
+};
+
+struct VariationReport {
+  double mean_skew{0.0};
+  double p95_skew{0.0};
+  double max_skew{0.0};
+  double mean_delay{0.0};
+  /// Skew normalized by nominal insertion delay (dimensionless quality).
+  double mean_skew_ratio{0.0};
+};
+
+[[nodiscard]] VariationReport variation_analysis(const ct::RoutedTree& tree,
+                                                 const tech::TechParams& tech,
+                                                 const VariationSpec& spec);
+
+}  // namespace gcr::eval

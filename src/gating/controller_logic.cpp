@@ -1,0 +1,67 @@
+#include "gating/controller_logic.h"
+
+#include <cassert>
+
+namespace gcr::gating {
+
+namespace {
+
+/// Collect the input activation masks for gate `g`'s OR-tree by walking
+/// g's subtree: a gated descendant served by the same controller
+/// contributes its (already computed) enable; anything else decomposes
+/// down to module-activity signals at the leaves.
+void collect_inputs(const ct::RoutedTree& tree, const NodeActivity& act,
+                    const ControllerPlacement& ctrl, int my_partition,
+                    bool hierarchical, int node,
+                    std::vector<const activity::ActivationMask*>& inputs) {
+  const ct::RoutedNode& n = tree.node(node);
+  if (n.is_leaf()) {
+    inputs.push_back(&act.mask[static_cast<std::size_t>(node)]);
+    return;
+  }
+  for (const int ch : {n.left, n.right}) {
+    const ct::RoutedNode& c = tree.node(ch);
+    if (hierarchical && c.gated &&
+        ctrl.partition_of(tree.gate_location(ch)) == my_partition) {
+      inputs.push_back(&act.mask[static_cast<std::size_t>(ch)]);
+    } else {
+      collect_inputs(tree, act, ctrl, my_partition, hierarchical, ch, inputs);
+    }
+  }
+}
+
+}  // namespace
+
+ControllerLogicReport synthesize_controller_logic(
+    const ct::RoutedTree& tree, const NodeActivity& act,
+    const activity::ActivityAnalyzer& analyzer,
+    const ControllerPlacement& ctrl, const tech::TechParams& tech,
+    LogicStyle style) {
+  assert(static_cast<int>(act.mask.size()) == tree.num_nodes());
+  const bool hier = style == LogicStyle::Hierarchical;
+
+  ControllerLogicReport rep;
+  for (const int g : tree.gated_nodes()) {
+    ++rep.num_enables;
+    const int part = ctrl.partition_of(tree.gate_location(g));
+
+    std::vector<const activity::ActivationMask*> inputs;
+    collect_inputs(tree, act, ctrl, part, hier, g, inputs);
+    assert(!inputs.empty());
+    if (inputs.size() == 1) continue;  // a wire, no OR cell
+
+    // Left-fold OR tree: each internal cell's output mask is the running
+    // union; its net toggles with that union's transition probability.
+    activity::ActivationMask acc = *inputs.front();
+    for (std::size_t i = 1; i < inputs.size(); ++i) {
+      acc |= *inputs[i];
+      ++rep.num_or_gates;
+      rep.logic_swcap +=
+          tech.or_output_cap * analyzer.transition_prob(acc);
+    }
+  }
+  rep.logic_area = rep.num_or_gates * tech.or_gate_area;
+  return rep;
+}
+
+}  // namespace gcr::gating

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "activity/analyzer.h"
+#include "clocktree/routed_tree.h"
+#include "gating/controller.h"
+#include "gating/swcap.h"
+#include "tech/params.h"
+
+/// \file controller_logic.h
+/// Synthesis and cost analysis of the gate-controller logic -- the open
+/// question of the paper's section 6 ("feasibility of the distributed
+/// controllers and their impact on the design complexity of the controller
+/// logic is currently under investigation").
+///
+/// The controller must produce, every cycle, the enable EN_g of each
+/// masking gate: the OR of the activity indicators of the modules under
+/// g's subtree (paper section 1). Two architectures are modeled:
+///
+///   * Flat: every enable is computed independently as an OR-tree over its
+///     subtree's module-activity signals -- |modules(g)| - 1 two-input ORs
+///     per gate.
+///   * Hierarchical: since EN_parent = EN_left | EN_right | (uncovered
+///     modules), each enable reuses the already-computed enables of its
+///     maximal gated descendants, collapsing the total to roughly one OR
+///     per gate. With distributed controllers, reuse is only possible when
+///     the descendant's gate is served by the same controller; enables of
+///     other partitions are re-derived from module signals.
+///
+/// Cost model: 2-input OR cells (area) plus the switched capacitance of
+/// the OR output nets, each toggling with the transition probability of
+/// its (cumulative) activation mask -- computable exactly from the IMATT.
+
+namespace gcr::gating {
+
+enum class LogicStyle { Flat, Hierarchical };
+
+struct ControllerLogicReport {
+  int num_enables{0};     ///< gates served
+  int num_or_gates{0};    ///< 2-input OR cells
+  double logic_area{0.0}; ///< lambda^2
+  double logic_swcap{0.0};///< pF/cycle switched on OR output nets
+};
+
+[[nodiscard]] ControllerLogicReport synthesize_controller_logic(
+    const ct::RoutedTree& tree, const NodeActivity& act,
+    const activity::ActivityAnalyzer& analyzer,
+    const ControllerPlacement& ctrl, const tech::TechParams& tech,
+    LogicStyle style);
+
+}  // namespace gcr::gating

@@ -1,0 +1,74 @@
+#include "gating/gate_reduction.h"
+
+#include <cassert>
+
+namespace gcr::gating {
+
+GateReductionParams GateReductionParams::from_strength(double s) {
+  GateReductionParams p;
+  if (s <= 0.0) {
+    // Keep every gate: no rule can fire.
+    p.theta_activity = 1.5;
+    p.theta_swcap = 0.0;
+    p.theta_parent = -1.0;
+    p.force_cap_multiple = 20.0;
+    return p;
+  }
+  p.theta_activity = 1.02 - 0.9 * s * s;  // s=1 spares only near-idle nodes
+  p.theta_swcap = 0.08 * s * s * s;       // [pF]
+  p.theta_parent = 0.35 * s * s;          // activity-difference tolerance
+  p.force_cap_multiple = 20.0 + 600.0 * s * s;  // relax the delay guard
+  return p;
+}
+
+std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
+                               const std::vector<double>& p_en,
+                               const tech::TechParams& tech,
+                               const GateReductionParams& params) {
+  const int n = fully_gated.num_nodes();
+  assert(static_cast<int>(p_en.size()) == n);
+  std::vector<bool> gated(static_cast<std::size_t>(n), false);
+  // Ungated capacitance the parent edge sees through each node's branch.
+  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+
+  for (int id = 0; id < n; ++id) {  // ascending = children before parents
+    const ct::RoutedNode& node = fully_gated.node(id);
+    if (node.parent < 0) {
+      acc[static_cast<std::size_t>(id)] = node.down_cap;
+      continue;  // no edge above the root, hence no gate
+    }
+    const double p = p_en[static_cast<std::size_t>(id)];
+    const double p_parent = p_en[static_cast<std::size_t>(node.parent)];
+    const double edge_swcap =
+        (tech.wire_cap(node.edge_len) + node.down_cap) * p;
+
+    const bool rule1 = p >= params.theta_activity;
+    const bool rule2 = edge_swcap < params.theta_swcap;
+    const bool rule3 = (p_parent - p) < params.theta_parent;
+    bool remove = rule1 || rule2 || rule3;
+
+    double below = 0.0;
+    if (node.is_leaf()) {
+      below = node.down_cap;  // the sink load
+    } else {
+      for (const int ch : {node.left, node.right}) {
+        below += gated[static_cast<std::size_t>(ch)]
+                     ? tech.gate_input_cap
+                     : acc[static_cast<std::size_t>(ch)];
+      }
+    }
+    const double branch_cap = tech.wire_cap(node.edge_len) + below;
+
+    // Forced insertion: never let an ungated subtree grow past the cap a
+    // single gate is allowed to drive.
+    if (remove && branch_cap >= params.force_cap_multiple * tech.gate_input_cap)
+      remove = false;
+
+    gated[static_cast<std::size_t>(id)] = !remove;
+    acc[static_cast<std::size_t>(id)] =
+        remove ? branch_cap : tech.gate_input_cap;
+  }
+  return gated;
+}
+
+}  // namespace gcr::gating

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "clocktree/routed_tree.h"
+#include "tech/params.h"
+
+/// \file gate_reduction.h
+/// The paper's gate-reduction heuristic (section 4.3). Gating every edge
+/// makes the star-routed enable network dominate both power and area, so
+/// gates are removed where they cannot pay for themselves:
+///
+///   rule 1: the node's activity is close to 1 (it is never off), or
+///   rule 2: the node's switched capacitance is very small, or
+///   rule 3: the parent's activity is almost the same as the node's (the
+///           parent's gate already masks nearly every idle cycle).
+///
+/// To keep the clock phase delay from growing without bound as gates (which
+/// double as buffers) disappear, a gate is force-inserted whenever the
+/// accumulated ungated subtree capacitance reaches `force_cap_multiple *
+/// C_g` regardless of the three rules.
+
+namespace gcr::gating {
+
+/// Defaults correspond to from_strength(0.5), the sweet spot of the
+/// switched-capacitance U-curve (Fig. 5) under the default TechParams.
+struct GateReductionParams {
+  double theta_activity{0.795};  ///< rule 1: remove when P(EN) >= this
+  double theta_swcap{0.01};      ///< rule 2: remove when edge swcap [pF] < this
+  double theta_parent{0.0875};   ///< rule 3: remove when P(parent)-P(node) < this
+  double force_cap_multiple{170.0};  ///< force a gate at this multiple of C_g
+
+  /// A single aggressiveness knob in [0, 1] for reduction sweeps (Fig. 5):
+  /// 0 keeps every gate, 1 strips nearly all of them. The knob scales the
+  /// rule-2/3 thresholds and relaxes rule 1 and the forced insertion.
+  [[nodiscard]] static GateReductionParams from_strength(double s);
+};
+
+/// Decide the gate set for a topology whose fully-gated embedding is
+/// `fully_gated` (used for edge lengths and node caps) given the per-node
+/// enable signal probabilities `p_en`. Returns edge_gated flags per node
+/// (false at the root).
+[[nodiscard]] std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
+                                             const std::vector<double>& p_en,
+                                             const tech::TechParams& tech,
+                                             const GateReductionParams& params);
+
+}  // namespace gcr::gating

@@ -1,0 +1,102 @@
+#include "gating/swcap.h"
+
+#include <cassert>
+
+namespace gcr::gating {
+
+NodeActivity compute_node_activity(const ct::RoutedTree& tree,
+                                   const activity::ActivityAnalyzer& analyzer,
+                                   const std::vector<int>& leaf_module) {
+  assert(static_cast<int>(leaf_module.size()) == tree.num_leaves);
+  const int n = tree.num_nodes();
+  NodeActivity act;
+  act.mask.assign(static_cast<std::size_t>(n),
+                  activity::ActivationMask(analyzer.num_instructions()));
+  act.p_en.assign(static_cast<std::size_t>(n), 0.0);
+  act.p_tr.assign(static_cast<std::size_t>(n), 0.0);
+
+  for (int id = 0; id < n; ++id) {  // ids ascend bottom-up
+    const ct::RoutedNode& node = tree.node(id);
+    auto& mask = act.mask[static_cast<std::size_t>(id)];
+    if (node.is_leaf()) {
+      mask = analyzer.module_mask(leaf_module[static_cast<std::size_t>(id)]);
+    } else {
+      mask = act.mask[static_cast<std::size_t>(node.left)] |
+             act.mask[static_cast<std::size_t>(node.right)];
+    }
+    act.p_en[static_cast<std::size_t>(id)] = analyzer.signal_prob(mask);
+    act.p_tr[static_cast<std::size_t>(id)] = analyzer.transition_prob(mask);
+  }
+  return act;
+}
+
+SwCapReport evaluate_swcap(const ct::RoutedTree& tree, const NodeActivity& act,
+                           const ControllerPlacement& ctrl,
+                           const tech::TechParams& tech, CellStyle style) {
+  const int n = tree.num_nodes();
+  assert(static_cast<int>(act.p_en.size()) == n);
+  const bool masking = style == CellStyle::MaskingGate;
+  const double cell_in_cap =
+      masking ? tech.gate_input_cap : tech.buffer_input_cap();
+
+  SwCapReport rep;
+
+  // Enable domain probability controlling each node's parent edge,
+  // propagated root -> leaves (descending ids visit parents first).
+  std::vector<double> dom(static_cast<std::size_t>(n), 1.0);
+  for (int id = n - 1; id >= 0; --id) {
+    const ct::RoutedNode& node = tree.node(id);
+    if (node.parent < 0) {
+      dom[static_cast<std::size_t>(id)] = 1.0;  // the root edge domain
+    } else if (masking && node.gated) {
+      dom[static_cast<std::size_t>(id)] = act.p_en[static_cast<std::size_t>(id)];
+    } else {
+      dom[static_cast<std::size_t>(id)] =
+          dom[static_cast<std::size_t>(node.parent)];
+    }
+  }
+
+  for (int id = 0; id < n; ++id) {
+    const ct::RoutedNode& node = tree.node(id);
+
+    // Pin load at the bottom node of this edge.
+    double pin_cap = 0.0;
+    if (node.is_leaf()) {
+      pin_cap = node.down_cap;  // the sink load itself
+    } else {
+      for (const int ch : {node.left, node.right}) {
+        const ct::RoutedNode& c = tree.node(ch);
+        if (c.gated) pin_cap += c.gate_size * cell_in_cap;
+      }
+    }
+
+    if (node.parent >= 0) {
+      const double edge_cap = tech.wire_cap(node.edge_len) + pin_cap;
+      rep.clock_swcap += edge_cap * dom[static_cast<std::size_t>(id)];
+      rep.ungated_swcap += edge_cap;
+      rep.clock_wirelength += node.edge_len;
+    } else {
+      // Pin loads hanging directly at the root are always clocked.
+      rep.clock_swcap += pin_cap;
+      rep.ungated_swcap += pin_cap;
+    }
+
+    if (node.gated && node.parent >= 0) {
+      ++rep.num_cells;
+      rep.cell_area +=
+          node.gate_size * (masking ? tech.gate_area : tech.buffer_area());
+      if (masking) {
+        const double star = ctrl.star_length(tree.gate_location(id));
+        rep.star_wirelength += star;
+        rep.ctrl_swcap += (tech.wire_cap(star) +
+                           node.gate_size * tech.gate_enable_cap) *
+                          act.p_tr[static_cast<std::size_t>(id)];
+      }
+    }
+  }
+
+  rep.wire_area = tech.wire_area(rep.clock_wirelength + rep.star_wirelength);
+  return rep;
+}
+
+}  // namespace gcr::gating

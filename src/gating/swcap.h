@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "activity/analyzer.h"
+#include "clocktree/routed_tree.h"
+#include "gating/controller.h"
+#include "tech/params.h"
+
+/// \file swcap.h
+/// Exact switched-capacitance, power and area evaluation of an embedded
+/// clock tree (paper section 2). This is the *measurement* side: unlike the
+/// construction heuristic (which estimates controller wirelengths from
+/// merging-segment midpoints), it uses the embedded gate locations and the
+/// actual enable domains.
+///
+///   W(T) = sum_edges (c |e_i| + C_i) P(dom_i)     [clock tree]
+///   W(S) = sum_gates (c |EN_i| + C_g) P_tr(EN_i)  [controller star]
+///
+/// where dom_i is the enable controlling edge e_i: the gate on e_i itself if
+/// present, else the nearest gated ancestor edge (P = 1 when none). C_i is
+/// the pin load hanging at the bottom node of e_i: the sink cap for a leaf
+/// edge, the clock-input caps of the child gates for an internal edge.
+
+namespace gcr::gating {
+
+/// How the inserted cells behave.
+enum class CellStyle {
+  MaskingGate,  ///< AND gates with enables: gating masks, star net switches
+  Buffer,       ///< plain buffers (half-size): no enables, everything at P=1
+};
+
+struct SwCapReport {
+  double clock_swcap{0.0};   ///< W(T) [pF]
+  double ctrl_swcap{0.0};    ///< W(S) [pF]
+  double clock_wirelength{0.0};
+  double star_wirelength{0.0};
+  double wire_area{0.0};     ///< (clock + star) wire area [lambda^2]
+  double cell_area{0.0};     ///< gate/buffer cell area [lambda^2]
+  int num_cells{0};          ///< inserted gates or buffers
+  double ungated_swcap{0.0}; ///< W(T) with every P forced to 1 (reference)
+
+  [[nodiscard]] double total_swcap() const { return clock_swcap + ctrl_swcap; }
+  [[nodiscard]] double total_area() const { return wire_area + cell_area; }
+};
+
+/// Per-node enable statistics for an embedded tree: the activation mask and
+/// its P(EN)/P_tr(EN), unioned bottom-up from the leaf modules.
+struct NodeActivity {
+  std::vector<activity::ActivationMask> mask;
+  std::vector<double> p_en;
+  std::vector<double> p_tr;
+};
+
+/// Compute per-node activity; `leaf_module[i]` maps leaf/sink i to its
+/// module id (pass an identity map when sinks == modules).
+[[nodiscard]] NodeActivity compute_node_activity(
+    const ct::RoutedTree& tree, const activity::ActivityAnalyzer& analyzer,
+    const std::vector<int>& leaf_module);
+
+/// Evaluate switched capacitance, wirelength and area.
+[[nodiscard]] SwCapReport evaluate_swcap(const ct::RoutedTree& tree,
+                                         const NodeActivity& act,
+                                         const ControllerPlacement& ctrl,
+                                         const tech::TechParams& tech,
+                                         CellStyle style);
+
+}  // namespace gcr::gating

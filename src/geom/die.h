@@ -1,0 +1,28 @@
+#pragma once
+
+#include "geom/point.h"
+
+/// \file die.h
+/// Axis-aligned die (chip) area in chip-plane coordinates.
+
+namespace gcr::geom {
+
+struct DieArea {
+  double xlo{0.0};
+  double ylo{0.0};
+  double xhi{0.0};
+  double yhi{0.0};
+
+  [[nodiscard]] double width() const { return xhi - xlo; }
+  [[nodiscard]] double height() const { return yhi - ylo; }
+  [[nodiscard]] Point center() const {
+    return {0.5 * (xlo + xhi), 0.5 * (ylo + yhi)};
+  }
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  static DieArea square(double side) { return {0.0, 0.0, side, side}; }
+};
+
+}  // namespace gcr::geom

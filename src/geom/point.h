@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+/// \file point.h
+/// Basic planar geometry for clock routing. All routing in this library is
+/// rectilinear, so the fundamental metric is the Manhattan (L1) distance.
+/// Coordinates are in layout units (lambda).
+
+namespace gcr::geom {
+
+/// A point in the chip plane (lambda units).
+struct Point {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan (L1) distance between two points.
+inline double manhattan_dist(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance; used only for reporting, never for routing cost.
+inline double euclidean_dist(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Midpoint of the straight segment ab.
+inline Point midpoint(const Point& a, const Point& b) {
+  return {0.5 * (a.x + b.x), 0.5 * (a.y + b.y)};
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+}  // namespace gcr::geom

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "geom/point.h"
+
+/// \file rotated.h
+/// 45-degree rotated coordinate frame.
+///
+/// Under the map u = x + y, w = y - x, the Manhattan distance in (x, y)
+/// becomes the Chebyshev (L-infinity) distance in (u, w):
+///
+///     |dx| + |dy| = max(|du|, |dw|).
+///
+/// Consequently every object the DME algorithm manipulates -- Manhattan arcs
+/// (segments of slope +-1) and tilted rectangle regions -- becomes an
+/// axis-aligned segment / rectangle in the rotated frame, where intersection
+/// and distance queries are trivial interval arithmetic.
+
+namespace gcr::geom {
+
+/// A point in the rotated (u, w) frame.
+struct RotPoint {
+  double u{0.0};
+  double w{0.0};
+
+  friend constexpr bool operator==(const RotPoint&, const RotPoint&) = default;
+};
+
+/// Map a chip-plane point into the rotated frame.
+inline RotPoint to_rotated(const Point& p) { return {p.x + p.y, p.y - p.x}; }
+
+/// Inverse map back into the chip plane.
+inline Point to_cartesian(const RotPoint& r) {
+  return {0.5 * (r.u - r.w), 0.5 * (r.u + r.w)};
+}
+
+/// Chebyshev distance in the rotated frame == Manhattan distance in the
+/// chip plane.
+inline double chebyshev_dist(const RotPoint& a, const RotPoint& b) {
+  const double du = std::abs(a.u - b.u);
+  const double dw = std::abs(a.w - b.w);
+  return du > dw ? du : dw;
+}
+
+}  // namespace gcr::geom

@@ -1,0 +1,116 @@
+#include "geom/tilted_rect.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gcr::geom {
+
+namespace {
+
+/// Gap between intervals [alo,ahi] and [blo,bhi]; 0 when they overlap.
+double interval_gap(double alo, double ahi, double blo, double bhi) {
+  if (blo > ahi) return blo - ahi;
+  if (alo > bhi) return alo - bhi;
+  return 0.0;
+}
+
+/// The sub-interval of [lo,hi] closest to [olo,ohi].
+void nearest_subinterval(double lo, double hi, double olo, double ohi,
+                         double& out_lo, double& out_hi) {
+  const double l = std::max(lo, olo);
+  const double h = std::min(hi, ohi);
+  if (l <= h) {  // overlap: the whole overlap is at distance 0
+    out_lo = l;
+    out_hi = h;
+  } else if (olo > hi) {  // other is to the right
+    out_lo = out_hi = hi;
+  } else {  // other is to the left
+    out_lo = out_hi = lo;
+  }
+}
+
+}  // namespace
+
+TiltedRect TiltedRect::from_point(const Point& p) {
+  const RotPoint r = to_rotated(p);
+  return TiltedRect(r.u, r.u, r.w, r.w);
+}
+
+TiltedRect TiltedRect::arc(const Point& a, const Point& b) {
+  const RotPoint ra = to_rotated(a);
+  const RotPoint rb = to_rotated(b);
+  return TiltedRect(std::min(ra.u, rb.u), std::max(ra.u, rb.u),
+                    std::min(ra.w, rb.w), std::max(ra.w, rb.w));
+}
+
+TiltedRect TiltedRect::from_rotated(double ulo, double uhi, double wlo,
+                                    double whi) {
+  if (ulo > uhi) std::swap(ulo, uhi);
+  if (wlo > whi) std::swap(wlo, whi);
+  return TiltedRect(ulo, uhi, wlo, whi);
+}
+
+TiltedRect TiltedRect::inflated(double radius) const {
+  return TiltedRect(ulo_ - radius, uhi_ + radius, wlo_ - radius,
+                    whi_ + radius);
+}
+
+std::optional<TiltedRect> TiltedRect::intersect(const TiltedRect& o,
+                                                double eps) const {
+  const double ulo = std::max(ulo_, o.ulo_);
+  const double uhi = std::min(uhi_, o.uhi_);
+  const double wlo = std::max(wlo_, o.wlo_);
+  const double whi = std::min(whi_, o.whi_);
+  if (ulo > uhi + eps || wlo > whi + eps) return std::nullopt;
+  // Collapse floating-point slivers so a touching intersection is exact.
+  return TiltedRect(ulo, std::max(ulo, uhi), wlo, std::max(wlo, whi));
+}
+
+double TiltedRect::distance_to(const TiltedRect& o) const {
+  const double gu = interval_gap(ulo_, uhi_, o.ulo_, o.uhi_);
+  const double gw = interval_gap(wlo_, whi_, o.wlo_, o.whi_);
+  return std::max(gu, gw);
+}
+
+double TiltedRect::distance_to(const Point& p) const {
+  return distance_to(from_point(p));
+}
+
+Point TiltedRect::nearest_point_to(const Point& p) const {
+  const RotPoint r = to_rotated(p);
+  const double u = std::clamp(r.u, ulo_, uhi_);
+  const double w = std::clamp(r.w, wlo_, whi_);
+  return to_cartesian({u, w});
+}
+
+TiltedRect TiltedRect::nearest_region_to(const TiltedRect& o) const {
+  double ulo = 0, uhi = 0, wlo = 0, whi = 0;
+  nearest_subinterval(ulo_, uhi_, o.ulo_, o.uhi_, ulo, uhi);
+  nearest_subinterval(wlo_, whi_, o.wlo_, o.whi_, wlo, whi);
+  return TiltedRect(ulo, uhi, wlo, whi);
+}
+
+Point TiltedRect::center() const {
+  return to_cartesian({0.5 * (ulo_ + uhi_), 0.5 * (wlo_ + whi_)});
+}
+
+bool TiltedRect::is_point(double eps) const {
+  return (uhi_ - ulo_) <= eps && (whi_ - wlo_) <= eps;
+}
+
+bool TiltedRect::is_arc(double eps) const {
+  return (uhi_ - ulo_) <= eps || (whi_ - wlo_) <= eps;
+}
+
+bool TiltedRect::contains(const Point& p, double eps) const {
+  const RotPoint r = to_rotated(p);
+  return r.u >= ulo_ - eps && r.u <= uhi_ + eps && r.w >= wlo_ - eps &&
+         r.w <= whi_ + eps;
+}
+
+std::ostream& operator<<(std::ostream& os, const TiltedRect& r) {
+  return os << "TRR{u:[" << r.ulo() << "," << r.uhi() << "] w:[" << r.wlo()
+            << "," << r.whi() << "]}";
+}
+
+}  // namespace gcr::geom

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <optional>
+#include <iosfwd>
+
+#include "geom/point.h"
+#include "geom/rotated.h"
+
+/// \file tilted_rect.h
+/// Tilted rectangle regions (TRRs) -- the workhorse of the Deferred-Merge
+/// Embedding (DME) geometry used for exact zero-skew routing [Tsay'91,
+/// Boese-Kahng'92, Edahiro'91].
+///
+/// A TRR is a rectangle whose sides have slope +-1 in the chip plane. In the
+/// rotated frame (see rotated.h) it is an axis-aligned rectangle
+/// [ulo, uhi] x [wlo, whi]. Degenerate cases:
+///   * a *Manhattan arc* (segment of slope +-1, possibly a single point) is a
+///     TRR degenerate in at least one axis;
+///   * every merging segment produced by an exact zero-skew merge is a
+///     Manhattan arc.
+///
+/// The class stores the rotated-frame intervals and offers the three
+/// operations DME needs: inflation by a radius (the set of points within
+/// Manhattan distance r of the core), intersection, and Manhattan distance /
+/// nearest-region queries between TRRs.
+
+namespace gcr::geom {
+
+class TiltedRect {
+ public:
+  /// An empty (invalid) region. Use the factories below for real regions.
+  TiltedRect() = default;
+
+  /// The degenerate TRR holding exactly one chip-plane point.
+  static TiltedRect from_point(const Point& p);
+
+  /// The Manhattan arc between two chip-plane points. The points must lie on
+  /// a common line of slope +1 or -1 (or coincide); otherwise the smallest
+  /// TRR containing both is returned (callers in DME never need that case,
+  /// but it keeps the factory total).
+  static TiltedRect arc(const Point& a, const Point& b);
+
+  /// Direct construction from rotated-frame intervals. Intervals are
+  /// normalized (lo <= hi).
+  static TiltedRect from_rotated(double ulo, double uhi, double wlo,
+                                 double whi);
+
+  /// The set of points within Manhattan distance `radius` of this region
+  /// (Minkowski sum with the L1 ball), radius >= 0.
+  [[nodiscard]] TiltedRect inflated(double radius) const;
+
+  /// Intersection; nullopt when the regions are disjoint beyond `eps`.
+  /// A shared boundary (touching) counts as intersecting.
+  [[nodiscard]] std::optional<TiltedRect> intersect(const TiltedRect& o,
+                                                    double eps = 1e-9) const;
+
+  /// Manhattan distance between the two regions (0 when they intersect).
+  [[nodiscard]] double distance_to(const TiltedRect& o) const;
+
+  /// Manhattan distance from a chip-plane point to this region.
+  [[nodiscard]] double distance_to(const Point& p) const;
+
+  /// The point of this region closest (Manhattan) to `p`.
+  [[nodiscard]] Point nearest_point_to(const Point& p) const;
+
+  /// The subset of this region at minimum Manhattan distance to `o`.
+  /// Used when a zero-skew merge degenerates (wire snaking): the merging
+  /// segment collapses to the part of one child's segment nearest the other.
+  [[nodiscard]] TiltedRect nearest_region_to(const TiltedRect& o) const;
+
+  /// Chip-plane center of the region (used for the paper's
+  /// dist(CP, mid(ms(v))) controller-wire estimate).
+  [[nodiscard]] Point center() const;
+
+  /// True when the region is a single point (within eps).
+  [[nodiscard]] bool is_point(double eps = 1e-9) const;
+
+  /// True when the region is degenerate in at least one rotated axis, i.e. a
+  /// Manhattan arc (points count as arcs).
+  [[nodiscard]] bool is_arc(double eps = 1e-9) const;
+
+  /// Membership test with tolerance.
+  [[nodiscard]] bool contains(const Point& p, double eps = 1e-9) const;
+
+  /// Rotated-frame interval accessors.
+  [[nodiscard]] double ulo() const { return ulo_; }
+  [[nodiscard]] double uhi() const { return uhi_; }
+  [[nodiscard]] double wlo() const { return wlo_; }
+  [[nodiscard]] double whi() const { return whi_; }
+
+  /// Endpoints of the arc's diagonal in the chip plane: the (ulo,wlo) and
+  /// (uhi,whi) corners. For a Manhattan arc these are its two endpoints.
+  [[nodiscard]] Point corner_lo() const { return to_cartesian({ulo_, wlo_}); }
+  [[nodiscard]] Point corner_hi() const { return to_cartesian({uhi_, whi_}); }
+
+  friend bool operator==(const TiltedRect&, const TiltedRect&) = default;
+
+ private:
+  TiltedRect(double ulo, double uhi, double wlo, double whi)
+      : ulo_(ulo), uhi_(uhi), wlo_(wlo), whi_(whi) {}
+
+  double ulo_{0.0}, uhi_{0.0}, wlo_{0.0}, whi_{0.0};
+};
+
+std::ostream& operator<<(std::ostream& os, const TiltedRect& r);
+
+}  // namespace gcr::geom

@@ -1,0 +1,79 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gcr::io {
+
+namespace {
+
+struct Mapper {
+  const geom::DieArea& die;
+  double canvas;
+  [[nodiscard]] double x(double v) const {
+    return (v - die.xlo) / std::max(die.width(), 1.0) * canvas;
+  }
+  [[nodiscard]] double y(double v) const {
+    // SVG y grows downward; flip so the die reads naturally.
+    return canvas - (v - die.ylo) / std::max(die.height(), 1.0) * canvas;
+  }
+};
+
+/// Rectilinear (L-shaped) wire between two points.
+void poly_edge(std::ostream& os, const Mapper& m, const geom::Point& a,
+               const geom::Point& b, const char* color, double width) {
+  os << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+     << width << "\" points=\"" << m.x(a.x) << ',' << m.y(a.y) << ' '
+     << m.x(b.x) << ',' << m.y(a.y) << ' ' << m.x(b.x) << ',' << m.y(b.y)
+     << "\"/>\n";
+}
+
+}  // namespace
+
+void write_svg(std::ostream& os, const ct::RoutedTree& tree,
+               const geom::DieArea& die,
+               const gating::ControllerPlacement& ctrl,
+               const SvgOptions& opts) {
+  const Mapper m{die, opts.canvas};
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.canvas
+     << "\" height=\"" << opts.canvas << "\" viewBox=\"0 0 " << opts.canvas
+     << ' ' << opts.canvas << "\">\n";
+  os << "<rect width=\"" << opts.canvas << "\" height=\"" << opts.canvas
+     << "\" fill=\"white\" stroke=\"#888\"/>\n";
+
+  if (opts.draw_star) {
+    for (const int id : tree.gated_nodes()) {
+      const geom::Point g = tree.gate_location(id);
+      poly_edge(os, m, ctrl.controller_for(g), g, "#f4b6c2", 0.6);
+    }
+  }
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const ct::RoutedNode& n = tree.node(id);
+    if (n.parent < 0) continue;
+    poly_edge(os, m, tree.node(n.parent).loc, n.loc, "#2b6cb0", 1.2);
+  }
+  if (opts.draw_gates) {
+    for (const int id : tree.gated_nodes()) {
+      const geom::Point g = tree.gate_location(id);
+      os << "<rect x=\"" << m.x(g.x) - 2.5 << "\" y=\"" << m.y(g.y) - 2.5
+         << "\" width=\"5\" height=\"5\" fill=\"#e53e3e\"/>\n";
+    }
+  }
+  if (opts.draw_sinks) {
+    for (int id = 0; id < tree.num_leaves; ++id) {
+      const geom::Point& p = tree.node(id).loc;
+      os << "<circle cx=\"" << m.x(p.x) << "\" cy=\"" << m.y(p.y)
+         << "\" r=\"2\" fill=\"#2f855a\"/>\n";
+    }
+  }
+  for (const geom::Point& c : ctrl.controller_locations()) {
+    os << "<rect x=\"" << m.x(c.x) - 4 << "\" y=\"" << m.y(c.y) - 4
+       << "\" width=\"8\" height=\"8\" fill=\"#6b46c1\"/>\n";
+  }
+  const geom::Point root = tree.node(tree.root).loc;
+  os << "<circle cx=\"" << m.x(root.x) << "\" cy=\"" << m.y(root.y)
+     << "\" r=\"4\" fill=\"#dd6b20\"/>\n";
+  os << "</svg>\n";
+}
+
+}  // namespace gcr::io

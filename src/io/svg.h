@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "clocktree/routed_tree.h"
+#include "gating/controller.h"
+#include "geom/die.h"
+
+/// \file svg.h
+/// SVG export of a routed gated clock tree: rectilinear clock edges, sinks,
+/// masking gates and the star-routed enable wires from the controller(s) --
+/// the picture of the paper's Figure 1 for a real instance.
+
+namespace gcr::io {
+
+struct SvgOptions {
+  double canvas = 900.0;       ///< output square size in px
+  bool draw_star = true;       ///< draw enable (controller) wires
+  bool draw_sinks = true;
+  bool draw_gates = true;
+};
+
+void write_svg(std::ostream& os, const ct::RoutedTree& tree,
+               const geom::DieArea& die, const gating::ControllerPlacement& ctrl,
+               const SvgOptions& opts = {});
+
+}  // namespace gcr::io

@@ -1,0 +1,106 @@
+#include "io/text_io.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gcr::io {
+
+namespace {
+
+/// Strip comments and concatenate payload tokens into one stream.
+std::istringstream payload(std::istream& is) {
+  std::string all;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    all += line;
+    all += '\n';
+  }
+  return std::istringstream(all);
+}
+
+}  // namespace
+
+void write_sinks(std::ostream& os, const geom::DieArea& die,
+                 const ct::SinkList& sinks) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# gcr sinks file\n";
+  os << "die " << die.xlo << ' ' << die.ylo << ' ' << die.xhi << ' '
+     << die.yhi << '\n';
+  os << "# x y cap\n";
+  for (const auto& s : sinks)
+    os << s.loc.x << ' ' << s.loc.y << ' ' << s.cap << '\n';
+}
+
+SinksFile read_sinks(std::istream& is) {
+  std::istringstream in = payload(is);
+  std::string tag;
+  if (!(in >> tag) || tag != "die")
+    throw std::runtime_error("sinks file: expected 'die' header");
+  SinksFile f;
+  if (!(in >> f.die.xlo >> f.die.ylo >> f.die.xhi >> f.die.yhi))
+    throw std::runtime_error("sinks file: malformed die line");
+  double x = 0, y = 0, cap = 0;
+  while (in >> x >> y >> cap) f.sinks.push_back({{x, y}, cap});
+  return f;
+}
+
+void write_stream(std::ostream& os, const activity::InstructionStream& s) {
+  os << "# gcr instruction stream (" << s.length() << " cycles)\n";
+  for (int t = 0; t < s.length(); ++t)
+    os << s.seq[static_cast<std::size_t>(t)] << ((t + 1) % 20 ? ' ' : '\n');
+  os << '\n';
+}
+
+activity::InstructionStream read_stream(std::istream& is) {
+  std::istringstream in = payload(is);
+  activity::InstructionStream s;
+  int id = 0;
+  while (in >> id) s.seq.push_back(id);
+  return s;
+}
+
+void write_rtl(std::ostream& os, const activity::RtlDescription& rtl) {
+  os << "# gcr rtl description\n";
+  os << "rtl " << rtl.num_instructions() << ' ' << rtl.num_modules() << '\n';
+  for (int i = 0; i < rtl.num_instructions(); ++i) {
+    os << i;
+    rtl.module_set(i).for_each([&](int m) { os << ' ' << m; });
+    os << '\n';
+  }
+}
+
+activity::RtlDescription read_rtl(std::istream& is) {
+  std::string all;
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    lines.push_back(line);
+  }
+  if (lines.empty()) throw std::runtime_error("rtl file: empty");
+  std::istringstream head(lines.front());
+  std::string tag;
+  int k = 0, n = 0;
+  if (!(head >> tag >> k >> n) || tag != "rtl" || k <= 0 || n <= 0)
+    throw std::runtime_error("rtl file: malformed header");
+  activity::RtlDescription rtl(k, n);
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    std::istringstream row(lines[li]);
+    int instr = 0;
+    if (!(row >> instr)) continue;
+    int m = 0;
+    while (row >> m) rtl.add_use(instr, m);
+  }
+  return rtl;
+}
+
+}  // namespace gcr::io

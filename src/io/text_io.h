@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "activity/rtl.h"
+#include "activity/stream.h"
+#include "clocktree/sink.h"
+#include "geom/die.h"
+
+/// \file text_io.h
+/// Plain-text persistence for the router's inputs, so benchmark instances
+/// and traces can be inspected, versioned and exchanged.
+///
+/// Formats (all whitespace-separated, '#' comments allowed):
+///   sinks : "die <xlo> <ylo> <xhi> <yhi>" then one "x y cap" line per sink
+///   stream: instruction ids, any whitespace layout
+///   rtl   : "rtl <K> <N>" then per instruction a line "<instr> m m m ..."
+
+namespace gcr::io {
+
+struct SinksFile {
+  geom::DieArea die;
+  ct::SinkList sinks;
+};
+
+void write_sinks(std::ostream& os, const geom::DieArea& die,
+                 const ct::SinkList& sinks);
+[[nodiscard]] SinksFile read_sinks(std::istream& is);
+
+void write_stream(std::ostream& os, const activity::InstructionStream& s);
+[[nodiscard]] activity::InstructionStream read_stream(std::istream& is);
+
+void write_rtl(std::ostream& os, const activity::RtlDescription& rtl);
+[[nodiscard]] activity::RtlDescription read_rtl(std::istream& is);
+
+}  // namespace gcr::io

@@ -1,0 +1,81 @@
+#include "io/tree_io.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gcr::io {
+
+void write_routed_tree(std::ostream& os, const ct::RoutedTree& tree) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# gcr routed clock tree\n";
+  os << "tree " << tree.num_nodes() << ' ' << tree.num_leaves << ' '
+     << tree.root << '\n';
+  os << "# id x y parent edge_len gated down_cap delay\n";
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const ct::RoutedNode& n = tree.node(id);
+    os << id << ' ' << n.loc.x << ' ' << n.loc.y << ' ' << n.parent << ' '
+       << n.edge_len << ' ' << (n.gated ? 1 : 0) << ' ' << n.down_cap << ' '
+       << n.delay << '\n';
+  }
+}
+
+ct::RoutedTree read_routed_tree(std::istream& is) {
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    lines.push_back(line);
+  }
+  if (lines.empty()) throw std::runtime_error("tree file: empty");
+  std::istringstream head(lines.front());
+  std::string tag;
+  int num_nodes = 0, num_leaves = 0, root = -1;
+  if (!(head >> tag >> num_nodes >> num_leaves >> root) || tag != "tree" ||
+      num_nodes <= 0 || num_leaves <= 0 || root < 0 || root >= num_nodes)
+    throw std::runtime_error("tree file: malformed header");
+
+  ct::RoutedTree tree;
+  tree.num_leaves = num_leaves;
+  tree.root = root;
+  tree.nodes.resize(static_cast<std::size_t>(num_nodes));
+  int seen = 0;
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    std::istringstream row(lines[li]);
+    int id = 0, parent = -1, gated = 0;
+    double x = 0, y = 0, len = 0, cap = 0, delay = 0;
+    if (!(row >> id >> x >> y >> parent >> len >> gated >> cap >> delay))
+      throw std::runtime_error("tree file: malformed node line");
+    if (id < 0 || id >= num_nodes)
+      throw std::runtime_error("tree file: node id out of range");
+    ct::RoutedNode& n = tree.nodes[static_cast<std::size_t>(id)];
+    n.loc = {x, y};
+    n.parent = parent;
+    n.edge_len = len;
+    n.gated = gated != 0;
+    n.down_cap = cap;
+    n.delay = delay;
+    n.ms = geom::TiltedRect::from_point(n.loc);
+    ++seen;
+  }
+  if (seen != num_nodes)
+    throw std::runtime_error("tree file: node count mismatch");
+  // Rebuild child links from parents (left filled first).
+  for (int id = 0; id < num_nodes; ++id) {
+    const int p = tree.nodes[static_cast<std::size_t>(id)].parent;
+    if (p < 0) continue;
+    if (p >= num_nodes)
+      throw std::runtime_error("tree file: parent out of range");
+    ct::RoutedNode& pn = tree.nodes[static_cast<std::size_t>(p)];
+    (pn.left < 0 ? pn.left : pn.right) = id;
+  }
+  return tree;
+}
+
+}  // namespace gcr::io

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "clocktree/routed_tree.h"
+
+/// \file tree_io.h
+/// Plain-text export of a routed gated clock tree, for consumption by
+/// downstream tooling (custom routers, visualizers, power signoff).
+///
+/// Format: a header line "tree <num_nodes> <num_leaves> <root>", then one
+/// line per node:
+///   <id> <x> <y> <parent> <edge_len> <gated 0/1> <down_cap> <delay>
+
+namespace gcr::io {
+
+void write_routed_tree(std::ostream& os, const ct::RoutedTree& tree);
+[[nodiscard]] ct::RoutedTree read_routed_tree(std::istream& is);
+
+}  // namespace gcr::io

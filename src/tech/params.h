@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file params.h
+/// Technology parameters used by the delay, power and area models.
+///
+/// Units (consistent throughout the library):
+///   * distance     : lambda (layout units)
+///   * resistance   : ohm
+///   * capacitance  : pF
+///   * time         : ohm * pF = ps (all delays are Elmore RC products)
+///   * area         : lambda^2
+///
+/// The defaults follow the regime of the r1-r5 zero-skew benchmark era:
+/// wire delay dominates cell delay, so zero-skew wire balancing (including
+/// snaking) is affordable; gates chiefly act as capacitance isolators. A
+/// masking AND's intrinsic delay (10 ps) is small against a cross-die wire
+/// delay (hundreds of ps), which keeps the detour wirelength bounded when
+/// the gate-reduction heuristic makes sibling branches electrically
+/// asymmetric.
+
+namespace gcr::tech {
+
+/// Parameters of the masking AND gate / buffer library and the routing layer.
+struct TechParams {
+  // --- wire -----------------------------------------------------------
+  double unit_res = 0.03;      ///< wire resistance per lambda [ohm]
+  double unit_cap = 2.0e-4;    ///< wire capacitance per lambda [pF] (0.2 fF)
+  double wire_width = 1.0;     ///< routed wire width [lambda] (area model)
+
+  // --- masking AND gate -------------------------------------------------
+  double gate_input_cap = 0.05;   ///< clock-input pin cap of the AND [pF]
+  double gate_enable_cap = 0.05;  ///< enable-pin cap of the AND [pF]
+  double gate_output_res = 30.0;  ///< driver resistance of the AND [ohm]
+  double gate_delay = 10.0;       ///< intrinsic delay of the AND [ohm*pF]
+  double gate_area = 800.0;       ///< cell area [lambda^2]
+
+  // --- controller logic (2-input OR cells computing the enables) --------
+  double or_gate_area = 400.0;    ///< 2-input OR cell area [lambda^2]
+  double or_output_cap = 0.03;    ///< OR output net capacitance [pF]
+
+  /// Buffers used by the baseline buffered tree are assumed to be half the
+  /// size of the AND gates (paper section 5.1): half the input cap and area,
+  /// twice the driver resistance.
+  [[nodiscard]] double buffer_input_cap() const { return 0.5 * gate_input_cap; }
+  [[nodiscard]] double buffer_output_res() const { return 2.0 * gate_output_res; }
+  [[nodiscard]] double buffer_delay() const { return gate_delay; }
+  [[nodiscard]] double buffer_area() const { return 0.5 * gate_area; }
+
+  /// Capacitance of a wire of length `len` [pF].
+  [[nodiscard]] double wire_cap(double len) const { return unit_cap * len; }
+  /// Resistance of a wire of length `len` [ohm].
+  [[nodiscard]] double wire_res(double len) const { return unit_res * len; }
+  /// Area of a wire of length `len` [lambda^2].
+  [[nodiscard]] double wire_area(double len) const { return wire_width * len; }
+};
+
+}  // namespace gcr::tech

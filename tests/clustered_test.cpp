@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "clocktree/elmore.h"
+#include "clocktree/embed.h"
+#include "cts/clustered.h"
+
+namespace gcr::cts {
+namespace {
+
+struct Inst {
+  benchdata::RBench rb;
+  benchdata::Workload wl;
+  activity::ActivityAnalyzer an;
+  std::vector<int> mods;
+
+  static Inst make(int n, std::uint64_t seed) {
+    benchdata::RBenchSpec spec{"cl", n, 30000.0, 0.005, 0.08, seed};
+    benchdata::RBench rb = benchdata::generate_rbench(spec);
+    benchdata::WorkloadSpec w;
+    w.num_instructions = 24;
+    w.num_clusters = std::max(16, n / 32);
+    w.target_activity = 0.4;
+    w.stream_length = 5000;
+    w.seed = seed;
+    benchdata::Workload wl = benchdata::generate_workload(w, rb.sinks, rb.die);
+    activity::ActivityAnalyzer an(wl.rtl, wl.stream);
+    auto mods = identity_modules(n);
+    return {std::move(rb), std::move(wl), std::move(an), std::move(mods)};
+  }
+};
+
+class Clustered : public ::testing::TestWithParam<int> {};
+
+TEST_P(Clustered, ValidTopologyWithCorrectActivity) {
+  const int n = GetParam();
+  Inst inst = Inst::make(n, 91);
+  ClusterOptions opts;
+  opts.build.cost = MergeCost::SwitchedCapacitance;
+  opts.build.control_point = inst.rb.die.center();
+  const BuildResult r = build_topology_clustered(inst.rb.sinks, &inst.an,
+                                                 inst.mods, opts);
+  EXPECT_TRUE(r.topo.valid());
+  EXPECT_EQ(r.topo.num_nodes(), 2 * n - 1);
+  // Activity annotation matches an independent recomputation.
+  const TopologyActivity act =
+      annotate_topology(r.topo, inst.an, inst.mods);
+  for (int id = 0; id < r.topo.num_nodes(); ++id) {
+    EXPECT_DOUBLE_EQ(r.p_en[static_cast<std::size_t>(id)],
+                     act.p_en[static_cast<std::size_t>(id)]);
+    EXPECT_EQ(r.mask[static_cast<std::size_t>(id)],
+              act.mask[static_cast<std::size_t>(id)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Clustered,
+                         ::testing::Values(1, 2, 7, 40, 150, 600));
+
+TEST(ClusteredEmbed, ZeroSkewAtScale) {
+  Inst inst = Inst::make(400, 92);
+  ClusterOptions opts;
+  opts.build.cost = MergeCost::NearestNeighbor;
+  const BuildResult r = build_topology_clustered(inst.rb.sinks, &inst.an,
+                                                 inst.mods, opts);
+  std::vector<bool> gates(static_cast<std::size_t>(r.topo.num_nodes()), true);
+  gates[static_cast<std::size_t>(r.topo.root())] = false;
+  const ct::RoutedTree tree =
+      ct::embed(r.topo, inst.rb.sinks, gates, opts.build.tech);
+  const ct::DelayReport rep = ct::elmore_delays(tree, opts.build.tech);
+  EXPECT_LT(rep.skew(), 1e-7 * std::max(1.0, rep.max_delay));
+}
+
+TEST(ClusteredEmbed, WirelengthNearFlatGreedy) {
+  Inst inst = Inst::make(500, 93);
+  BuildOptions flat_opts;
+  flat_opts.cost = MergeCost::NearestNeighbor;
+  const BuildResult flat =
+      build_topology(inst.rb.sinks, &inst.an, inst.mods, flat_opts);
+  ClusterOptions copts;
+  copts.build = flat_opts;
+  const BuildResult clus = build_topology_clustered(inst.rb.sinks, &inst.an,
+                                                    inst.mods, copts);
+  const auto wirelength = [&](const ct::Topology& topo) {
+    std::vector<bool> gates(static_cast<std::size_t>(topo.num_nodes()), false);
+    return ct::embed(topo, inst.rb.sinks, gates, flat_opts.tech)
+        .total_wirelength();
+  };
+  // Hierarchical decomposition costs some wire, but must stay close.
+  EXPECT_LT(wirelength(clus.topo), 1.35 * wirelength(flat.topo));
+}
+
+TEST(ClusteredEmbed, ScalesToManySinks) {
+  // 4000 sinks: far beyond what the flat O(N^2) greedy handles quickly.
+  Inst inst = Inst::make(4000, 94);
+  ClusterOptions opts;
+  opts.build.cost = MergeCost::SwitchedCapacitance;
+  opts.build.control_point = inst.rb.die.center();
+  const auto t0 = std::chrono::steady_clock::now();
+  const BuildResult r = build_topology_clustered(inst.rb.sinks, &inst.an,
+                                                 inst.mods, opts);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_TRUE(r.topo.valid());
+  EXPECT_LT(elapsed, 30) << "clustered build too slow";
+}
+
+TEST(ClusteredEmbed, ExplicitGridRespected) {
+  Inst inst = Inst::make(120, 95);
+  ClusterOptions opts;
+  opts.grid = 4;
+  const BuildResult r = build_topology_clustered(inst.rb.sinks, &inst.an,
+                                                 inst.mods, opts);
+  EXPECT_TRUE(r.topo.valid());
+}
+
+}  // namespace
+}  // namespace gcr::cts

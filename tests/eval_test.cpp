@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/table.h"
+#include "tech/params.h"
+
+namespace gcr {
+namespace {
+
+TEST(Table, AlignedPrinting) {
+  eval::Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2.5"});
+  std::stringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Table, CsvPrinting) {
+  eval::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::stringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(eval::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(eval::Table::num(10.0, 0), "10");
+}
+
+TEST(Tech, BufferIsHalfSizeGate) {
+  const tech::TechParams t;
+  EXPECT_DOUBLE_EQ(t.buffer_input_cap(), 0.5 * t.gate_input_cap);
+  EXPECT_DOUBLE_EQ(t.buffer_output_res(), 2.0 * t.gate_output_res);
+  EXPECT_DOUBLE_EQ(t.buffer_area(), 0.5 * t.gate_area);
+}
+
+TEST(Tech, WireHelpers) {
+  tech::TechParams t;
+  t.unit_res = 0.1;
+  t.unit_cap = 0.2;
+  t.wire_width = 2.0;
+  EXPECT_DOUBLE_EQ(t.wire_res(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.wire_cap(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.wire_area(10.0), 20.0);
+}
+
+}  // namespace
+}  // namespace gcr

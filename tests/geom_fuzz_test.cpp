@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/tilted_rect.h"
+
+/// Randomized property suite for the TRR geometry underlying DME: every
+/// query is checked against first-principles definitions (membership
+/// sampling, distance definitions) on thousands of random region pairs.
+
+namespace gcr::geom {
+namespace {
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::mt19937_64 rng{GetParam()};
+
+  TiltedRect random_region() {
+    std::uniform_real_distribution<double> c(-200.0, 200.0);
+    std::uniform_real_distribution<double> r(0.0, 60.0);
+    const Point a{c(rng), c(rng)};
+    // Mix of points, arcs and fat regions.
+    switch (rng() % 3) {
+      case 0: return TiltedRect::from_point(a);
+      case 1: {
+        const double d = r(rng);
+        return TiltedRect::arc(a, {a.x + d, a.y + (rng() % 2 ? d : -d)});
+      }
+      default: return TiltedRect::from_point(a).inflated(r(rng));
+    }
+  }
+
+  Point random_point() {
+    std::uniform_real_distribution<double> c(-300.0, 300.0);
+    return {c(rng), c(rng)};
+  }
+};
+
+TEST_P(Fuzz, NearestPointAchievesDistance) {
+  for (int i = 0; i < 500; ++i) {
+    const TiltedRect r = random_region();
+    const Point p = random_point();
+    const Point q = r.nearest_point_to(p);
+    EXPECT_TRUE(r.contains(q, 1e-6));
+    EXPECT_NEAR(manhattan_dist(p, q), r.distance_to(p), 1e-9);
+    // No sampled point of the region is closer.
+    for (int s = 0; s < 20; ++s) {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      const Point in = to_cartesian(
+          {r.ulo() + u(rng) * (r.uhi() - r.ulo()),
+           r.wlo() + u(rng) * (r.whi() - r.wlo())});
+      EXPECT_GE(manhattan_dist(p, in) + 1e-9, r.distance_to(p));
+    }
+  }
+}
+
+TEST_P(Fuzz, DistanceIsRealizedBetweenRegions) {
+  for (int i = 0; i < 500; ++i) {
+    const TiltedRect a = random_region();
+    const TiltedRect b = random_region();
+    const double d = a.distance_to(b);
+    EXPECT_NEAR(d, b.distance_to(a), 1e-9);
+    // The nearest sub-region of a to b realizes the distance.
+    const TiltedRect na = a.nearest_region_to(b);
+    EXPECT_NEAR(na.distance_to(b), d, 1e-9);
+    EXPECT_LE(a.distance_to(na), 1e-9);  // subset of a
+    // Inflating a by d makes them touch.
+    EXPECT_TRUE(a.inflated(d + 1e-9).intersect(b).has_value());
+    if (d > 1e-6) {
+      EXPECT_FALSE(a.inflated(0.5 * d).intersect(b, 1e-12).has_value());
+    }
+  }
+}
+
+TEST_P(Fuzz, IntersectionIsContainedInBoth) {
+  for (int i = 0; i < 500; ++i) {
+    const TiltedRect a = random_region().inflated(30.0);
+    const TiltedRect b = random_region().inflated(30.0);
+    const auto isect = a.intersect(b);
+    if (!isect) continue;
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    for (int s = 0; s < 10; ++s) {
+      const Point p = to_cartesian(
+          {isect->ulo() + u(rng) * (isect->uhi() - isect->ulo()),
+           isect->wlo() + u(rng) * (isect->whi() - isect->wlo())});
+      EXPECT_TRUE(a.contains(p, 1e-6));
+      EXPECT_TRUE(b.contains(p, 1e-6));
+    }
+  }
+}
+
+TEST_P(Fuzz, InflationIsMonotone) {
+  for (int i = 0; i < 300; ++i) {
+    const TiltedRect r = random_region();
+    const Point p = random_point();
+    const double d = r.distance_to(p);
+    EXPECT_NEAR(r.inflated(10.0).distance_to(p), std::max(0.0, d - 10.0),
+                1e-9);
+    EXPECT_TRUE(r.inflated(5.0).contains(r.nearest_point_to(p), 1e-9));
+  }
+}
+
+TEST_P(Fuzz, CenterIsContained) {
+  for (int i = 0; i < 300; ++i) {
+    const TiltedRect r = random_region();
+    EXPECT_TRUE(r.contains(r.center(), 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace gcr::geom

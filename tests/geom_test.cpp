@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/die.h"
+#include "geom/point.h"
+#include "geom/rotated.h"
+#include "geom/tilted_rect.h"
+
+namespace gcr::geom {
+namespace {
+
+TEST(Point, ManhattanDistanceBasics) {
+  EXPECT_DOUBLE_EQ(manhattan_dist({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan_dist({-1, -2}, {1, 2}), 6.0);
+  EXPECT_DOUBLE_EQ(manhattan_dist({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(Point, ManhattanDominatesEuclidean) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{u(rng), u(rng)}, b{u(rng), u(rng)};
+    EXPECT_GE(manhattan_dist(a, b) + 1e-12, euclidean_dist(a, b));
+    EXPECT_LE(manhattan_dist(a, b),
+              std::sqrt(2.0) * euclidean_dist(a, b) + 1e-9);
+  }
+}
+
+TEST(Rotated, RoundTrip) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-1e4, 1e4);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{u(rng), u(rng)};
+    const Point q = to_cartesian(to_rotated(p));
+    EXPECT_NEAR(p.x, q.x, 1e-9);
+    EXPECT_NEAR(p.y, q.y, 1e-9);
+  }
+}
+
+TEST(Rotated, ChebyshevEqualsManhattan) {
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> u(-1e4, 1e4);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{u(rng), u(rng)}, b{u(rng), u(rng)};
+    EXPECT_NEAR(chebyshev_dist(to_rotated(a), to_rotated(b)),
+                manhattan_dist(a, b), 1e-9);
+  }
+}
+
+TEST(TiltedRect, PointRegion) {
+  const Point p{3.0, 4.0};
+  const TiltedRect r = TiltedRect::from_point(p);
+  EXPECT_TRUE(r.is_point());
+  EXPECT_TRUE(r.is_arc());
+  EXPECT_TRUE(r.contains(p));
+  EXPECT_EQ(r.center(), p);
+  EXPECT_DOUBLE_EQ(r.distance_to(Point{0.0, 0.0}), 7.0);
+}
+
+TEST(TiltedRect, ManhattanArcEndpoints) {
+  // Slope -1 segment from (0,4) to (4,0): u = x+y = 4 constant.
+  const TiltedRect r = TiltedRect::arc({0, 4}, {4, 0});
+  EXPECT_TRUE(r.is_arc());
+  EXPECT_FALSE(r.is_point());
+  EXPECT_TRUE(r.contains({2, 2}));
+  EXPECT_FALSE(r.contains({0, 0}));
+  EXPECT_DOUBLE_EQ(r.ulo(), 4.0);
+  EXPECT_DOUBLE_EQ(r.uhi(), 4.0);
+}
+
+TEST(TiltedRect, InflationGrowsDistanceShrinks) {
+  const TiltedRect a = TiltedRect::from_point({0, 0});
+  const TiltedRect b = TiltedRect::from_point({10, 0});
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 10.0);
+  EXPECT_DOUBLE_EQ(a.inflated(3).distance_to(b), 7.0);
+  EXPECT_DOUBLE_EQ(a.inflated(3).distance_to(b.inflated(7)), 0.0);
+}
+
+TEST(TiltedRect, InflatedContainsExactlyTheBall) {
+  // Sample points and compare membership in TRR(core, r) against the
+  // Manhattan-distance definition.
+  const TiltedRect core = TiltedRect::arc({2, 2}, {6, 6});  // slope +1 arc
+  const TiltedRect trr = core.inflated(3.0);
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> u(-5.0, 15.0);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{u(rng), u(rng)};
+    const bool in_ball = core.distance_to(p) <= 3.0 + 1e-9;
+    EXPECT_EQ(trr.contains(p, 1e-9), in_ball)
+        << "p=(" << p.x << "," << p.y << ") d=" << core.distance_to(p);
+  }
+}
+
+TEST(TiltedRect, IntersectOfTouchingTrrsIsArc) {
+  // Classic DME merge picture: two sink points at distance 10, radii 4 and
+  // 6; the intersection must be a (possibly degenerate) Manhattan arc.
+  const TiltedRect a = TiltedRect::from_point({0, 0}).inflated(4);
+  const TiltedRect b = TiltedRect::from_point({10, 0}).inflated(6);
+  const auto ms = a.intersect(b);
+  ASSERT_TRUE(ms.has_value());
+  EXPECT_TRUE(ms->is_arc(1e-9));
+  // Every point of the merging segment is at distance exactly 4 from a's
+  // core and 6 from b's core.
+  EXPECT_NEAR(ms->distance_to(Point{0, 0}), 4.0, 1e-9);
+  EXPECT_NEAR(ms->distance_to(Point{10, 0}), 6.0, 1e-9);
+}
+
+TEST(TiltedRect, DisjointIntersectIsEmpty) {
+  const TiltedRect a = TiltedRect::from_point({0, 0}).inflated(2);
+  const TiltedRect b = TiltedRect::from_point({10, 0}).inflated(2);
+  EXPECT_FALSE(a.intersect(b).has_value());
+}
+
+TEST(TiltedRect, NearestPointIsContainedAndOptimal) {
+  std::mt19937 rng(19);
+  std::uniform_real_distribution<double> u(-50.0, 50.0);
+  const TiltedRect r = TiltedRect::arc({0, 10}, {10, 0}).inflated(2.0);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{u(rng), u(rng)};
+    const Point q = r.nearest_point_to(p);
+    EXPECT_TRUE(r.contains(q, 1e-6));
+    EXPECT_NEAR(manhattan_dist(p, q), r.distance_to(p), 1e-9);
+  }
+}
+
+TEST(TiltedRect, NearestRegionAchievesDistance) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  for (int i = 0; i < 300; ++i) {
+    const TiltedRect a =
+        TiltedRect::from_point({u(rng), u(rng)}).inflated(std::abs(u(rng)) / 10);
+    const TiltedRect b =
+        TiltedRect::from_point({u(rng), u(rng)}).inflated(std::abs(u(rng)) / 10);
+    const TiltedRect near = a.nearest_region_to(b);
+    // The nearest region is inside a and at distance dist(a, b) from b.
+    EXPECT_LE(a.distance_to(near), 1e-9);
+    EXPECT_NEAR(near.distance_to(b), a.distance_to(b), 1e-9);
+  }
+}
+
+TEST(TiltedRect, DistanceSymmetricAndTriangleLike) {
+  std::mt19937 rng(29);
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  for (int i = 0; i < 300; ++i) {
+    const TiltedRect a =
+        TiltedRect::from_point({u(rng), u(rng)}).inflated(std::abs(u(rng)) / 20);
+    const TiltedRect b =
+        TiltedRect::from_point({u(rng), u(rng)}).inflated(std::abs(u(rng)) / 20);
+    EXPECT_NEAR(a.distance_to(b), b.distance_to(a), 1e-9);
+    EXPECT_GE(a.distance_to(b), 0.0);
+  }
+}
+
+TEST(TiltedRect, FromRotatedNormalizes) {
+  const TiltedRect r = TiltedRect::from_rotated(5, 1, 3, -3);
+  EXPECT_DOUBLE_EQ(r.ulo(), 1);
+  EXPECT_DOUBLE_EQ(r.uhi(), 5);
+  EXPECT_DOUBLE_EQ(r.wlo(), -3);
+  EXPECT_DOUBLE_EQ(r.whi(), 3);
+}
+
+TEST(DieArea, CenterAndContains) {
+  const DieArea die = DieArea::square(100.0);
+  EXPECT_EQ(die.center(), (Point{50.0, 50.0}));
+  EXPECT_TRUE(die.contains({0, 0}));
+  EXPECT_TRUE(die.contains({100, 100}));
+  EXPECT_FALSE(die.contains({101, 50}));
+  EXPECT_DOUBLE_EQ(die.width(), 100.0);
+}
+
+}  // namespace
+}  // namespace gcr::geom

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "activity/brute_force.h"
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "core/router.h"
+
+/// End-to-end integration checks on an r1-class instance: the full flow
+/// (workload -> tables -> topology -> gating -> embedding -> evaluation)
+/// with cross-validation of the evaluator's probabilities against the
+/// brute-force stream oracle, and the paper's qualitative orderings.
+
+namespace gcr {
+namespace {
+
+class Integration : public ::testing::Test {
+ protected:
+  static constexpr int kSinks = 96;
+
+  static core::Design make() {
+    benchdata::RBenchSpec spec{"it", kSinks, 16000.0, 0.005, 0.08, 77};
+    benchdata::RBench bench = benchdata::generate_rbench(spec);
+    benchdata::WorkloadSpec wspec;
+    wspec.num_instructions = 24;
+    wspec.num_clusters = 16;
+    wspec.target_activity = 0.35;
+    wspec.stream_length = 8000;
+    wspec.seed = 77;
+    benchdata::Workload wl =
+        benchdata::generate_workload(wspec, bench.sinks, bench.die);
+    return core::Design{bench.die, bench.sinks, std::move(wl.rtl),
+                        std::move(wl.stream), {}};
+  }
+
+  core::GatedClockRouter router{make()};
+};
+
+TEST_F(Integration, EvaluatorProbabilitiesMatchStreamOracle) {
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  const core::RouterResult r = router.route(opts);
+  const activity::BruteForceActivity oracle(router.design().rtl,
+                                            router.design().stream);
+
+  // Reconstruct each node's module set from the tree and compare the
+  // evaluator's P(EN)/P_tr(EN) against a full stream rescan.
+  const int n = r.tree.num_nodes();
+  std::vector<activity::ModuleSet> mods(
+      static_cast<std::size_t>(n),
+      activity::ModuleSet(router.design().rtl.num_modules()));
+  for (int id = 0; id < n; ++id) {
+    const ct::RoutedNode& node = r.tree.node(id);
+    if (node.is_leaf()) {
+      mods[static_cast<std::size_t>(id)].set(id);
+    } else {
+      mods[static_cast<std::size_t>(id)] =
+          mods[static_cast<std::size_t>(node.left)] |
+          mods[static_cast<std::size_t>(node.right)];
+    }
+  }
+  for (const int id : {0, kSinks / 2, kSinks, n - 2, n - 1}) {
+    EXPECT_NEAR(r.activity.p_en[static_cast<std::size_t>(id)],
+                oracle.signal_prob(mods[static_cast<std::size_t>(id)]), 1e-9)
+        << "node " << id;
+    EXPECT_NEAR(r.activity.p_tr[static_cast<std::size_t>(id)],
+                oracle.transition_prob(mods[static_cast<std::size_t>(id)]),
+                1e-9)
+        << "node " << id;
+  }
+}
+
+TEST_F(Integration, PaperOrderingHoldsAtModerateActivity) {
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Buffered;
+  const auto buffered = router.route(opts);
+  opts.style = core::TreeStyle::Gated;
+  const auto gated = router.route(opts);
+  opts.style = core::TreeStyle::GatedReduced;
+  const auto reduced = router.route(opts);
+
+  // Fig. 3's qualitative story:
+  //  - gating the clock tree cuts W(T) well below the buffered tree's;
+  EXPECT_LT(gated.swcap.clock_swcap, buffered.swcap.clock_swcap);
+  //  - but the star routing makes the *total* worse than (or comparable
+  //    to) buffered -- the overhead the paper calls out;
+  EXPECT_GT(gated.swcap.total_swcap(), 0.9 * buffered.swcap.total_swcap());
+  //  - gate reduction restores the win;
+  EXPECT_LT(reduced.swcap.total_swcap(), buffered.swcap.total_swcap());
+  EXPECT_LT(reduced.swcap.total_swcap(), gated.swcap.total_swcap());
+  //  - while buffered remains the area champion.
+  EXPECT_GT(reduced.swcap.total_area(), buffered.swcap.total_area());
+}
+
+TEST_F(Integration, ZeroSkewAcrossAllStylesAtScale) {
+  for (const auto style : {core::TreeStyle::Buffered, core::TreeStyle::Gated,
+                           core::TreeStyle::GatedReduced}) {
+    core::RouterOptions opts;
+    opts.style = style;
+    const auto r = router.route(opts);
+    EXPECT_LT(r.delays.skew(), 1e-6 * std::max(1.0, r.delays.max_delay));
+  }
+}
+
+TEST_F(Integration, FullFlowIsDeterministic) {
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::GatedReduced;
+  opts.auto_tune_reduction = true;
+  const auto a = router.route(opts);
+  const auto b = router.route(opts);
+  EXPECT_DOUBLE_EQ(a.swcap.total_swcap(), b.swcap.total_swcap());
+  EXPECT_DOUBLE_EQ(a.tree.total_wirelength(), b.tree.total_wirelength());
+  EXPECT_EQ(a.tree.num_gates(), b.tree.num_gates());
+  for (int id = 0; id < a.tree.num_nodes(); ++id) {
+    EXPECT_EQ(a.tree.node(id).gated, b.tree.node(id).gated) << id;
+    EXPECT_DOUBLE_EQ(a.tree.node(id).loc.x, b.tree.node(id).loc.x) << id;
+  }
+}
+
+TEST_F(Integration, ReductionSweepHasInteriorOptimum) {
+  // Fig. 5: with no reduction the controller dominates; with maximal
+  // reduction the clock tree pays; somewhere in between is the minimum.
+  double w_none = 0.0, w_full = 0.0, w_best = 1e300;
+  for (const double s : {0.0, 0.3, 0.5, 0.7, 0.95}) {
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::GatedReduced;
+    opts.reduction = gating::GateReductionParams::from_strength(s);
+    const auto r = router.route(opts);
+    const double w = r.swcap.total_swcap();
+    if (s == 0.0) w_none = w;
+    if (s == 0.95) w_full = w;
+    w_best = std::min(w_best, w);
+  }
+  EXPECT_LT(w_best, w_none);
+  EXPECT_LT(w_best, w_full);
+}
+
+}  // namespace
+}  // namespace gcr

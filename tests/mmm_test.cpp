@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "clocktree/elmore.h"
+#include "clocktree/embed.h"
+#include "cts/greedy.h"
+#include "cts/mmm.h"
+
+namespace gcr::cts {
+namespace {
+
+ct::SinkList random_sinks(int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, 10000.0);
+  std::uniform_real_distribution<double> cap(0.005, 0.1);
+  ct::SinkList sinks;
+  for (int i = 0; i < n; ++i)
+    sinks.push_back({{coord(rng), coord(rng)}, cap(rng)});
+  return sinks;
+}
+
+TEST(Mmm, BuildsValidBalancedTopology) {
+  const ct::SinkList sinks = random_sinks(64, 3);
+  const ct::Topology topo = build_mmm_topology(sinks);
+  EXPECT_TRUE(topo.valid());
+  EXPECT_EQ(topo.num_nodes(), 127);
+  // Balanced bisection: depth of every leaf is exactly log2(64) = 6.
+  for (int leaf = 0; leaf < 64; ++leaf) {
+    int depth = 0;
+    for (int id = leaf; topo.node(id).parent >= 0; id = topo.node(id).parent)
+      ++depth;
+    EXPECT_EQ(depth, 6) << "leaf " << leaf;
+  }
+}
+
+TEST(Mmm, OddSizesStayValid) {
+  for (const int n : {1, 2, 3, 5, 7, 33, 97}) {
+    const ct::SinkList sinks = random_sinks(n, 100 + n);
+    const ct::Topology topo = build_mmm_topology(sinks);
+    EXPECT_TRUE(topo.valid()) << n;
+    EXPECT_EQ(topo.num_nodes(), 2 * n - 1) << n;
+  }
+}
+
+TEST(Mmm, EmbedsWithZeroSkew) {
+  const ct::SinkList sinks = random_sinks(50, 9);
+  const ct::Topology topo = build_mmm_topology(sinks);
+  const tech::TechParams tech;
+  std::vector<bool> gates(static_cast<std::size_t>(topo.num_nodes()), false);
+  const ct::RoutedTree tree = ct::embed(topo, sinks, gates, tech);
+  const ct::DelayReport rep = ct::elmore_delays(tree, tech);
+  EXPECT_LT(rep.skew(), 1e-7 * std::max(1.0, rep.max_delay));
+}
+
+TEST(Mmm, SplitsFollowGeometry) {
+  // Two far-apart clusters: the root split must separate them.
+  ct::SinkList sinks;
+  for (int i = 0; i < 8; ++i) sinks.push_back({{100.0 * i, 0.0}, 0.02});
+  for (int i = 0; i < 8; ++i)
+    sinks.push_back({{100.0 * i + 50000.0, 0.0}, 0.02});
+  const ct::Topology topo = build_mmm_topology(sinks);
+  const ct::TreeNode& root = topo.node(topo.root());
+  // Collect the leaves of one root subtree; they must all be in the same
+  // cluster.
+  std::vector<int> stack{root.left};
+  bool cluster0 = false, cluster1 = false;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const ct::TreeNode& n = topo.node(id);
+    if (n.is_leaf()) {
+      (id < 8 ? cluster0 : cluster1) = true;
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  EXPECT_NE(cluster0, cluster1);  // one cluster only
+}
+
+TEST(ActivityOnlyCost, GroupsByCoactivityIgnoringDistance) {
+  // Anti-correlated activity across interleaved positions: the activity
+  // cost must pair by instruction, not by location.
+  ct::SinkList sinks;
+  for (int i = 0; i < 8; ++i) sinks.push_back({{1000.0 * i, 0.0}, 0.02});
+  activity::RtlDescription rtl(2, 8);
+  for (int m = 0; m < 8; ++m) rtl.add_use(m % 2, m);  // even->I0, odd->I1
+  activity::InstructionStream stream;
+  for (int t = 0; t < 300; ++t) stream.seq.push_back((t / 5) % 2);
+  const activity::ActivityAnalyzer an(rtl, stream);
+
+  BuildOptions opts;
+  opts.cost = MergeCost::ActivityOnly;
+  const auto mods = identity_modules(8);
+  const BuildResult r = build_topology(sinks, &an, mods, opts);
+  ASSERT_TRUE(r.topo.valid());
+  // The root's children should each cover exactly one instruction.
+  const ct::TreeNode& root = r.topo.node(r.topo.root());
+  EXPECT_EQ(r.mask[static_cast<std::size_t>(root.left)].count(), 1);
+  EXPECT_EQ(r.mask[static_cast<std::size_t>(root.right)].count(), 1);
+}
+
+}  // namespace
+}  // namespace gcr::cts

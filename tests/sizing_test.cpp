@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "clocktree/elmore.h"
+#include "clocktree/embed.h"
+#include "clocktree/zskew.h"
+#include "core/router.h"
+
+/// Gate sizing (paper section 1: gates "can be sized to adjust the phase
+/// delay"). A bigger gate drives a given subtree faster and presents more
+/// input capacitance; the MinWirelength sizing policy exploits this to kill
+/// snake wire that zero skew would otherwise demand.
+
+namespace gcr::ct {
+namespace {
+
+TEST(GateSizing, BiggerGateDrivesFaster) {
+  const tech::TechParams t;
+  SubtreeTap sub{geom::TiltedRect::from_point({0, 0}), 100.0, 1.0};
+  const double d_half = branch_delay(sub, true, 500.0, t, 0.5);
+  const double d_unit = branch_delay(sub, true, 500.0, t, 1.0);
+  const double d_quad = branch_delay(sub, true, 500.0, t, 4.0);
+  EXPECT_GT(d_half, d_unit);
+  EXPECT_GT(d_unit, d_quad);
+}
+
+TEST(GateSizing, InputCapScalesWithSize) {
+  const tech::TechParams t;
+  SubtreeTap sub{geom::TiltedRect::from_point({0, 0}), 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(branch_cap(sub, true, 300.0, t, 0.5),
+                   0.5 * t.gate_input_cap);
+  EXPECT_DOUBLE_EQ(branch_cap(sub, true, 300.0, t, 4.0),
+                   4.0 * t.gate_input_cap);
+  // Ungated branches ignore the size argument.
+  EXPECT_DOUBLE_EQ(branch_cap(sub, false, 300.0, t, 4.0),
+                   t.wire_cap(300.0) + 1.0);
+}
+
+TEST(GateSizing, SizedMergeStillBalances) {
+  const tech::TechParams t;
+  const SubtreeTap a{geom::TiltedRect::from_point({0, 0}), 0.0, 0.4};
+  const SubtreeTap b{geom::TiltedRect::from_point({2000, 0}), 50.0, 0.02};
+  for (const double sa : {0.5, 1.0, 2.0, 4.0}) {
+    for (const double sb : {0.5, 1.0, 4.0}) {
+      const MergeResult m = zero_skew_merge(a, true, b, true, t, sa, sb);
+      EXPECT_NEAR(branch_delay(a, true, m.len_a, t, sa),
+                  branch_delay(b, true, m.len_b, t, sb), 1e-6)
+          << sa << "," << sb;
+      EXPECT_NEAR(m.cap, sa * t.gate_input_cap + sb * t.gate_input_cap,
+                  1e-12);
+    }
+  }
+}
+
+/// A tree whose gating is deliberately asymmetric: one heavy gated subtree
+/// merged against a light ungated one forces snaking at unit size.
+struct AsymmetricFixture {
+  tech::TechParams t;
+  SinkList sinks;
+  Topology topo{6};
+  std::vector<bool> gates;
+
+  AsymmetricFixture() {
+    sinks = {{{0, 0}, 0.30},      {{400, 0}, 0.25},   {{200, 300}, 0.28},
+             {{6000, 100}, 0.01}, {{6400, 0}, 0.015}, {{6200, 300}, 0.012}};
+    int a = topo.merge(0, 1);
+    a = topo.merge(a, 2);
+    int b = topo.merge(3, 4);
+    b = topo.merge(b, 5);
+    topo.merge(a, b);
+    gates.assign(static_cast<std::size_t>(topo.num_nodes()), false);
+    // Gate only the heavy cluster's internal edges.
+    gates[6] = gates[7] = true;
+  }
+};
+
+TEST(GateSizing, MinWirelengthNeverWorseAndZeroSkew) {
+  AsymmetricFixture f;
+  EmbedOptions unit;
+  const RoutedTree base = embed(f.topo, f.sinks, f.gates, f.t, unit);
+  EmbedOptions sized;
+  sized.sizing = GateSizing::MinWirelength;
+  const RoutedTree opt = embed(f.topo, f.sinks, f.gates, f.t, sized);
+
+  EXPECT_LE(opt.total_wirelength(), base.total_wirelength() + 1e-6);
+  const DelayReport rb = elmore_delays(base, f.t);
+  const DelayReport ro = elmore_delays(opt, f.t);
+  EXPECT_LT(rb.skew(), 1e-6 * std::max(1.0, rb.max_delay));
+  EXPECT_LT(ro.skew(), 1e-6 * std::max(1.0, ro.max_delay));
+}
+
+TEST(GateSizing, ChosenSizesComeFromCandidateSet) {
+  AsymmetricFixture f;
+  EmbedOptions sized;
+  sized.sizing = GateSizing::MinWirelength;
+  sized.gate_sizes = {0.5, 1.0, 2.0};
+  const RoutedTree tree = embed(f.topo, f.sinks, f.gates, f.t, sized);
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const RoutedNode& n = tree.node(id);
+    if (!n.gated) {
+      EXPECT_DOUBLE_EQ(n.gate_size, 1.0);
+      continue;
+    }
+    EXPECT_TRUE(n.gate_size == 0.5 || n.gate_size == 1.0 || n.gate_size == 2.0)
+        << "node " << id << " size " << n.gate_size;
+  }
+}
+
+TEST(GateSizing, UnitPolicyKeepsAllSizesOne) {
+  AsymmetricFixture f;
+  const RoutedTree tree = embed(f.topo, f.sinks, f.gates, f.t, {});
+  for (int id = 0; id < tree.num_nodes(); ++id)
+    EXPECT_DOUBLE_EQ(tree.node(id).gate_size, 1.0);
+}
+
+TEST(GateSizing, RouterFlowWithSizingStaysZeroSkewAndCheaper) {
+  benchdata::RBenchSpec spec{"sz", 48, 10000.0, 0.005, 0.08, 91};
+  benchdata::RBench rb = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = 16;
+  wspec.target_activity = 0.35;
+  wspec.stream_length = 4000;
+  wspec.seed = 91;
+  benchdata::Workload wl =
+      benchdata::generate_workload(wspec, rb.sinks, rb.die);
+  core::Design d{rb.die, rb.sinks, std::move(wl.rtl), std::move(wl.stream),
+                 {}};
+  const core::GatedClockRouter router(std::move(d));
+
+  core::RouterOptions unit;
+  unit.style = core::TreeStyle::GatedReduced;
+  core::RouterOptions sized = unit;
+  sized.gate_sizing = ct::GateSizing::MinWirelength;
+
+  const auto ru = router.route(unit);
+  const auto rs = router.route(sized);
+  EXPECT_LT(rs.delays.skew(), 1e-6 * std::max(1.0, rs.delays.max_delay));
+  // Sizing choices are locally optimal per merge; upstream cap changes can
+  // shift later merges, so allow a small global tolerance.
+  EXPECT_LE(rs.tree.total_wirelength(),
+            1.01 * ru.tree.total_wirelength());
+}
+
+}  // namespace
+}  // namespace gcr::ct

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "core/router.h"
+#include "eval/power.h"
+#include "eval/variation.h"
+
+namespace gcr::eval {
+namespace {
+
+core::GatedClockRouter make_router(int n, std::uint64_t seed) {
+  benchdata::RBenchSpec spec{"v", n, 9000.0, 0.005, 0.08, seed};
+  benchdata::RBench rb = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = 16;
+  wspec.target_activity = 0.35;
+  wspec.stream_length = 3000;
+  wspec.seed = seed;
+  benchdata::Workload wl =
+      benchdata::generate_workload(wspec, rb.sinks, rb.die);
+  return core::GatedClockRouter(core::Design{
+      rb.die, rb.sinks, std::move(wl.rtl), std::move(wl.stream), {}});
+}
+
+TEST(Variation, ZeroSigmaPreservesZeroSkew) {
+  const auto router = make_router(32, 81);
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  const auto r = router.route(opts);
+  VariationSpec spec;
+  spec.wire_res_sigma = spec.wire_cap_sigma = 0.0;
+  spec.gate_res_sigma = spec.gate_delay_sigma = 0.0;
+  spec.trials = 5;
+  const VariationReport rep =
+      variation_analysis(r.tree, opts.tech, spec);
+  EXPECT_LT(rep.max_skew, 1e-6 * std::max(1.0, rep.mean_delay));
+  EXPECT_NEAR(rep.mean_delay, r.delays.max_delay,
+              1e-6 * std::max(1.0, r.delays.max_delay));
+}
+
+TEST(Variation, SkewGrowsWithSigma) {
+  const auto router = make_router(48, 82);
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::GatedReduced;
+  const auto r = router.route(opts);
+  double prev = -1.0;
+  for (const double sigma : {0.02, 0.08, 0.20}) {
+    VariationSpec spec;
+    spec.wire_res_sigma = spec.wire_cap_sigma = sigma;
+    spec.gate_res_sigma = spec.gate_delay_sigma = sigma;
+    spec.trials = 100;
+    spec.seed = 5;
+    const VariationReport rep = variation_analysis(r.tree, opts.tech, spec);
+    EXPECT_GT(rep.mean_skew, prev) << sigma;
+    EXPECT_GE(rep.max_skew, rep.p95_skew);
+    EXPECT_GE(rep.p95_skew, rep.mean_skew * 0.5);
+    prev = rep.mean_skew;
+  }
+}
+
+TEST(Variation, DeterministicForFixedSeed) {
+  const auto router = make_router(24, 83);
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  const auto r = router.route(opts);
+  VariationSpec spec;
+  spec.trials = 50;
+  spec.seed = 7;
+  const VariationReport a = variation_analysis(r.tree, opts.tech, spec);
+  const VariationReport b = variation_analysis(r.tree, opts.tech, spec);
+  EXPECT_DOUBLE_EQ(a.mean_skew, b.mean_skew);
+  EXPECT_DOUBLE_EQ(a.max_skew, b.max_skew);
+}
+
+TEST(Variation, SkewRatioIsNormalized) {
+  const auto router = make_router(24, 84);
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  const auto r = router.route(opts);
+  VariationSpec spec;
+  spec.trials = 50;
+  const VariationReport rep = variation_analysis(r.tree, opts.tech, spec);
+  EXPECT_NEAR(rep.mean_skew_ratio, rep.mean_skew / r.delays.max_delay, 0.05);
+  EXPECT_GT(rep.mean_skew_ratio, 0.0);
+  EXPECT_LT(rep.mean_skew_ratio, 1.0);
+}
+
+TEST(Variation, PartialFactorVectorsAreNominal) {
+  // Only wire resistance varies; empty vectors mean factor 1 elsewhere.
+  const auto router = make_router(16, 85);
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  const auto r = router.route(opts);
+  ct::ElmoreFactors f;
+  f.wire_res.assign(static_cast<std::size_t>(r.tree.num_nodes()), 1.0);
+  const ct::DelayReport nominal = ct::elmore_delays(r.tree, opts.tech);
+  const ct::DelayReport same = ct::elmore_delays(r.tree, opts.tech, &f);
+  EXPECT_NEAR(nominal.max_delay, same.max_delay, 1e-12);
+  // Doubling every edge resistance scales only the wire contribution.
+  std::fill(f.wire_res.begin(), f.wire_res.end(), 2.0);
+  const ct::DelayReport doubled = ct::elmore_delays(r.tree, opts.tech, &f);
+  EXPECT_GT(doubled.max_delay, nominal.max_delay);
+  EXPECT_LT(doubled.max_delay, 2.0 * nominal.max_delay + 1e-9);
+}
+
+TEST(Power, ConversionMatchesEq1) {
+  // 100 pF at 200 MHz, 3.3 V: 100e-12 * 3.3^2 * 200e6 W = 217.8 mW.
+  EXPECT_NEAR(dynamic_power_mw(100.0, {200.0, 3.3}), 217.8, 1e-9);
+  // Scaling laws: linear in C and f, quadratic in V.
+  EXPECT_DOUBLE_EQ(dynamic_power_mw(200.0, {200.0, 3.3}),
+                   2.0 * dynamic_power_mw(100.0, {200.0, 3.3}));
+  EXPECT_DOUBLE_EQ(dynamic_power_mw(100.0, {400.0, 3.3}),
+                   2.0 * dynamic_power_mw(100.0, {200.0, 3.3}));
+  EXPECT_DOUBLE_EQ(dynamic_power_mw(100.0, {200.0, 6.6}),
+                   4.0 * dynamic_power_mw(100.0, {200.0, 3.3}));
+}
+
+}  // namespace
+}  // namespace gcr::eval

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "activity/analyzer.h"
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+
+/// Statistical properties of the synthetic workload generator -- the
+/// properties that make it a defensible substitute for the paper's CPU
+/// traces (see DESIGN.md substitutions): spatially decaying co-activity,
+/// controllable average activity, and locality-controlled toggle rates.
+
+namespace gcr::benchdata {
+namespace {
+
+struct Stats {
+  RBench bench;
+  Workload wl;
+  activity::ActivityAnalyzer an;
+
+  static Stats make(double activity, double locality, std::uint64_t seed) {
+    RBenchSpec spec{"ws", 200, 10000.0, 0.01, 0.02, seed};
+    RBench bench = generate_rbench(spec);
+    WorkloadSpec w;
+    w.num_instructions = 24;
+    w.num_clusters = 25;
+    w.target_activity = activity;
+    w.locality = locality;
+    w.stream_length = 10000;
+    w.seed = seed;
+    Workload wl = generate_workload(w, bench.sinks, bench.die);
+    activity::ActivityAnalyzer an(wl.rtl, wl.stream);
+    return {std::move(bench), std::move(wl), std::move(an)};
+  }
+};
+
+/// Pearson-free co-activity score: P(both) / max(P(a), P(b)).
+double coactivity(const Stats& s, int a, int b) {
+  const auto& ma = s.an.module_mask(a);
+  const auto& mb = s.an.module_mask(b);
+  const double pa = s.an.signal_prob(ma);
+  const double pb = s.an.signal_prob(mb);
+  if (pa <= 0.0 || pb <= 0.0) return 0.0;
+  // P(a and b) = P(a) + P(b) - P(a or b).
+  const double pu = s.an.signal_prob(ma | mb);
+  return (pa + pb - pu) / std::max(pa, pb);
+}
+
+TEST(WorkloadStats, CoactivityDecaysWithDistance) {
+  const Stats s = Stats::make(0.4, 0.8, 5);
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<int> pick(0, 199);
+  double near_acc = 0.0, far_acc = 0.0;
+  int near_n = 0, far_n = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const int a = pick(rng);
+    const int b = pick(rng);
+    if (a == b) continue;
+    const double d = geom::manhattan_dist(
+        s.bench.sinks[static_cast<std::size_t>(a)].loc,
+        s.bench.sinks[static_cast<std::size_t>(b)].loc);
+    const double co = coactivity(s, a, b);
+    if (d < 2500.0) {
+      near_acc += co;
+      ++near_n;
+    } else if (d > 9000.0) {
+      far_acc += co;
+      ++far_n;
+    }
+  }
+  ASSERT_GT(near_n, 50);
+  ASSERT_GT(far_n, 50);
+  // Spatially near modules must be clearly more co-active than far ones.
+  EXPECT_GT(near_acc / near_n, far_acc / far_n + 0.1);
+}
+
+TEST(WorkloadStats, ActivityKnobSweepsMonotonically) {
+  double prev = -1.0;
+  for (const double target : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const Stats s = Stats::make(target, 0.8, 11);
+    const double measured = s.an.ift().average_activity(s.wl.rtl);
+    EXPECT_GT(measured, prev) << target;
+    EXPECT_NEAR(measured, target, 0.15) << target;
+    prev = measured;
+  }
+}
+
+TEST(WorkloadStats, LocalityControlsEnableToggleRates) {
+  double prev = 2.0;
+  for (const double locality : {0.0, 0.5, 0.9}) {
+    const Stats s = Stats::make(0.4, locality, 13);
+    double acc = 0.0;
+    for (int m = 0; m < 200; ++m)
+      acc += s.an.transition_prob(s.an.module_mask(m));
+    const double mean_tr = acc / 200.0;
+    EXPECT_LT(mean_tr, prev) << locality;
+    prev = mean_tr;
+  }
+}
+
+TEST(WorkloadStats, InstructionFrequenciesAreNonUniform) {
+  // Real traces have hot and rare instructions; the Zipf-ish popularity
+  // must show up in the IFT.
+  const Stats s = Stats::make(0.4, 0.7, 17);
+  double mx = 0.0, mn = 1.0;
+  for (int i = 0; i < 24; ++i) {
+    mx = std::max(mx, s.an.ift().prob(i));
+    mn = std::min(mn, s.an.ift().prob(i));
+  }
+  EXPECT_GT(mx, 3.0 * std::max(mn, 1e-6));
+}
+
+}  // namespace
+}  // namespace gcr::benchdata

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "clocktree/bounded.h"
+#include "clocktree/zskew.h"
+
+/// Randomized property suite for the merge arithmetic: commutativity,
+/// exact balance, snaking correctness and bounded-skew width guarantees
+/// over thousands of random subtree pairs, gated and ungated, sized and
+/// unit.
+
+namespace gcr::ct {
+namespace {
+
+class MergeFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::mt19937_64 rng{GetParam()};
+  tech::TechParams t;
+
+  SubtreeTap random_tap() {
+    std::uniform_real_distribution<double> c(0.0, 5000.0);
+    std::uniform_real_distribution<double> cap(0.005, 0.6);
+    std::uniform_real_distribution<double> delay(0.0, 300.0);
+    SubtreeTap tap;
+    const geom::Point p{c(rng), c(rng)};
+    tap.ms = (rng() % 2) ? geom::TiltedRect::from_point(p)
+                         : geom::TiltedRect::arc(
+                               p, {p.x + 200.0, p.y + (rng() % 2 ? 200.0
+                                                                 : -200.0)});
+    tap.cap = cap(rng);
+    tap.delay = delay(rng);
+    return tap;
+  }
+};
+
+TEST_P(MergeFuzz, MergeIsCommutative) {
+  for (int i = 0; i < 1000; ++i) {
+    const SubtreeTap a = random_tap();
+    const SubtreeTap b = random_tap();
+    const bool ga = rng() % 2;
+    const bool gb = rng() % 2;
+    const MergeResult ab = zero_skew_merge(a, ga, b, gb, t);
+    const MergeResult ba = zero_skew_merge(b, gb, a, ga, t);
+    EXPECT_NEAR(ab.len_a, ba.len_b, 1e-6);
+    EXPECT_NEAR(ab.len_b, ba.len_a, 1e-6);
+    EXPECT_NEAR(ab.delay, ba.delay, 1e-6);
+    EXPECT_NEAR(ab.cap, ba.cap, 1e-12);
+    EXPECT_NEAR(ab.ms.distance_to(ba.ms), 0.0, 1e-6);
+  }
+}
+
+TEST_P(MergeFuzz, DelaysBalanceExactly) {
+  for (int i = 0; i < 1000; ++i) {
+    const SubtreeTap a = random_tap();
+    const SubtreeTap b = random_tap();
+    const bool ga = rng() % 2;
+    const bool gb = rng() % 2;
+    std::uniform_real_distribution<double> sz(0.5, 4.0);
+    const double sa = sz(rng);
+    const double sb = sz(rng);
+    const MergeResult m = zero_skew_merge(a, ga, b, gb, t, sa, sb);
+    const double da = branch_delay(a, ga, m.len_a, t, sa);
+    const double db = branch_delay(b, gb, m.len_b, t, sb);
+    EXPECT_NEAR(da, db, 1e-6 * std::max(1.0, da));
+    EXPECT_EQ(m.delay, da);
+    // Total wire always covers the geometric separation.
+    EXPECT_GE(m.len_a + m.len_b,
+              a.ms.distance_to(b.ms) - 1e-6);
+    // The merging segment sits between the subtrees.
+    EXPECT_LE(m.ms.distance_to(a.ms), m.len_a + 1e-6);
+    EXPECT_LE(m.ms.distance_to(b.ms), m.len_b + 1e-6);
+  }
+}
+
+TEST_P(MergeFuzz, SnakingOnlyWhenBalanceInfeasible) {
+  for (int i = 0; i < 1000; ++i) {
+    const SubtreeTap a = random_tap();
+    const SubtreeTap b = random_tap();
+    const MergeResult m = zero_skew_merge(a, false, b, false, t);
+    const double dist = a.ms.distance_to(b.ms);
+    const double total = m.len_a + m.len_b;
+    if (total > dist + 1e-6) {
+      // Snaked: one side must be at zero length.
+      EXPECT_TRUE(m.len_a < 1e-9 || m.len_b < 1e-9);
+    } else {
+      EXPECT_NEAR(total, dist, 1e-6);
+    }
+  }
+}
+
+TEST_P(MergeFuzz, BoundedWidthNeverExceedsBudget) {
+  std::uniform_real_distribution<double> w(0.0, 40.0);
+  for (int i = 0; i < 500; ++i) {
+    const SubtreeTap ta = random_tap();
+    const SubtreeTap tb = random_tap();
+    const double wa = w(rng);
+    const double wb = w(rng);
+    const SkewTap a{ta.ms, ta.delay, ta.delay + wa, ta.cap};
+    const SkewTap b{tb.ms, tb.delay, tb.delay + wb, tb.cap};
+    const double bound = std::max(wa, wb) + w(rng);
+    const bool ga = rng() % 2;
+    const bool gb = rng() % 2;
+    const BoundedMergeResult m = bounded_skew_merge(a, ga, b, gb, t, bound);
+    EXPECT_LE(m.dmax - m.dmin, bound + 1e-6) << "trial " << i;
+    EXPECT_GE(m.dmax - m.dmin, std::max(wa, wb) - 1e-9);
+    // The interval must cover both branch intervals.
+    const auto [alo, ahi] = branch_interval(a, ga, m.len_a, t);
+    const auto [blo, bhi] = branch_interval(b, gb, m.len_b, t);
+    EXPECT_NEAR(m.dmin, std::min(alo, blo), 1e-9);
+    EXPECT_NEAR(m.dmax, std::max(ahi, bhi), 1e-9);
+  }
+}
+
+TEST_P(MergeFuzz, BiggerBudgetNeverCostsMoreWire) {
+  std::uniform_real_distribution<double> w(0.0, 20.0);
+  for (int i = 0; i < 300; ++i) {
+    const SubtreeTap ta = random_tap();
+    const SubtreeTap tb = random_tap();
+    const SkewTap a{ta.ms, ta.delay, ta.delay + w(rng), ta.cap};
+    const SkewTap b{tb.ms, tb.delay, tb.delay + w(rng), tb.cap};
+    const double base = std::max(a.width(), b.width());
+    double prev = std::numeric_limits<double>::infinity();
+    for (const double extra : {0.0, 10.0, 100.0, 1000.0}) {
+      const BoundedMergeResult m =
+          bounded_skew_merge(a, false, b, false, t, base + extra);
+      const double wire = m.len_a + m.len_b;
+      EXPECT_LE(wire, prev + 1e-6);
+      prev = wire;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeFuzz, ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace gcr::ct

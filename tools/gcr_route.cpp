@@ -1,0 +1,217 @@
+/// \file gcr_route.cpp
+/// Command-line front end of the library: route a design from files.
+///
+/// Usage:
+///   gcr_route --sinks <file> --rtl <file> --stream <file>
+///             [--style buffered|gated|reduced] [--partitions k]
+///             [--strength s | --auto-tune] [--svg out.svg]
+///             [--tree out.tree] [--csv]
+///
+/// Input formats are the library's text formats (see io/text_io.h); use
+/// `gcr_route --demo <dir>` to emit a ready-to-route example design.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "core/router.h"
+#include "eval/table.h"
+#include "io/svg.h"
+#include "io/text_io.h"
+#include "io/tree_io.h"
+
+using namespace gcr;
+
+namespace {
+
+struct Args {
+  std::string sinks, rtl, stream;
+  std::string style = "reduced";
+  std::string topology = "swcap";
+  int partitions = 1;
+  std::optional<double> strength;
+  bool auto_tune = false;
+  bool clustered = false;
+  bool sizing = false;
+  double skew_bound = 0.0;
+  std::string svg, tree_out, demo_dir;
+  bool csv = false;
+};
+
+void usage() {
+  std::cerr
+      << "usage: gcr_route --sinks F --rtl F --stream F [options]\n"
+         "       gcr_route --demo DIR   (write an example design to DIR)\n"
+         "options:\n"
+         "  --style buffered|gated|reduced   tree style (default reduced)\n"
+         "  --topology swcap|nn|activity|mmm topology scheme (default swcap)\n"
+         "  --partitions K                   distributed controllers (perfect square)\n"
+         "  --strength S                     reduction aggressiveness in [0,1]\n"
+         "  --auto-tune                      sweep reduction strength, keep best\n"
+         "  --clustered                      two-level construction (large designs)\n"
+         "  --size-gates                     per-merge gate sizing\n"
+         "  --skew-bound PS                  skew budget (0 = exact zero skew)\n"
+         "  --svg FILE                       write layout drawing\n"
+         "  --tree FILE                      write routed tree (text format)\n"
+         "  --csv                            machine-readable report\n";
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (flag == "--sinks") {
+      if (const char* v = next()) a.sinks = v; else return std::nullopt;
+    } else if (flag == "--rtl") {
+      if (const char* v = next()) a.rtl = v; else return std::nullopt;
+    } else if (flag == "--stream") {
+      if (const char* v = next()) a.stream = v; else return std::nullopt;
+    } else if (flag == "--style") {
+      if (const char* v = next()) a.style = v; else return std::nullopt;
+    } else if (flag == "--topology") {
+      if (const char* v = next()) a.topology = v; else return std::nullopt;
+    } else if (flag == "--clustered") {
+      a.clustered = true;
+    } else if (flag == "--size-gates") {
+      a.sizing = true;
+    } else if (flag == "--skew-bound") {
+      if (const char* v = next()) a.skew_bound = std::atof(v); else return std::nullopt;
+    } else if (flag == "--partitions") {
+      if (const char* v = next()) a.partitions = std::atoi(v); else return std::nullopt;
+    } else if (flag == "--strength") {
+      if (const char* v = next()) a.strength = std::atof(v); else return std::nullopt;
+    } else if (flag == "--auto-tune") {
+      a.auto_tune = true;
+    } else if (flag == "--svg") {
+      if (const char* v = next()) a.svg = v; else return std::nullopt;
+    } else if (flag == "--tree") {
+      if (const char* v = next()) a.tree_out = v; else return std::nullopt;
+    } else if (flag == "--demo") {
+      if (const char* v = next()) a.demo_dir = v; else return std::nullopt;
+    } else if (flag == "--csv") {
+      a.csv = true;
+    } else {
+      std::cerr << "unknown flag: " << flag << '\n';
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+int write_demo(const std::string& dir) {
+  benchdata::RBenchSpec spec{"demo", 64, 10000.0, 0.005, 0.06, 11};
+  const benchdata::RBench rb = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec wspec;
+  wspec.num_instructions = 16;
+  wspec.target_activity = 0.35;
+  wspec.locality = 0.85;
+  wspec.stream_length = 5000;
+  const benchdata::Workload wl =
+      benchdata::generate_workload(wspec, rb.sinks, rb.die);
+
+  std::ofstream sf(dir + "/demo.sinks");
+  io::write_sinks(sf, rb.die, rb.sinks);
+  std::ofstream rf(dir + "/demo.rtl");
+  io::write_rtl(rf, wl.rtl);
+  std::ofstream tf(dir + "/demo.stream");
+  io::write_stream(tf, wl.stream);
+  std::cout << "wrote " << dir << "/demo.{sinks,rtl,stream}\n"
+            << "try: gcr_route --sinks " << dir << "/demo.sinks --rtl " << dir
+            << "/demo.rtl --stream " << dir << "/demo.stream --auto-tune\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Args> parsed = parse(argc, argv);
+  if (!parsed) {
+    usage();
+    return 2;
+  }
+  const Args& a = *parsed;
+  if (!a.demo_dir.empty()) return write_demo(a.demo_dir);
+  if (a.sinks.empty() || a.rtl.empty() || a.stream.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    std::ifstream sf(a.sinks);
+    if (!sf) throw std::runtime_error("cannot open " + a.sinks);
+    io::SinksFile sinks = io::read_sinks(sf);
+    std::ifstream rf(a.rtl);
+    if (!rf) throw std::runtime_error("cannot open " + a.rtl);
+    activity::RtlDescription rtl = io::read_rtl(rf);
+    std::ifstream tf(a.stream);
+    if (!tf) throw std::runtime_error("cannot open " + a.stream);
+    activity::InstructionStream stream = io::read_stream(tf);
+
+    if (rtl.num_modules() < static_cast<int>(sinks.sinks.size()))
+      throw std::runtime_error("rtl has fewer modules than sinks");
+    for (const int i : stream.seq)
+      if (i < 0 || i >= rtl.num_instructions())
+        throw std::runtime_error("stream instruction id out of range");
+
+    core::Design design{sinks.die, std::move(sinks.sinks), std::move(rtl),
+                        std::move(stream), {}};
+    const core::GatedClockRouter router(std::move(design));
+
+    core::RouterOptions opts;
+    if (a.style == "buffered") opts.style = core::TreeStyle::Buffered;
+    else if (a.style == "gated") opts.style = core::TreeStyle::Gated;
+    else if (a.style == "reduced") opts.style = core::TreeStyle::GatedReduced;
+    else throw std::runtime_error("unknown style: " + a.style);
+    if (a.topology == "swcap") opts.topology = core::TopologyScheme::MinSwitchedCap;
+    else if (a.topology == "nn") opts.topology = core::TopologyScheme::NearestNeighbor;
+    else if (a.topology == "activity") opts.topology = core::TopologyScheme::ActivityOnly;
+    else if (a.topology == "mmm") opts.topology = core::TopologyScheme::Mmm;
+    else throw std::runtime_error("unknown topology: " + a.topology);
+    opts.controller_partitions = a.partitions;
+    opts.auto_tune_reduction = a.auto_tune;
+    opts.clustered = a.clustered;
+    opts.skew_bound = a.skew_bound;
+    if (a.sizing) opts.gate_sizing = ct::GateSizing::MinWirelength;
+    if (a.strength)
+      opts.reduction = gating::GateReductionParams::from_strength(*a.strength);
+
+    const core::RouterResult r = router.route(opts);
+
+    eval::Table t({"metric", "value"});
+    t.add_row({"style", a.style});
+    t.add_row({"sinks", std::to_string(r.tree.num_leaves)});
+    t.add_row({"W(T) clock swcap pF", eval::Table::num(r.swcap.clock_swcap)});
+    t.add_row({"W(S) ctrl swcap pF", eval::Table::num(r.swcap.ctrl_swcap)});
+    t.add_row({"W total pF", eval::Table::num(r.swcap.total_swcap())});
+    t.add_row({"area lambda^2", eval::Table::num(r.swcap.total_area(), 0)});
+    t.add_row({"clock wirelength", eval::Table::num(r.swcap.clock_wirelength, 0)});
+    t.add_row({"star wirelength", eval::Table::num(r.swcap.star_wirelength, 0)});
+    t.add_row({"gates", std::to_string(r.swcap.num_cells)});
+    t.add_row({"gate reduction %", eval::Table::num(r.gate_reduction_pct(), 1)});
+    t.add_row({"max delay", eval::Table::num(r.delays.max_delay, 2)});
+    t.add_row({"skew", eval::Table::num(r.delays.skew(), 9)});
+    if (a.csv) t.print_csv(std::cout); else t.print(std::cout);
+
+    if (!a.svg.empty()) {
+      std::ofstream os(a.svg);
+      const gating::ControllerPlacement ctrl(router.design().die,
+                                             a.partitions);
+      io::write_svg(os, r.tree, router.design().die, ctrl);
+    }
+    if (!a.tree_out.empty()) {
+      std::ofstream os(a.tree_out);
+      io::write_routed_tree(os, r.tree);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
