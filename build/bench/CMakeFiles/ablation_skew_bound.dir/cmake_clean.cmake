@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skew_bound.dir/ablation_skew_bound.cpp.o"
+  "CMakeFiles/ablation_skew_bound.dir/ablation_skew_bound.cpp.o.d"
+  "ablation_skew_bound"
+  "ablation_skew_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skew_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

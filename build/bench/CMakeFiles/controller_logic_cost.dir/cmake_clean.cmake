@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_logic_cost.dir/controller_logic_cost.cpp.o"
+  "CMakeFiles/controller_logic_cost.dir/controller_logic_cost.cpp.o.d"
+  "controller_logic_cost"
+  "controller_logic_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_logic_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

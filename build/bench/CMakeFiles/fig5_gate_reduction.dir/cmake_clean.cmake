@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gate_reduction.dir/fig5_gate_reduction.cpp.o"
+  "CMakeFiles/fig5_gate_reduction.dir/fig5_gate_reduction.cpp.o.d"
+  "fig5_gate_reduction"
+  "fig5_gate_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gate_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

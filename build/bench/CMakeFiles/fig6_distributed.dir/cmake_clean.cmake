@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_distributed.dir/fig6_distributed.cpp.o"
+  "CMakeFiles/fig6_distributed.dir/fig6_distributed.cpp.o.d"
+  "fig6_distributed"
+  "fig6_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_design.dir/large_design.cpp.o"
+  "CMakeFiles/large_design.dir/large_design.cpp.o.d"
+  "large_design"
+  "large_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table123_activity_example.dir/table123_activity_example.cpp.o"
+  "CMakeFiles/table123_activity_example.dir/table123_activity_example.cpp.o.d"
+  "table123_activity_example"
+  "table123_activity_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table123_activity_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

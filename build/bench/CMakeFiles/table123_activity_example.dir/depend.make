@@ -1,0 +1,2 @@
+# Empty dependencies file for table123_activity_example.
+# This may be replaced when dependencies are built.

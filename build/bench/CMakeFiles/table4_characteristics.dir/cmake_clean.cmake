@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_characteristics.dir/table4_characteristics.cpp.o"
+  "CMakeFiles/table4_characteristics.dir/table4_characteristics.cpp.o.d"
+  "table4_characteristics"
+  "table4_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

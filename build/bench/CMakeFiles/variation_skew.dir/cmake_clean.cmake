@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_skew.dir/variation_skew.cpp.o"
+  "CMakeFiles/variation_skew.dir/variation_skew.cpp.o.d"
+  "variation_skew"
+  "variation_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_tables.dir/activity_tables.cpp.o"
+  "CMakeFiles/activity_tables.dir/activity_tables.cpp.o.d"
+  "activity_tables"
+  "activity_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

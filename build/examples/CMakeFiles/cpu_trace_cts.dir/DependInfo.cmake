@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cpu_trace_cts.cpp" "examples/CMakeFiles/cpu_trace_cts.dir/cpu_trace_cts.cpp.o" "gcc" "examples/CMakeFiles/cpu_trace_cts.dir/cpu_trace_cts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gcr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchdata/CMakeFiles/gcr_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gcr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gcr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/gcr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/gcr_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/gating/CMakeFiles/gcr_gating.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/gcr_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/gcr_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gcr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_trace_cts.dir/cpu_trace_cts.cpp.o"
+  "CMakeFiles/cpu_trace_cts.dir/cpu_trace_cts.cpp.o.d"
+  "cpu_trace_cts"
+  "cpu_trace_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_trace_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

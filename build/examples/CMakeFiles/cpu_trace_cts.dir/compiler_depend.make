@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cpu_trace_cts.
+# This may be replaced when dependencies are built.

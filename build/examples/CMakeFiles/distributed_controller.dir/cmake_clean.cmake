@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_controller.dir/distributed_controller.cpp.o"
+  "CMakeFiles/distributed_controller.dir/distributed_controller.cpp.o.d"
+  "distributed_controller"
+  "distributed_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_svg.dir/layout_svg.cpp.o"
+  "CMakeFiles/layout_svg.dir/layout_svg.cpp.o.d"
+  "layout_svg"
+  "layout_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

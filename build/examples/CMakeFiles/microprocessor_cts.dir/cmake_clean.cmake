@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microprocessor_cts.dir/microprocessor_cts.cpp.o"
+  "CMakeFiles/microprocessor_cts.dir/microprocessor_cts.cpp.o.d"
+  "microprocessor_cts"
+  "microprocessor_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microprocessor_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

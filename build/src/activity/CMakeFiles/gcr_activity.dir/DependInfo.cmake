@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/activity/analyzer.cpp" "src/activity/CMakeFiles/gcr_activity.dir/analyzer.cpp.o" "gcc" "src/activity/CMakeFiles/gcr_activity.dir/analyzer.cpp.o.d"
+  "/root/repo/src/activity/brute_force.cpp" "src/activity/CMakeFiles/gcr_activity.dir/brute_force.cpp.o" "gcc" "src/activity/CMakeFiles/gcr_activity.dir/brute_force.cpp.o.d"
+  "/root/repo/src/activity/ift.cpp" "src/activity/CMakeFiles/gcr_activity.dir/ift.cpp.o" "gcc" "src/activity/CMakeFiles/gcr_activity.dir/ift.cpp.o.d"
+  "/root/repo/src/activity/imatt.cpp" "src/activity/CMakeFiles/gcr_activity.dir/imatt.cpp.o" "gcc" "src/activity/CMakeFiles/gcr_activity.dir/imatt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_activity.dir/analyzer.cpp.o"
+  "CMakeFiles/gcr_activity.dir/analyzer.cpp.o.d"
+  "CMakeFiles/gcr_activity.dir/brute_force.cpp.o"
+  "CMakeFiles/gcr_activity.dir/brute_force.cpp.o.d"
+  "CMakeFiles/gcr_activity.dir/ift.cpp.o"
+  "CMakeFiles/gcr_activity.dir/ift.cpp.o.d"
+  "CMakeFiles/gcr_activity.dir/imatt.cpp.o"
+  "CMakeFiles/gcr_activity.dir/imatt.cpp.o.d"
+  "libgcr_activity.a"
+  "libgcr_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

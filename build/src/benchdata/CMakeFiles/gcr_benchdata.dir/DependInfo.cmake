@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchdata/paper_example.cpp" "src/benchdata/CMakeFiles/gcr_benchdata.dir/paper_example.cpp.o" "gcc" "src/benchdata/CMakeFiles/gcr_benchdata.dir/paper_example.cpp.o.d"
+  "/root/repo/src/benchdata/rbench.cpp" "src/benchdata/CMakeFiles/gcr_benchdata.dir/rbench.cpp.o" "gcc" "src/benchdata/CMakeFiles/gcr_benchdata.dir/rbench.cpp.o.d"
+  "/root/repo/src/benchdata/workload.cpp" "src/benchdata/CMakeFiles/gcr_benchdata.dir/workload.cpp.o" "gcc" "src/benchdata/CMakeFiles/gcr_benchdata.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/gcr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/gcr_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/gcr_clocktree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_benchdata.dir/paper_example.cpp.o"
+  "CMakeFiles/gcr_benchdata.dir/paper_example.cpp.o.d"
+  "CMakeFiles/gcr_benchdata.dir/rbench.cpp.o"
+  "CMakeFiles/gcr_benchdata.dir/rbench.cpp.o.d"
+  "CMakeFiles/gcr_benchdata.dir/workload.cpp.o"
+  "CMakeFiles/gcr_benchdata.dir/workload.cpp.o.d"
+  "libgcr_benchdata.a"
+  "libgcr_benchdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

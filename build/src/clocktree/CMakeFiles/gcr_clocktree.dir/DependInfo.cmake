@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocktree/bounded.cpp" "src/clocktree/CMakeFiles/gcr_clocktree.dir/bounded.cpp.o" "gcc" "src/clocktree/CMakeFiles/gcr_clocktree.dir/bounded.cpp.o.d"
+  "/root/repo/src/clocktree/elmore.cpp" "src/clocktree/CMakeFiles/gcr_clocktree.dir/elmore.cpp.o" "gcc" "src/clocktree/CMakeFiles/gcr_clocktree.dir/elmore.cpp.o.d"
+  "/root/repo/src/clocktree/embed.cpp" "src/clocktree/CMakeFiles/gcr_clocktree.dir/embed.cpp.o" "gcc" "src/clocktree/CMakeFiles/gcr_clocktree.dir/embed.cpp.o.d"
+  "/root/repo/src/clocktree/topology.cpp" "src/clocktree/CMakeFiles/gcr_clocktree.dir/topology.cpp.o" "gcc" "src/clocktree/CMakeFiles/gcr_clocktree.dir/topology.cpp.o.d"
+  "/root/repo/src/clocktree/zskew.cpp" "src/clocktree/CMakeFiles/gcr_clocktree.dir/zskew.cpp.o" "gcc" "src/clocktree/CMakeFiles/gcr_clocktree.dir/zskew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/gcr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_clocktree.dir/bounded.cpp.o"
+  "CMakeFiles/gcr_clocktree.dir/bounded.cpp.o.d"
+  "CMakeFiles/gcr_clocktree.dir/elmore.cpp.o"
+  "CMakeFiles/gcr_clocktree.dir/elmore.cpp.o.d"
+  "CMakeFiles/gcr_clocktree.dir/embed.cpp.o"
+  "CMakeFiles/gcr_clocktree.dir/embed.cpp.o.d"
+  "CMakeFiles/gcr_clocktree.dir/topology.cpp.o"
+  "CMakeFiles/gcr_clocktree.dir/topology.cpp.o.d"
+  "CMakeFiles/gcr_clocktree.dir/zskew.cpp.o"
+  "CMakeFiles/gcr_clocktree.dir/zskew.cpp.o.d"
+  "libgcr_clocktree.a"
+  "libgcr_clocktree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

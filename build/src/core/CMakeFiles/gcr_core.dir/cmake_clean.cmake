@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_core.dir/router.cpp.o"
+  "CMakeFiles/gcr_core.dir/router.cpp.o.d"
+  "libgcr_core.a"
+  "libgcr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bridge.cpp" "src/cpu/CMakeFiles/gcr_cpu.dir/bridge.cpp.o" "gcc" "src/cpu/CMakeFiles/gcr_cpu.dir/bridge.cpp.o.d"
+  "/root/repo/src/cpu/isa.cpp" "src/cpu/CMakeFiles/gcr_cpu.dir/isa.cpp.o" "gcc" "src/cpu/CMakeFiles/gcr_cpu.dir/isa.cpp.o.d"
+  "/root/repo/src/cpu/machine.cpp" "src/cpu/CMakeFiles/gcr_cpu.dir/machine.cpp.o" "gcc" "src/cpu/CMakeFiles/gcr_cpu.dir/machine.cpp.o.d"
+  "/root/repo/src/cpu/program.cpp" "src/cpu/CMakeFiles/gcr_cpu.dir/program.cpp.o" "gcc" "src/cpu/CMakeFiles/gcr_cpu.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/activity/CMakeFiles/gcr_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/gcr_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/gcr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_cpu.dir/bridge.cpp.o"
+  "CMakeFiles/gcr_cpu.dir/bridge.cpp.o.d"
+  "CMakeFiles/gcr_cpu.dir/isa.cpp.o"
+  "CMakeFiles/gcr_cpu.dir/isa.cpp.o.d"
+  "CMakeFiles/gcr_cpu.dir/machine.cpp.o"
+  "CMakeFiles/gcr_cpu.dir/machine.cpp.o.d"
+  "CMakeFiles/gcr_cpu.dir/program.cpp.o"
+  "CMakeFiles/gcr_cpu.dir/program.cpp.o.d"
+  "libgcr_cpu.a"
+  "libgcr_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

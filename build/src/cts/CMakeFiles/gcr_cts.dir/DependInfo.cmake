@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cts/clustered.cpp" "src/cts/CMakeFiles/gcr_cts.dir/clustered.cpp.o" "gcc" "src/cts/CMakeFiles/gcr_cts.dir/clustered.cpp.o.d"
+  "/root/repo/src/cts/greedy.cpp" "src/cts/CMakeFiles/gcr_cts.dir/greedy.cpp.o" "gcc" "src/cts/CMakeFiles/gcr_cts.dir/greedy.cpp.o.d"
+  "/root/repo/src/cts/mmm.cpp" "src/cts/CMakeFiles/gcr_cts.dir/mmm.cpp.o" "gcc" "src/cts/CMakeFiles/gcr_cts.dir/mmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/gcr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/gcr_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/gcr_clocktree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

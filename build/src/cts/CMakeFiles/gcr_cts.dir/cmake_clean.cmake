@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_cts.dir/clustered.cpp.o"
+  "CMakeFiles/gcr_cts.dir/clustered.cpp.o.d"
+  "CMakeFiles/gcr_cts.dir/greedy.cpp.o"
+  "CMakeFiles/gcr_cts.dir/greedy.cpp.o.d"
+  "CMakeFiles/gcr_cts.dir/mmm.cpp.o"
+  "CMakeFiles/gcr_cts.dir/mmm.cpp.o.d"
+  "libgcr_cts.a"
+  "libgcr_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

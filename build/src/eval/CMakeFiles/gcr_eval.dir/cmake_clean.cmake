@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_eval.dir/simulate.cpp.o"
+  "CMakeFiles/gcr_eval.dir/simulate.cpp.o.d"
+  "CMakeFiles/gcr_eval.dir/table.cpp.o"
+  "CMakeFiles/gcr_eval.dir/table.cpp.o.d"
+  "CMakeFiles/gcr_eval.dir/variation.cpp.o"
+  "CMakeFiles/gcr_eval.dir/variation.cpp.o.d"
+  "libgcr_eval.a"
+  "libgcr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gating/controller.cpp" "src/gating/CMakeFiles/gcr_gating.dir/controller.cpp.o" "gcc" "src/gating/CMakeFiles/gcr_gating.dir/controller.cpp.o.d"
+  "/root/repo/src/gating/controller_logic.cpp" "src/gating/CMakeFiles/gcr_gating.dir/controller_logic.cpp.o" "gcc" "src/gating/CMakeFiles/gcr_gating.dir/controller_logic.cpp.o.d"
+  "/root/repo/src/gating/gate_reduction.cpp" "src/gating/CMakeFiles/gcr_gating.dir/gate_reduction.cpp.o" "gcc" "src/gating/CMakeFiles/gcr_gating.dir/gate_reduction.cpp.o.d"
+  "/root/repo/src/gating/swcap.cpp" "src/gating/CMakeFiles/gcr_gating.dir/swcap.cpp.o" "gcc" "src/gating/CMakeFiles/gcr_gating.dir/swcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/gcr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/gcr_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/gcr_clocktree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

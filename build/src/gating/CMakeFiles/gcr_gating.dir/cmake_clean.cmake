@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_gating.dir/controller.cpp.o"
+  "CMakeFiles/gcr_gating.dir/controller.cpp.o.d"
+  "CMakeFiles/gcr_gating.dir/controller_logic.cpp.o"
+  "CMakeFiles/gcr_gating.dir/controller_logic.cpp.o.d"
+  "CMakeFiles/gcr_gating.dir/gate_reduction.cpp.o"
+  "CMakeFiles/gcr_gating.dir/gate_reduction.cpp.o.d"
+  "CMakeFiles/gcr_gating.dir/swcap.cpp.o"
+  "CMakeFiles/gcr_gating.dir/swcap.cpp.o.d"
+  "libgcr_gating.a"
+  "libgcr_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_geom.dir/point.cpp.o"
+  "CMakeFiles/gcr_geom.dir/point.cpp.o.d"
+  "CMakeFiles/gcr_geom.dir/tilted_rect.cpp.o"
+  "CMakeFiles/gcr_geom.dir/tilted_rect.cpp.o.d"
+  "libgcr_geom.a"
+  "libgcr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/svg.cpp" "src/io/CMakeFiles/gcr_io.dir/svg.cpp.o" "gcc" "src/io/CMakeFiles/gcr_io.dir/svg.cpp.o.d"
+  "/root/repo/src/io/text_io.cpp" "src/io/CMakeFiles/gcr_io.dir/text_io.cpp.o" "gcc" "src/io/CMakeFiles/gcr_io.dir/text_io.cpp.o.d"
+  "/root/repo/src/io/tree_io.cpp" "src/io/CMakeFiles/gcr_io.dir/tree_io.cpp.o" "gcc" "src/io/CMakeFiles/gcr_io.dir/tree_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/gcr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/activity/CMakeFiles/gcr_activity.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocktree/CMakeFiles/gcr_clocktree.dir/DependInfo.cmake"
+  "/root/repo/build/src/gating/CMakeFiles/gcr_gating.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

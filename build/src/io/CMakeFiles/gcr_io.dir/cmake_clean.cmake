@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_io.dir/svg.cpp.o"
+  "CMakeFiles/gcr_io.dir/svg.cpp.o.d"
+  "CMakeFiles/gcr_io.dir/text_io.cpp.o"
+  "CMakeFiles/gcr_io.dir/text_io.cpp.o.d"
+  "CMakeFiles/gcr_io.dir/tree_io.cpp.o"
+  "CMakeFiles/gcr_io.dir/tree_io.cpp.o.d"
+  "libgcr_io.a"
+  "libgcr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchdata_test.dir/benchdata_test.cpp.o"
+  "CMakeFiles/benchdata_test.dir/benchdata_test.cpp.o.d"
+  "benchdata_test"
+  "benchdata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_test.dir/bounded_test.cpp.o"
+  "CMakeFiles/bounded_test.dir/bounded_test.cpp.o.d"
+  "bounded_test"
+  "bounded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

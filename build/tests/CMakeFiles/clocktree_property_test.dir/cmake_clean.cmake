@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocktree_property_test.dir/clocktree_property_test.cpp.o"
+  "CMakeFiles/clocktree_property_test.dir/clocktree_property_test.cpp.o.d"
+  "clocktree_property_test"
+  "clocktree_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocktree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

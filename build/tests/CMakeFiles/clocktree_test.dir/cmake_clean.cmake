@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocktree_test.dir/clocktree_test.cpp.o"
+  "CMakeFiles/clocktree_test.dir/clocktree_test.cpp.o.d"
+  "clocktree_test"
+  "clocktree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocktree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustered_test.dir/clustered_test.cpp.o"
+  "CMakeFiles/clustered_test.dir/clustered_test.cpp.o.d"
+  "clustered_test"
+  "clustered_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

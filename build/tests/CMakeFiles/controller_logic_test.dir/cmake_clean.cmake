@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_logic_test.dir/controller_logic_test.cpp.o"
+  "CMakeFiles/controller_logic_test.dir/controller_logic_test.cpp.o.d"
+  "controller_logic_test"
+  "controller_logic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_fuzz_test.dir/geom_fuzz_test.cpp.o"
+  "CMakeFiles/geom_fuzz_test.dir/geom_fuzz_test.cpp.o.d"
+  "geom_fuzz_test"
+  "geom_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

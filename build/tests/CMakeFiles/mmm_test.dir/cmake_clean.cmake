@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_test.dir/mmm_test.cpp.o"
+  "CMakeFiles/mmm_test.dir/mmm_test.cpp.o.d"
+  "mmm_test"
+  "mmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

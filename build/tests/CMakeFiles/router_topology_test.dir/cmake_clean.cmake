@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_topology_test.dir/router_topology_test.cpp.o"
+  "CMakeFiles/router_topology_test.dir/router_topology_test.cpp.o.d"
+  "router_topology_test"
+  "router_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_io_test.dir/tree_io_test.cpp.o"
+  "CMakeFiles/tree_io_test.dir/tree_io_test.cpp.o.d"
+  "tree_io_test"
+  "tree_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zskew_fuzz_test.dir/zskew_fuzz_test.cpp.o"
+  "CMakeFiles/zskew_fuzz_test.dir/zskew_fuzz_test.cpp.o.d"
+  "zskew_fuzz_test"
+  "zskew_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zskew_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

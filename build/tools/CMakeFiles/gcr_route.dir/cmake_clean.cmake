@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcr_route.dir/gcr_route.cpp.o"
+  "CMakeFiles/gcr_route.dir/gcr_route.cpp.o.d"
+  "gcr_route"
+  "gcr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
