@@ -1,11 +1,17 @@
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "benchdata/rbench.h"
 #include "benchdata/workload.h"
 #include "core/router.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/session.h"
 
 /// \file common.h
 /// Shared setup for the paper-reproduction benches: build a Design for an
@@ -13,6 +19,42 @@
 /// ~40% average module activity unless overridden).
 
 namespace gcr::bench {
+
+/// Opt-in JSON sidecar for bench runs: when GCR_BENCH_NAME is set in the
+/// environment (scripts/reproduce_all.sh exports it per binary), the whole
+/// process runs under an observability session and writes
+/// `${GCR_BENCH_JSON_DIR:-.}/BENCH_<name>.json` at exit. Without the
+/// variable this is inert, so interactive bench runs are unaffected.
+class ObsScope {
+ public:
+  ObsScope() {
+    const char* name = std::getenv("GCR_BENCH_NAME");
+    if (!name || !*name) return;
+    name_ = name;
+    obs::set_metrics_enabled(true);
+    obs::Registry::global().reset();
+    session_ = std::make_unique<obs::Session>();
+    bind_ = std::make_unique<obs::Bind>(session_.get());
+  }
+
+  ~ObsScope() {
+    if (!session_) return;
+    bind_.reset();
+    const char* dir = std::getenv("GCR_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir && *dir ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (os) obs::write_bench_report(os, name_, *session_);
+    obs::set_metrics_enabled(false);
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<obs::Session> session_;
+  std::unique_ptr<obs::Bind> bind_;
+};
+
+inline ObsScope obs_scope_instance{};
 
 struct Instance {
   benchdata::RBench rb;

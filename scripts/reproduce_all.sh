@@ -16,7 +16,10 @@ for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name="$(basename "$b")"
   echo "== $name =="
-  "$b" 2>&1 | tee "$OUT/$name.txt"
+  # Each bench also drops a machine-readable BENCH_<name>.json sidecar
+  # (phase timings + counters) next to its text output.
+  GCR_BENCH_NAME="$name" GCR_BENCH_JSON_DIR="$OUT" \
+    "$b" 2>&1 | tee "$OUT/$name.txt"
 done
 
 "$BUILD"/examples/layout_svg "$OUT"

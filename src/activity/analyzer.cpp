@@ -2,13 +2,25 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace gcr::activity {
 
 ActivityAnalyzer::ActivityAnalyzer(const RtlDescription& rtl,
                                    const InstructionStream& stream)
+    : ActivityAnalyzer(rtl, stream, obs::ScopedTimer("analyze")) {}
+
+ActivityAnalyzer::ActivityAnalyzer(const RtlDescription& rtl,
+                                   const InstructionStream& stream,
+                                   const obs::ScopedTimer& /*timer*/)
     : rtl_(&rtl),
       ift_(stream, rtl.num_instructions()),
-      imatt_(stream, rtl.num_instructions()) {
+      imatt_(stream, rtl.num_instructions()),
+      sig_queries_(
+          &obs::Registry::global().counter("activity.signal_prob_queries")),
+      tr_queries_(
+          &obs::Registry::global().counter("activity.transition_prob_queries")) {
   const int k = rtl.num_instructions();
   module_masks_.assign(static_cast<std::size_t>(rtl.num_modules()),
                        ActivationMask(k));
@@ -43,6 +55,7 @@ ActivationMask ActivityAnalyzer::mask_for(const ModuleSet& s) const {
 
 double ActivityAnalyzer::signal_prob(const ActivationMask& mask) const {
   assert(mask.size() == num_instructions());
+  if (obs::metrics_enabled()) [[unlikely]] sig_queries_->inc();
   double p = 0.0;
   mask.for_each([&](int k) { p += ift_.prob(k); });
   return p;
@@ -50,6 +63,7 @@ double ActivityAnalyzer::signal_prob(const ActivationMask& mask) const {
 
 double ActivityAnalyzer::transition_prob(const ActivationMask& mask) const {
   assert(mask.size() == num_instructions());
+  if (obs::metrics_enabled()) [[unlikely]] tr_queries_->inc();
   const int k = num_instructions();
   // Collect set bits once; the typical mask is sparse relative to K.
   thread_local std::vector<int> bits;

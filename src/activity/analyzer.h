@@ -4,6 +4,8 @@
 
 #include "activity/ift.h"
 #include "activity/imatt.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 /// \file analyzer.h
 /// The table-driven activity engine (paper section 3.3). Built once per
@@ -59,12 +61,23 @@ class ActivityAnalyzer {
   }
 
  private:
+  /// Delegation target; the public ctor passes a ScopedTimer temporary that
+  /// lives for the whole delegation, so the "analyze" phase covers the
+  /// IFT/IMATT stream scans in the member-init list as well.
+  ActivityAnalyzer(const RtlDescription& rtl, const InstructionStream& stream,
+                   const obs::ScopedTimer& timer);
+
   const RtlDescription* rtl_;
   Ift ift_;
   Imatt imatt_;
   std::vector<ActivationMask> module_masks_;
   std::vector<double> touch_;  ///< touch(a)
   std::vector<double> q_;      ///< K*K symmetric Q(a,b)
+  // Counters resolved once at construction so the per-query guard is a
+  // plain bool load + pointer increment (no static-init check in the
+  // millions-of-calls paths).
+  obs::Counter* sig_queries_;
+  obs::Counter* tr_queries_;
 };
 
 }  // namespace gcr::activity

@@ -6,6 +6,8 @@
 #include "clocktree/embed.h"
 #include "cts/clustered.h"
 #include "cts/mmm.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace gcr::core {
 
@@ -33,6 +35,7 @@ GatedClockRouter::GatedClockRouter(Design design)
 }
 
 RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
+  const obs::ScopedTimer obs_route_timer("route");
   const bool buffered = opts.style == TreeStyle::Buffered;
   const tech::TechParams build_tech =
       buffered ? buffered_view(opts.tech) : opts.tech;
@@ -41,6 +44,7 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
   // 1. Topology: nearest-neighbor for the baseline; the selected scheme
   //    (Eq. 3 by default) for the gated styles.
   cts::BuildResult built = [&] {
+    const obs::ScopedTimer obs_timer("topology");
     if (!buffered && opts.topology == TopologyScheme::Mmm) {
       cts::BuildResult r{cts::build_mmm_topology(design_.sinks), {}, {}, {}};
       cts::TopologyActivity act_topo =
@@ -82,8 +86,10 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
 
   // Node activity depends only on the topology, not the embedding.
   gating::NodeActivity act{built.mask, built.p_en, built.p_tr};
-  const gating::ControllerPlacement ctrl(design_.die,
-                                         opts.controller_partitions);
+  const gating::ControllerPlacement ctrl = [&] {
+    const obs::ScopedTimer obs_timer("controller");
+    return gating::ControllerPlacement(design_.die, opts.controller_partitions);
+  }();
   const gating::CellStyle cell_style =
       buffered ? gating::CellStyle::Buffer : gating::CellStyle::MaskingGate;
 
@@ -99,6 +105,10 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
   bopts_embed.root_hint = cp;
   bopts_embed.skew_bound = opts.skew_bound;
   const auto do_embed = [&](const std::vector<bool>& gate_set) {
+    const obs::ScopedTimer obs_timer("embed");
+    if (obs::metrics_enabled()) {
+      obs::Registry::global().counter("embed.passes").inc();
+    }
     return opts.skew_bound > 0.0
                ? ct::embed_bounded(built.topo, design_.sinks, gate_set,
                                    build_tech, bopts_embed)
@@ -147,8 +157,17 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
   res.gates_before_reduction = buffered ? 0 : gates_before;
   res.activity = std::move(act);
   res.swcap = swcap;
-  res.delays = ct::elmore_delays(tree, build_tech);
+  {
+    const obs::ScopedTimer obs_timer("delays");
+    res.delays = ct::elmore_delays(tree, build_tech);
+  }
   res.tree = std::move(tree);
+  if (obs::metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("router.runs").inc();
+    reg.gauge("router.total_swcap").set(res.swcap.total_swcap());
+    reg.gauge("router.num_gates").set(res.tree.num_gates());
+  }
   return res;
 }
 

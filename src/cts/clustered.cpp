@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace gcr::cts {
 
 namespace {
@@ -54,52 +57,65 @@ BuildResult build_topology_clustered(std::span<const ct::Sink> sinks,
     cells[static_cast<std::size_t>(cy) * grid + cx].push_back(i);
   }
   std::erase_if(cells, [](const auto& c) { return c.empty(); });
+  if (obs::metrics_enabled()) {
+    obs::Registry::global().gauge("cts.cluster_grid").set(grid);
+    obs::Registry::global()
+        .gauge("cts.clusters")
+        .set(static_cast<double>(cells.size()));
+  }
 
   ct::Topology global(n);
   std::vector<SeedSink> tops;  // one pseudo-sink per cell
   std::vector<int> cell_roots;
 
-  for (const auto& cell : cells) {
-    // Local build over the cell's sinks.
-    std::vector<SeedSink> seeds;
-    seeds.reserve(cell.size());
-    activity::ActivationMask cell_mask(
-        analyzer ? analyzer->num_instructions() : 0);
-    geom::Point centroid{0.0, 0.0};
-    double cap = 0.0;
-    for (const int s : cell) {
-      SeedSink seed{sinks[static_cast<std::size_t>(s)],
-                    activity::ActivationMask()};
-      if (analyzer) {
-        seed.mask =
-            analyzer->module_mask(leaf_module[static_cast<std::size_t>(s)]);
-        cell_mask |= seed.mask;
+  {
+    const obs::ScopedTimer obs_cells_timer("cluster_cells");
+    for (const auto& cell : cells) {
+      // Local build over the cell's sinks.
+      std::vector<SeedSink> seeds;
+      seeds.reserve(cell.size());
+      activity::ActivationMask cell_mask(
+          analyzer ? analyzer->num_instructions() : 0);
+      geom::Point centroid{0.0, 0.0};
+      double cap = 0.0;
+      for (const int s : cell) {
+        SeedSink seed{sinks[static_cast<std::size_t>(s)],
+                      activity::ActivationMask()};
+        if (analyzer) {
+          seed.mask =
+              analyzer->module_mask(leaf_module[static_cast<std::size_t>(s)]);
+          cell_mask |= seed.mask;
+        }
+        centroid.x += seed.sink.loc.x;
+        centroid.y += seed.sink.loc.y;
+        cap += seed.sink.cap;
+        seeds.push_back(std::move(seed));
       }
-      centroid.x += seed.sink.loc.x;
-      centroid.y += seed.sink.loc.y;
-      cap += seed.sink.cap;
-      seeds.push_back(std::move(seed));
-    }
-    centroid.x /= static_cast<double>(cell.size());
-    centroid.y /= static_cast<double>(cell.size());
+      centroid.x /= static_cast<double>(cell.size());
+      centroid.y /= static_cast<double>(cell.size());
 
-    BuildResult local = build_topology_seeded(seeds, analyzer, opts.build);
-    cell_roots.push_back(splice(local.topo, cell, global));
-    // The top level sees the cell as a pseudo-sink at its centroid. The
-    // cap only steers merge costs; the real embedding recomputes it.
-    tops.push_back({{centroid, opts.build.gated_edges
-                                   ? opts.build.tech.gate_input_cap
-                                   : cap},
-                    std::move(cell_mask)});
+      BuildResult local = build_topology_seeded(seeds, analyzer, opts.build);
+      cell_roots.push_back(splice(local.topo, cell, global));
+      // The top level sees the cell as a pseudo-sink at its centroid. The
+      // cap only steers merge costs; the real embedding recomputes it.
+      tops.push_back({{centroid, opts.build.gated_edges
+                                     ? opts.build.tech.gate_input_cap
+                                     : cap},
+                      std::move(cell_mask)});
+    }
   }
 
-  // Top-level build over the cells, then splice it in.
-  BuildResult top = build_topology_seeded(tops, analyzer, opts.build);
-  splice(top.topo, cell_roots, global);
+  {
+    // Top-level build over the cells, then splice it in.
+    const obs::ScopedTimer obs_top_timer("cluster_top");
+    BuildResult top = build_topology_seeded(tops, analyzer, opts.build);
+    splice(top.topo, cell_roots, global);
+  }
 
   BuildResult out{std::move(global), {}, {}, {}};
   assert(out.topo.valid());
   if (analyzer) {
+    const obs::ScopedTimer obs_annotate_timer("cluster_annotate");
     TopologyActivity act = annotate_topology(out.topo, *analyzer, leaf_module);
     out.mask = std::move(act.mask);
     out.p_en = std::move(act.p_en);

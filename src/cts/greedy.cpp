@@ -3,6 +3,9 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/session.h"
+
 namespace gcr::cts {
 
 namespace {
@@ -21,6 +24,13 @@ struct BestPartner {
   double cost{std::numeric_limits<double>::infinity()};
   int partner{-1};
   bool stale{true};
+};
+
+/// The chosen merge and its Eq. 3 cost (the switched-cap delta).
+struct Pick {
+  int a{-1};
+  int b{-1};
+  double cost{0.0};
 };
 
 class GreedyEngine {
@@ -56,9 +66,15 @@ class GreedyEngine {
 
   BuildResult run() {
     const int n = topo_.num_leaves();
+    obs::TraceSink* trace = obs::active_trace();
     for (int step = 0; step + 1 < n; ++step) {
-      const auto [a, b] = pick_min_pair();
-      merge(a, b);
+      const Pick pick = pick_min_pair();
+      if (trace) trace_merge_decision(*trace, pick);
+      merge(pick.a, pick.b);
+      if (obs::metrics_enabled()) [[unlikely]] {
+        static obs::Counter& c = obs::Registry::global().counter("cts.merges");
+        c.inc();
+      }
     }
     BuildResult out{std::move(topo_), {}, {}, {}};
     if (analyzer_) {
@@ -75,7 +91,9 @@ class GreedyEngine {
   }
 
  private:
-  /// Cost of merging two live candidates.
+  /// Cost of merging two live candidates. Deliberately uninstrumented --
+  /// this is the innermost loop; callers bulk-count candidate evaluations
+  /// per scan instead.
   double pair_cost(const Candidate& x, const Candidate& y) const {
     if (opts_.cost == MergeCost::NearestNeighbor)
       return x.tap.ms.distance_to(y.tap.ms);
@@ -99,6 +117,14 @@ class GreedyEngine {
   }
 
   void recompute_best(int i) {
+    if (obs::metrics_enabled()) [[unlikely]] {
+      static obs::Counter& recomputes =
+          obs::Registry::global().counter("cts.best_partner_recomputes");
+      static obs::Counter& evals =
+          obs::Registry::global().counter("cts.candidate_evals");
+      recomputes.inc();
+      evals.inc(active_.size() - 1);
+    }
     BestPartner bp;
     const Candidate& ci = cands_[static_cast<std::size_t>(i)];
     for (const int j : active_) {
@@ -113,9 +139,9 @@ class GreedyEngine {
     best_[static_cast<std::size_t>(i)] = bp;
   }
 
-  std::pair<int, int> pick_min_pair() {
+  Pick pick_min_pair() {
     assert(active_.size() >= 2);
-    int argmin = -1;
+    Pick pick;
     double minc = std::numeric_limits<double>::infinity();
     for (const int i : active_) {
       BestPartner& bp = best_[static_cast<std::size_t>(i)];
@@ -123,10 +149,51 @@ class GreedyEngine {
         recompute_best(i);
       if (best_[static_cast<std::size_t>(i)].cost < minc) {
         minc = best_[static_cast<std::size_t>(i)].cost;
-        argmin = i;
+        pick.a = i;
       }
     }
-    return {argmin, best_[static_cast<std::size_t>(argmin)].partner};
+    pick.b = best_[static_cast<std::size_t>(pick.a)].partner;
+    pick.cost = minc;
+    return pick;
+  }
+
+  /// One instant event per Eq. 3 decision: the chosen pair, its
+  /// switched-cap delta, the runner-up (cheapest alternative merge, i.e.
+  /// the best pair that is not the chosen one or its mirror), and the
+  /// current front size. Every best_ entry is fresh here: pick_min_pair
+  /// just revalidated them.
+  void trace_merge_decision(obs::TraceSink& trace, const Pick& pick) const {
+    int ru = -1;
+    double ru_cost = std::numeric_limits<double>::infinity();
+    for (const int i : active_) {
+      if (i == pick.a) continue;
+      const BestPartner& bp = best_[static_cast<std::size_t>(i)];
+      if (i == pick.b && bp.partner == pick.a) continue;
+      if (bp.cost < ru_cost) {
+        ru_cost = bp.cost;
+        ru = i;
+      }
+    }
+    obs::Session* s = obs::current();
+    obs::TraceEvent e;
+    e.name = "merge";
+    e.cat = "cts";
+    e.ph = 'i';
+    e.ts_us = s ? s->now_us() : 0.0;
+    e.args.push_back(obs::TraceArg::num("a", static_cast<long long>(pick.a)));
+    e.args.push_back(obs::TraceArg::num("b", static_cast<long long>(pick.b)));
+    e.args.push_back(obs::TraceArg::num("cost", pick.cost));
+    if (ru >= 0) {
+      e.args.push_back(obs::TraceArg::num("runner_up_a",
+                                          static_cast<long long>(ru)));
+      e.args.push_back(obs::TraceArg::num(
+          "runner_up_b",
+          static_cast<long long>(best_[static_cast<std::size_t>(ru)].partner)));
+      e.args.push_back(obs::TraceArg::num("runner_up_cost", ru_cost));
+    }
+    e.args.push_back(obs::TraceArg::num(
+        "front", static_cast<long long>(active_.size())));
+    trace.event(std::move(e));
   }
 
   void merge(int a, int b) {
@@ -153,6 +220,11 @@ class GreedyEngine {
     cb.alive = false;
     std::erase(active_, a);
     std::erase(active_, b);
+    if (obs::metrics_enabled()) [[unlikely]] {
+      static obs::Counter& evals =
+          obs::Registry::global().counter("cts.candidate_evals");
+      evals.inc(active_.size());
+    }
 
     // The new candidate may beat existing best partners; refresh in one
     // scan and compute its own best on the way.

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace gcr::cts {
 
 namespace {
@@ -46,6 +48,11 @@ struct Builder {
                      });
     const int left = build(lo, mid);
     const int right = build(mid, hi);
+    if (obs::metrics_enabled()) [[unlikely]] {
+      static obs::Counter& c =
+          obs::Registry::global().counter("cts.mmm_splits");
+      c.inc();
+    }
     return topo.merge(left, right);
   }
 };

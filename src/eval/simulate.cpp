@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "activity/bitset.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace gcr::eval {
 
@@ -12,6 +14,13 @@ SimulationResult simulate_swcap(const ct::RoutedTree& tree,
                                 const std::vector<int>& leaf_module,
                                 const gating::ControllerPlacement& ctrl,
                                 const tech::TechParams& tech, bool masking) {
+  const obs::ScopedTimer obs_timer("simulate");
+  if (obs::metrics_enabled()) {
+    obs::Registry::global().counter("eval.sim_runs").inc();
+    obs::Registry::global()
+        .counter("eval.sim_cycles")
+        .inc(static_cast<std::uint64_t>(stream.length()));
+  }
   const int n = tree.num_nodes();
   const int k = rtl.num_instructions();
   assert(static_cast<int>(leaf_module.size()) == tree.num_leaves);

@@ -4,11 +4,20 @@
 #include <cassert>
 #include <random>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace gcr::eval {
 
 VariationReport variation_analysis(const ct::RoutedTree& tree,
                                    const tech::TechParams& tech,
                                    const VariationSpec& spec) {
+  const obs::ScopedTimer obs_timer("variation");
+  if (obs::metrics_enabled()) {
+    obs::Registry::global()
+        .counter("eval.variation_trials")
+        .inc(static_cast<std::uint64_t>(spec.trials));
+  }
   assert(spec.trials > 0);
   const int n = tree.num_nodes();
   std::mt19937_64 rng(spec.seed);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace gcr::gating {
 
 namespace {
@@ -40,7 +42,14 @@ geom::Point ControllerPlacement::controller_for(
 }
 
 double ControllerPlacement::star_length(const geom::Point& gate_loc) const {
-  return geom::manhattan_dist(gate_loc, controller_for(gate_loc));
+  const double len = geom::manhattan_dist(gate_loc, controller_for(gate_loc));
+  if (obs::metrics_enabled()) [[unlikely]] {
+    static obs::Counter& c =
+        obs::Registry::global().counter("controller.star_queries");
+    c.inc();
+    obs::Registry::global().histogram("controller.star_length").observe(len);
+  }
+  return len;
 }
 
 std::vector<geom::Point> ControllerPlacement::controller_locations() const {

@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/timer.h"
+
 namespace gcr::gating {
 
 GateReductionParams GateReductionParams::from_strength(double s) {
@@ -25,6 +29,10 @@ std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
                                const std::vector<double>& p_en,
                                const tech::TechParams& tech,
                                const GateReductionParams& params) {
+  const obs::ScopedTimer obs_timer("reduce");
+  obs::TraceSink* trace = obs::active_trace();
+  std::uint64_t removed = 0, forced = 0;
+
   const int n = fully_gated.num_nodes();
   assert(static_cast<int>(p_en.size()) == n);
   std::vector<bool> gated(static_cast<std::size_t>(n), false);
@@ -61,12 +69,42 @@ std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
 
     // Forced insertion: never let an ungated subtree grow past the cap a
     // single gate is allowed to drive.
-    if (remove && branch_cap >= params.force_cap_multiple * tech.gate_input_cap)
-      remove = false;
+    const bool force =
+        remove && branch_cap >= params.force_cap_multiple * tech.gate_input_cap;
+    if (force) remove = false;
 
     gated[static_cast<std::size_t>(id)] = !remove;
     acc[static_cast<std::size_t>(id)] =
         remove ? branch_cap : tech.gate_input_cap;
+
+    removed += remove ? 1 : 0;
+    forced += force ? 1 : 0;
+    if (trace) {
+      obs::Session* s = obs::current();
+      obs::TraceEvent e;
+      e.name = "reduce";
+      e.cat = "reduction";
+      e.ph = 'i';
+      e.ts_us = s ? s->now_us() : 0.0;
+      e.args.push_back(obs::TraceArg::num("node", static_cast<long long>(id)));
+      e.args.push_back(obs::TraceArg::num("p_en", p));
+      e.args.push_back(obs::TraceArg::num("edge_swcap", edge_swcap));
+      e.args.push_back(obs::TraceArg::boolean("rule_activity", rule1));
+      e.args.push_back(obs::TraceArg::boolean("rule_swcap", rule2));
+      e.args.push_back(obs::TraceArg::boolean("rule_parent", rule3));
+      e.args.push_back(obs::TraceArg::boolean("forced_insertion", force));
+      e.args.push_back(obs::TraceArg::boolean("removed", remove));
+      trace->event(std::move(e));
+    }
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("reduction.gates_removed").inc(removed);
+    reg.counter("reduction.gates_kept")
+        .inc(static_cast<std::uint64_t>(n) - 1 - removed);
+    reg.counter("reduction.forced_insertions").inc(forced);
+    reg.counter("reduction.passes").inc();
   }
   return gated;
 }

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace gcr::gating {
 
 NodeActivity compute_node_activity(const ct::RoutedTree& tree,
@@ -33,6 +36,10 @@ NodeActivity compute_node_activity(const ct::RoutedTree& tree,
 SwCapReport evaluate_swcap(const ct::RoutedTree& tree, const NodeActivity& act,
                            const ControllerPlacement& ctrl,
                            const tech::TechParams& tech, CellStyle style) {
+  const obs::ScopedTimer obs_timer("eval");
+  if (obs::metrics_enabled()) {
+    obs::Registry::global().counter("eval.swcap_evals").inc();
+  }
   const int n = tree.num_nodes();
   assert(static_cast<int>(act.p_en.size()) == n);
   const bool masking = style == CellStyle::MaskingGate;

@@ -1,0 +1,275 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace gcr::obs::json {
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips any double; shorter representations print shorter.
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 17);
+  assert(ec == std::errc());
+  return {buf, ptr};
+}
+
+void Writer::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (depth_ > 0 && (has_elem_ & (1ull << (depth_ - 1)))) os_ << ',';
+  if (depth_ > 0) has_elem_ |= 1ull << (depth_ - 1);
+}
+
+Writer& Writer::begin_object() {
+  separate();
+  assert(depth_ < 64);
+  os_ << '{';
+  ++depth_;
+  has_elem_ &= ~(1ull << (depth_ - 1));
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  assert(depth_ > 0 && !after_key_);
+  --depth_;
+  os_ << '}';
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  separate();
+  assert(depth_ < 64);
+  os_ << '[';
+  ++depth_;
+  has_elem_ &= ~(1ull << (depth_ - 1));
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  assert(depth_ > 0 && !after_key_);
+  --depth_;
+  os_ << ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  assert(!after_key_);
+  separate();
+  os_ << quote(k) << ':';
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  separate();
+  os_ << quote(s);
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  separate();
+  os_ << number(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(bool b) {
+  separate();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::null() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view token) {
+  separate();
+  os_ << token;
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent syntax checker. `p` advances over one construct;
+/// returns false on the first violation.
+class Checker {
+ public:
+  explicit Checker(std::string_view s) : s_(s) {}
+
+  bool run() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] int peek() const {
+    return pos_ < s_.size() ? static_cast<unsigned char>(s_[pos_]) : -1;
+  }
+
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool value() {
+    if (++nesting_ > 256) return false;  // defend the test against cycles
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --nesting_;
+    return ok;
+  }
+
+  bool object() {
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (true) {
+      const int c = peek();
+      if (c < 0 || c < 0x20) return false;  // unterminated or raw control
+      ++pos_;
+      if (c == '"') return true;
+      if (c == '\\') {
+        const int e = peek();
+        ++pos_;
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(peek())) return false;
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+  }
+
+  bool number() {
+    eat('-');
+    if (!std::isdigit(peek())) return false;
+    if (!eat('0'))
+      while (std::isdigit(peek())) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(peek())) return false;
+      while (std::isdigit(peek())) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(peek())) return false;
+      while (std::isdigit(peek())) ++pos_;
+    }
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_{0};
+  int nesting_{0};
+};
+
+}  // namespace
+
+bool valid(std::string_view doc) { return Checker(doc).run(); }
+
+}  // namespace gcr::obs::json

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+/// \file json.h
+/// Minimal streaming JSON writer (and a syntax validator for tests), shared
+/// by the trace exporter and the run-report writer. Zero dependencies: the
+/// observability layer must not pull a JSON library into the core build.
+///
+/// The writer is a thin state machine: begin/end object/array, key(), and
+/// typed value() overloads. Commas and quoting/escaping are handled here so
+/// emitters never concatenate raw strings. Numbers print with enough digits
+/// to round-trip doubles; NaN/Inf (not valid JSON) degrade to null.
+
+namespace gcr::obs::json {
+
+/// Escape `s` into a quoted JSON string token (including the quotes).
+[[nodiscard]] std::string quote(std::string_view s);
+
+/// Format a double as a JSON number token (null for NaN/Inf).
+[[nodiscard]] std::string number(double v);
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Object member key; must be followed by a value or begin_*().
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool b);
+  Writer& null();
+
+  /// Emit a pre-rendered JSON token verbatim (trusted input).
+  Writer& raw(std::string_view token);
+
+  /// Shorthand: key + value.
+  template <typename T>
+  Writer& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void separate();  ///< emit "," if a sibling value precedes
+
+  std::ostream& os_;
+  /// One bool per open container: true once the first element was written.
+  /// Depth beyond 64 is a caller bug (the report nests ~5 deep).
+  std::uint64_t has_elem_{0};
+  int depth_{0};
+  bool after_key_{false};
+};
+
+/// Strict syntax check of a complete JSON document (single value spanning
+/// the whole input, modulo whitespace). Used by tests to assert the trace
+/// and report outputs are well-formed without a parser dependency.
+[[nodiscard]] bool valid(std::string_view doc);
+
+}  // namespace gcr::obs::json

@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace gcr::obs {
+
+namespace detail {
+bool g_metrics_enabled = false;
+}  // namespace detail
+
+void set_metrics_enabled(bool on) { detail::g_metrics_enabled = on; }
+
+namespace {
+
+/// Lock-free monotone update of an atomic double (for min/max).
+template <typename Better>
+void update_extreme(std::atomic<double>& slot, double v, Better better) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int bucket_of(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  const int e = std::ilogb(v) + Histogram::kExpBias;
+  return e < 0 ? 0 : (e >= Histogram::kBuckets ? Histogram::kBuckets - 1 : e);
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expect = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expect, expect + v,
+                                     std::memory_order_relaxed)) {
+  }
+  update_extreme(min_, v, [](double a, double b) { return a < b; });
+  update_extreme(max_, v, [](double a, double b) { return a > b; });
+  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kBuckets; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlive static destructors
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<Registry::CounterEntry> Registry::counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<CounterEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back({name, c->value()});
+  return out;
+}
+
+std::vector<Registry::GaugeEntry> Registry::gauges() const {
+  std::lock_guard lock(mu_);
+  std::vector<GaugeEntry> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.push_back({name, g->value()});
+  return out;
+}
+
+std::vector<Registry::HistogramEntry> Registry::histograms() const {
+  std::lock_guard lock(mu_);
+  std::vector<HistogramEntry> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    out.push_back({name, h->snapshot()});
+  return out;
+}
+
+}  // namespace gcr::obs

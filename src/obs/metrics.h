@@ -1,0 +1,149 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file metrics.h
+/// Process-wide registry of named counters, gauges and histograms.
+///
+/// Design goals, in order:
+///   1. Zero measurable cost when observability is off (the default): every
+///      hot-path increment is guarded by a single plain-bool load + branch
+///      (`metrics_enabled()`), so instrumented inner loops run at full speed.
+///   2. Cheap when on: call sites cache a `Counter&` in a function-local
+///      static, so an enabled increment is one relaxed atomic add.
+///   3. Thread-safe: instruments are atomics; registration takes a mutex
+///      (cold path only).
+///
+/// The registry is process-global (Prometheus-style), not per-run: a run
+/// report snapshots it, and callers that want per-run numbers reset it at
+/// run start (the CLI, the bench harness and the tests all do). Metric
+/// names are dot-separated, subsystem first: `cts.merges`,
+/// `activity.signal_prob_queries`, `reduction.gates_removed`.
+///
+/// Canonical call-site pattern:
+///
+///   if (obs::metrics_enabled()) [[unlikely]] {
+///     static obs::Counter& c =
+///         obs::Registry::global().counter("cts.merges");
+///     c.inc();
+///   }
+
+namespace gcr::obs {
+
+namespace detail {
+extern bool g_metrics_enabled;
+}  // namespace detail
+
+/// Global kill-switch, default off. Reads are a plain load: toggle it only
+/// from a quiescent point (program start, between runs), not concurrently
+/// with instrumented work.
+[[nodiscard]] inline bool metrics_enabled() { return detail::g_metrics_enabled; }
+void set_metrics_enabled(bool on);
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (e.g. `cts.cluster_grid`, front sizes).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Distribution sketch: count/sum/min/max plus power-of-two buckets over
+/// the value's binary exponent. Coarse by design -- it answers "what order
+/// of magnitude do merge costs / edge lengths live at", not percentiles.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  /// Bucket i covers [2^(i-32), 2^(i-31)); i=0 also absorbs 0 and below.
+  static constexpr int kExpBias = 32;
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count{0};
+    double sum{0.0};
+    double min{0.0};  ///< 0 when count == 0
+    double max{0.0};
+    std::array<std::uint64_t, kBuckets> buckets{};
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+class Registry {
+ public:
+  /// The process-wide instance every instrumented call site uses.
+  static Registry& global();
+
+  /// Find-or-create; returned references stay valid for the registry's
+  /// lifetime (instruments are never removed).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zero every instrument (names stay registered).
+  void reset();
+
+  struct CounterEntry {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Histogram::Snapshot snap;
+  };
+
+  /// Name-sorted snapshots (the maps are ordered).
+  [[nodiscard]] std::vector<CounterEntry> counters() const;
+  [[nodiscard]] std::vector<GaugeEntry> gauges() const;
+  [[nodiscard]] std::vector<HistogramEntry> histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace gcr::obs

@@ -1,0 +1,191 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace gcr::obs {
+
+namespace {
+
+const char* style_name(core::TreeStyle s) {
+  switch (s) {
+    case core::TreeStyle::Buffered: return "buffered";
+    case core::TreeStyle::Gated: return "gated";
+    case core::TreeStyle::GatedReduced: return "reduced";
+  }
+  return "?";
+}
+
+const char* topology_name(core::TopologyScheme t) {
+  switch (t) {
+    case core::TopologyScheme::MinSwitchedCap: return "swcap";
+    case core::TopologyScheme::NearestNeighbor: return "nn";
+    case core::TopologyScheme::ActivityOnly: return "activity";
+    case core::TopologyScheme::Mmm: return "mmm";
+  }
+  return "?";
+}
+
+void write_phases(json::Writer& w, const PhaseStats& node) {
+  w.begin_object();
+  w.field("name", node.name);
+  w.field("calls", node.calls);
+  w.field("total_ms", node.total_ms);
+  w.key("children").begin_array();
+  for (const auto& c : node.children) write_phases(w, *c);
+  w.end_array();
+  w.end_object();
+}
+
+void write_phase_forest(json::Writer& w, const Session& session) {
+  w.key("phases").begin_array();
+  for (const auto& c : session.timers().root().children) write_phases(w, *c);
+  w.end_array();
+}
+
+void write_metrics(json::Writer& w) {
+  const Registry& reg = Registry::global();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : reg.counters()) w.field(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : reg.gauges()) w.field(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, snap] : reg.histograms()) {
+    w.key(name).begin_object();
+    w.field("count", snap.count);
+    w.field("sum", snap.sum);
+    w.field("min", snap.min);
+    w.field("max", snap.max);
+    w.field("mean", snap.mean());
+    // Sparse bucket map keyed by the bucket's lower bound (power of two).
+    w.key("buckets").begin_object();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      w.field(json::number(std::ldexp(1.0, i - Histogram::kExpBias)), n);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_options(json::Writer& w, const core::RouterOptions& o) {
+  w.key("options").begin_object();
+  w.field("style", style_name(o.style));
+  w.field("topology", topology_name(o.topology));
+  w.field("clustered", o.clustered);
+  w.field("auto_tune_reduction", o.auto_tune_reduction);
+  w.field("gate_sizing",
+          o.gate_sizing == ct::GateSizing::Unit ? "unit" : "min_wirelength");
+  w.field("skew_bound", o.skew_bound);
+  w.field("controller_partitions", o.controller_partitions);
+  w.key("reduction").begin_object();
+  w.field("theta_activity", o.reduction.theta_activity);
+  w.field("theta_swcap", o.reduction.theta_swcap);
+  w.field("theta_parent", o.reduction.theta_parent);
+  w.field("force_cap_multiple", o.reduction.force_cap_multiple);
+  w.end_object();
+  w.key("tech").begin_object();
+  w.field("unit_res", o.tech.unit_res);
+  w.field("unit_cap", o.tech.unit_cap);
+  w.field("wire_width", o.tech.wire_width);
+  w.field("gate_input_cap", o.tech.gate_input_cap);
+  w.field("gate_enable_cap", o.tech.gate_enable_cap);
+  w.field("gate_output_res", o.tech.gate_output_res);
+  w.field("gate_delay", o.tech.gate_delay);
+  w.field("gate_area", o.tech.gate_area);
+  w.field("or_gate_area", o.tech.or_gate_area);
+  w.field("or_output_cap", o.tech.or_output_cap);
+  w.end_object();
+  w.end_object();
+}
+
+void write_result(json::Writer& w, const core::RouterResult& r) {
+  w.key("result").begin_object();
+  w.field("sinks", r.tree.num_leaves);
+  w.field("nodes", r.tree.num_nodes());
+  w.field("num_gates", r.tree.num_gates());
+  w.field("gates_before_reduction", r.gates_before_reduction);
+  w.field("gate_reduction_pct", r.gate_reduction_pct());
+  w.key("swcap").begin_object();
+  w.field("clock_swcap", r.swcap.clock_swcap);
+  w.field("ctrl_swcap", r.swcap.ctrl_swcap);
+  w.field("total_swcap", r.swcap.total_swcap());
+  w.field("ungated_swcap", r.swcap.ungated_swcap);
+  w.field("clock_wirelength", r.swcap.clock_wirelength);
+  w.field("star_wirelength", r.swcap.star_wirelength);
+  w.field("wire_area", r.swcap.wire_area);
+  w.field("cell_area", r.swcap.cell_area);
+  w.field("total_area", r.swcap.total_area());
+  w.field("num_cells", r.swcap.num_cells);
+  w.end_object();
+  w.key("delays").begin_object();
+  w.field("max_delay", r.delays.max_delay);
+  w.field("min_delay", r.delays.min_delay);
+  w.field("skew", r.delays.skew());
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_run_report(std::ostream& os, const core::RouterOptions& opts,
+                      const core::RouterResult& result,
+                      const Session& session) {
+  json::Writer w(os);
+  w.begin_object();
+  w.field("schema", "gcr.run_report");
+  w.field("version", kReportVersion);
+  write_options(w, opts);
+  write_phase_forest(w, session);
+  write_metrics(w);
+  write_result(w, result);
+  w.end_object();
+  os << '\n';
+}
+
+void write_bench_report(std::ostream& os, std::string_view bench_name,
+                        const Session& session) {
+  json::Writer w(os);
+  w.begin_object();
+  w.field("schema", "gcr.bench_report");
+  w.field("version", kReportVersion);
+  w.field("bench", bench_name);
+  write_phase_forest(w, session);
+  write_metrics(w);
+  w.end_object();
+  os << '\n';
+}
+
+namespace {
+
+void print_phase(std::ostream& os, const PhaseStats& node, int indent) {
+  os << std::string(static_cast<std::size_t>(2 * indent), ' ') << node.name
+     << "  " << std::fixed << std::setprecision(2) << node.total_ms << " ms";
+  if (node.calls > 1) os << "  (x" << node.calls << ")";
+  os << '\n';
+  for (const auto& c : node.children) print_phase(os, *c, indent + 1);
+}
+
+}  // namespace
+
+void print_run_summary(std::ostream& os, const Session& session) {
+  os << "-- phases --\n";
+  for (const auto& c : session.timers().root().children)
+    print_phase(os, *c, 1);
+  os << "-- counters --\n";
+  for (const auto& [name, value] : Registry::global().counters())
+    if (value != 0) os << "  " << name << " = " << value << '\n';
+  for (const auto& [name, value] : Registry::global().gauges())
+    if (value != 0.0) os << "  " << name << " = " << value << '\n';
+}
+
+}  // namespace gcr::obs

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "core/router.h"
+#include "obs/session.h"
+
+/// \file report.h
+/// Versioned JSON run reports: one document per routing run (or per bench
+/// run) carrying the options, the phase-timing tree, every metric in the
+/// global registry, and the final switched-capacitance / delay numbers.
+/// Schema: `{"schema": "gcr.run_report", "version": 1, ...}` -- bump
+/// `kReportVersion` on breaking layout changes and note it in
+/// docs/observability.md.
+///
+/// This is the only observability component that knows about the router's
+/// types, which is why it lives in its own library target (`gcr_obs_report`
+/// links `gcr_core`; the base `gcr_obs` has no dependencies so every layer
+/// of the library can link it).
+
+namespace gcr::obs {
+
+inline constexpr int kReportVersion = 1;
+
+/// Full run report for one routed design.
+void write_run_report(std::ostream& os, const core::RouterOptions& opts,
+                      const core::RouterResult& result, const Session& session);
+
+/// Bench-harness report: phase tree + metrics only (no router result),
+/// tagged with the bench name. Schema "gcr.bench_report", same version.
+void write_bench_report(std::ostream& os, std::string_view bench_name,
+                        const Session& session);
+
+/// Human-readable phase tree + non-zero counters (the CLI's --verbose
+/// output, written to stderr there).
+void print_run_summary(std::ostream& os, const Session& session);
+
+}  // namespace gcr::obs

@@ -1,0 +1,15 @@
+#include "obs/session.h"
+
+namespace gcr::obs {
+
+namespace {
+thread_local Session* t_current = nullptr;
+}  // namespace
+
+Session* current() { return t_current; }
+
+Bind::Bind(Session* s) : prev_(t_current) { t_current = s; }
+
+Bind::~Bind() { t_current = prev_; }
+
+}  // namespace gcr::obs

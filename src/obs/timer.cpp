@@ -1,0 +1,55 @@
+#include "obs/timer.h"
+
+#include <cassert>
+#include <utility>
+
+#include "obs/session.h"
+
+namespace gcr::obs {
+
+PhaseStats& PhaseStats::child(std::string_view child_name) {
+  for (const auto& c : children)
+    if (c->name == child_name) return *c;
+  children.push_back(std::make_unique<PhaseStats>());
+  children.back()->name = std::string(child_name);
+  return *children.back();
+}
+
+PhaseStats& PhaseTimers::push(std::string_view name) {
+  PhaseStats& node = stack_.back()->child(name);
+  stack_.push_back(&node);
+  return node;
+}
+
+void PhaseTimers::pop(double elapsed_ms) {
+  assert(stack_.size() > 1 && "pop without matching push");
+  PhaseStats* node = stack_.back();
+  stack_.pop_back();
+  node->calls += 1;
+  node->total_ms += elapsed_ms;
+}
+
+ScopedTimer::ScopedTimer(const char* name) : name_(name) {
+  Session* s = current();
+  if (!s) return;
+  session_ = s;
+  s->timers().push(name);
+  t0_us_ = s->now_us();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!session_) return;
+  const double t1_us = session_->now_us();
+  session_->timers().pop((t1_us - t0_us_) / 1000.0);
+  if (TraceSink* t = session_->trace()) {
+    TraceEvent e;
+    e.name = name_;
+    e.cat = "phase";
+    e.ph = 'X';
+    e.ts_us = t0_us_;
+    e.dur_us = t1_us - t0_us_;
+    t->event(std::move(e));
+  }
+}
+
+}  // namespace gcr::obs

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file timer.h
+/// RAII scoped phase timers forming a phase tree.
+///
+/// Each routing run produces a tree like
+///
+///   analyze            12.3 ms
+///   route              81.0 ms
+///   ├─ topology        44.1 ms
+///   ├─ embed           21.7 ms  (x12 under auto-tune)
+///   ├─ reduce           2.2 ms
+///   ├─ controller       0.0 ms
+///   └─ eval             9.8 ms
+///
+/// Re-entering a phase name under the same parent aggregates into one node
+/// (calls += 1, total_ms += elapsed), so auto-tune's repeated
+/// embed/reduce/eval iterations stay readable. Durations come from the
+/// monotonic steady clock.
+///
+/// `ScopedTimer` is the only thing instrumented code touches; it is a no-op
+/// (one thread-local load) unless a `Session` is bound on this thread, and
+/// it additionally emits a Chrome trace-event slice when the session has a
+/// trace sink attached. The phase stack is per-session and therefore
+/// per-thread -- a session must not be shared across threads.
+
+namespace gcr::obs {
+
+class Session;
+
+struct PhaseStats {
+  std::string name;
+  int calls{0};
+  double total_ms{0.0};
+  std::vector<std::unique_ptr<PhaseStats>> children;
+
+  /// Find-or-create the child with this name (aggregation point).
+  PhaseStats& child(std::string_view child_name);
+};
+
+/// The per-session collector: a synthetic unnamed root plus the stack of
+/// currently open phases.
+class PhaseTimers {
+ public:
+  PhaseTimers() { stack_.push_back(&root_); }
+
+  [[nodiscard]] const PhaseStats& root() const { return root_; }
+
+  /// Open `name` under the innermost open phase; returns the node.
+  PhaseStats& push(std::string_view name);
+  /// Close the innermost phase, crediting `elapsed_ms` to it.
+  void pop(double elapsed_ms);
+  /// Stack depth excluding the synthetic root (0 = nothing open).
+  [[nodiscard]] int depth() const {
+    return static_cast<int>(stack_.size()) - 1;
+  }
+
+ private:
+  PhaseStats root_;
+  std::vector<PhaseStats*> stack_;
+};
+
+/// Times one phase for the session bound to the current thread (no-op when
+/// none). Stack-allocated only; scopes must nest properly.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Session* session_{nullptr};
+  const char* name_;
+  double t0_us_{0.0};
+};
+
+}  // namespace gcr::obs

@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace gcr::obs {
+
+TraceArg TraceArg::num(std::string key, double v) {
+  return {std::move(key), json::number(v)};
+}
+
+TraceArg TraceArg::num(std::string key, long long v) {
+  return {std::move(key), std::to_string(v)};
+}
+
+TraceArg TraceArg::str(std::string key, std::string_view s) {
+  return {std::move(key), json::quote(s)};
+}
+
+TraceArg TraceArg::boolean(std::string key, bool b) {
+  return {std::move(key), b ? "true" : "false"};
+}
+
+void MemoryTraceSink::event(TraceEvent e) {
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> MemoryTraceSink::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t MemoryTraceSink::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void MemoryTraceSink::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+void MemoryTraceSink::write_chrome_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  json::Writer w(os);
+  w.begin_array();
+  for (const TraceEvent& e : events_) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("cat", e.cat);
+    w.field("ph", std::string_view(&e.ph, 1));
+    // Single-process, single-thread timeline; the viewers require both ids.
+    w.field("pid", 1);
+    w.field("tid", 1);
+    w.field("ts", e.ts_us);
+    if (e.ph == 'X') w.field("dur", e.dur_us);
+    if (e.ph == 'i') w.field("s", "t");  // instant scope: thread
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const TraceArg& a : e.args) w.key(a.key).raw(a.token);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  os << '\n';
+}
+
+}  // namespace gcr::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file trace.h
+/// Event sink for decision-level tracing, exportable as Chrome trace-event
+/// JSON (the array format understood by both `chrome://tracing` and
+/// Perfetto's legacy importer).
+///
+/// Two kinds of events flow through a sink:
+///   * phase slices ('X' complete events) emitted by ScopedTimer, and
+///   * instant decision events ('i') emitted by the algorithms: one per
+///     Eq. 3 merge (chosen pair, switched-cap delta, runner-up, front
+///     size) and one per gate-reduction decision (rules fired, removal).
+///
+/// Emitters must check `obs::active_trace()` before building an event, so
+/// a disabled trace costs one thread-local load and nothing else.
+
+namespace gcr::obs {
+
+/// One pre-rendered "args" entry. Values are stored as final JSON tokens
+/// so the exporter never re-inspects types.
+struct TraceArg {
+  std::string key;
+  std::string token;  ///< valid JSON value token (number / quoted string)
+
+  static TraceArg num(std::string key, double v);
+  static TraceArg num(std::string key, long long v);
+  static TraceArg str(std::string key, std::string_view s);
+  static TraceArg boolean(std::string key, bool b);
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;      ///< subsystem: "phase", "cts", "reduction", ...
+  char ph{'X'};         ///< 'X' complete (has dur), 'i' instant
+  double ts_us{0.0};    ///< microseconds since session start
+  double dur_us{0.0};   ///< 'X' only
+  std::vector<TraceArg> args;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(TraceEvent e) = 0;
+};
+
+/// Buffers events in memory; thread-safe appends. Export with
+/// write_chrome_json() at end of run.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void event(TraceEvent e) override;
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Chrome trace-event JSON array: open the file via the "Load" button of
+  /// chrome://tracing, or drag it into https://ui.perfetto.dev.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gcr::obs

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "activity/brute_force.h"
 #include "benchdata/rbench.h"
 #include "benchdata/workload.h"
 #include "core/router.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/session.h"
+#include "obs/trace.h"
 
 /// End-to-end integration checks on an r1-class instance: the full flow
 /// (workload -> tables -> topology -> gating -> embedding -> evaluation)
@@ -114,6 +121,63 @@ TEST_F(Integration, FullFlowIsDeterministic) {
     EXPECT_EQ(a.tree.node(id).gated, b.tree.node(id).gated) << id;
     EXPECT_DOUBLE_EQ(a.tree.node(id).loc.x, b.tree.node(id).loc.x) << id;
   }
+}
+
+TEST_F(Integration, ObservedRunReportsAllPhasesAndEveryMerge) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+  obs::Session session;
+  obs::MemoryTraceSink sink;
+  session.set_trace(&sink);
+  core::RouterResult r;
+  core::RouterOptions opts;
+  {
+    obs::Bind bind(&session);
+    // A fresh router inside the binding so the analyze phase is captured.
+    core::GatedClockRouter observed(make());
+    opts.style = core::TreeStyle::Gated;
+    r = observed.route(opts);
+  }
+
+  // The greedy front performs exactly N-1 merges, and each one leaves a
+  // decision event in the trace.
+  EXPECT_EQ(obs::Registry::global().counter("cts.merges").value(),
+            static_cast<std::uint64_t>(kSinks - 1));
+  int merge_events = 0;
+  for (const obs::TraceEvent& e : sink.events())
+    if (e.name == "merge") ++merge_events;
+  EXPECT_EQ(merge_events, kSinks - 1);
+
+  std::ostringstream os;
+  obs::write_run_report(os, opts, r, session);
+  const std::string doc = os.str();
+  EXPECT_TRUE(obs::json::valid(doc)) << doc.substr(0, 400);
+  for (const char* phase : {"\"analyze\"", "\"route\"", "\"topology\"",
+                            "\"controller\"", "\"embed\"", "\"eval\"",
+                            "\"delays\""})
+    EXPECT_NE(doc.find(phase), std::string::npos) << phase;
+  EXPECT_NE(doc.find("\"cts.merges\":95"), std::string::npos);
+
+  std::ostringstream ts;
+  sink.write_chrome_json(ts);
+  EXPECT_TRUE(obs::json::valid(ts.str()));
+
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().reset();
+}
+
+TEST_F(Integration, ClusteredBuildStillPerformsExactlyNMinusOneMerges) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  opts.clustered = true;
+  (void)router.route(opts);
+  // N - C local merges plus C - 1 top-level merges: still N - 1 total.
+  EXPECT_EQ(obs::Registry::global().counter("cts.merges").value(),
+            static_cast<std::uint64_t>(kSinks - 1));
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().reset();
 }
 
 TEST_F(Integration, ReductionSweepHasInteriorOptimum) {

@@ -6,6 +6,7 @@
 ///             [--style buffered|gated|reduced] [--partitions k]
 ///             [--strength s | --auto-tune] [--svg out.svg]
 ///             [--tree out.tree] [--csv]
+///             [--report out.json] [--trace out.trace.json] [--verbose]
 ///
 /// Input formats are the library's text formats (see io/text_io.h); use
 /// `gcr_route --demo <dir>` to emit a ready-to-route example design.
@@ -23,6 +24,10 @@
 #include "io/svg.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/session.h"
+#include "obs/trace.h"
 
 using namespace gcr;
 
@@ -40,6 +45,8 @@ struct Args {
   double skew_bound = 0.0;
   std::string svg, tree_out, demo_dir;
   bool csv = false;
+  std::string report, trace;
+  bool verbose = false;
 };
 
 void usage() {
@@ -57,7 +64,12 @@ void usage() {
          "  --skew-bound PS                  skew budget (0 = exact zero skew)\n"
          "  --svg FILE                       write layout drawing\n"
          "  --tree FILE                      write routed tree (text format)\n"
-         "  --csv                            machine-readable report\n";
+         "  --csv                            machine-readable report\n"
+         "  --report FILE                    JSON run report (options, phase\n"
+         "                                   timings, counters, results)\n"
+         "  --trace FILE                     Chrome trace-event JSON (open in\n"
+         "                                   chrome://tracing or Perfetto)\n"
+         "  --verbose                        phase/counter summary to stderr\n";
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -97,6 +109,12 @@ std::optional<Args> parse(int argc, char** argv) {
       if (const char* v = next()) a.demo_dir = v; else return std::nullopt;
     } else if (flag == "--csv") {
       a.csv = true;
+    } else if (flag == "--report") {
+      if (const char* v = next()) a.report = v; else return std::nullopt;
+    } else if (flag == "--trace") {
+      if (const char* v = next()) a.trace = v; else return std::nullopt;
+    } else if (flag == "--verbose") {
+      a.verbose = true;
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -160,6 +178,19 @@ int main(int argc, char** argv) {
       if (i < 0 || i >= rtl.num_instructions())
         throw std::runtime_error("stream instruction id out of range");
 
+    // Observability: bind a session before the router is constructed so
+    // the activity-analysis phase inside the constructor is captured.
+    const bool observed = !a.report.empty() || !a.trace.empty() || a.verbose;
+    obs::Session session;
+    obs::MemoryTraceSink trace_sink;
+    std::optional<obs::Bind> bind;
+    if (observed) {
+      if (!a.trace.empty()) session.set_trace(&trace_sink);
+      obs::set_metrics_enabled(true);
+      obs::Registry::global().reset();
+      bind.emplace(&session);
+    }
+
     core::Design design{sinks.die, std::move(sinks.sinks), std::move(rtl),
                         std::move(stream), {}};
     const core::GatedClockRouter router(std::move(design));
@@ -183,6 +214,18 @@ int main(int argc, char** argv) {
       opts.reduction = gating::GateReductionParams::from_strength(*a.strength);
 
     const core::RouterResult r = router.route(opts);
+
+    if (!a.report.empty()) {
+      std::ofstream os(a.report);
+      if (!os) throw std::runtime_error("cannot open " + a.report);
+      obs::write_run_report(os, opts, r, session);
+    }
+    if (!a.trace.empty()) {
+      std::ofstream os(a.trace);
+      if (!os) throw std::runtime_error("cannot open " + a.trace);
+      trace_sink.write_chrome_json(os);
+    }
+    if (a.verbose) obs::print_run_summary(std::cerr, session);
 
     eval::Table t({"metric", "value"});
     t.add_row({"style", a.style});
