@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/session.h"
+#include "verify/invariants.h"
 
 /// \file common.h
 /// Shared setup for the paper-reproduction benches: build a Design for an
@@ -88,6 +89,15 @@ inline Instance make_instance(const std::string& name, double activity = 0.4) {
   return {std::move(rb), std::move(d)};
 }
 
+/// When GCR_BENCH_SELFCHECK is set (any non-empty value), every bench route
+/// runs under the verify invariant checker; a violation throws and fails
+/// the bench. Off by default -- the checker costs an extra O(N) re-derive
+/// per route, which would perturb the timing columns.
+inline bool selfcheck_enabled() {
+  const char* v = std::getenv("GCR_BENCH_SELFCHECK");
+  return v && *v;
+}
+
 inline core::RouterResult run_style(const core::GatedClockRouter& router,
                                     core::TreeStyle style, int partitions = 1,
                                     bool auto_tune = false) {
@@ -95,6 +105,9 @@ inline core::RouterResult run_style(const core::GatedClockRouter& router,
   opts.style = style;
   opts.controller_partitions = partitions;
   opts.auto_tune_reduction = auto_tune;
+  if (selfcheck_enabled()) {
+    return router.route(opts, verify::make_self_check(router));
+  }
   return router.route(opts);
 }
 

@@ -12,6 +12,16 @@ cmake --build "$BUILD"
 
 ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$OUT/tests.txt"
 
+# Verification harness: a differential sweep over random designs plus a
+# routed-and-selfchecked demo design. Either exits nonzero on any invariant
+# violation, aborting the reproduction before bad numbers land in out/.
+"$BUILD"/tools/gcr_check --random 100 --seed 2026 2>&1 | tee "$OUT/verify.txt"
+demo="$OUT/demo_design"
+mkdir -p "$demo"
+"$BUILD"/tools/gcr_route --demo "$demo" > /dev/null
+"$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" --rtl "$demo/demo.rtl" \
+  --stream "$demo/demo.stream" --auto-tune --selftest > /dev/null
+
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name="$(basename "$b")"

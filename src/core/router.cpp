@@ -11,22 +11,6 @@
 
 namespace gcr::core {
 
-namespace {
-
-/// Technology view for the buffered baseline: the inserted cells are
-/// half-size buffers, so the electrical gate parameters seen by the merge
-/// and embedding math are the buffer's.
-tech::TechParams buffered_view(const tech::TechParams& t) {
-  tech::TechParams b = t;
-  b.gate_input_cap = t.buffer_input_cap();
-  b.gate_output_res = t.buffer_output_res();
-  b.gate_delay = t.buffer_delay();
-  b.gate_area = t.buffer_area();
-  return b;
-}
-
-}  // namespace
-
 GatedClockRouter::GatedClockRouter(Design design)
     : design_(std::move(design)),
       leaf_module_(design_.resolved_sink_modules()),
@@ -34,11 +18,12 @@ GatedClockRouter::GatedClockRouter(Design design)
   assert(static_cast<int>(leaf_module_.size()) == design_.num_sinks());
 }
 
-RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
+RouterResult GatedClockRouter::route(const RouterOptions& opts,
+                                     const SelfCheckHook& self_check) const {
   const obs::ScopedTimer obs_route_timer("route");
   const bool buffered = opts.style == TreeStyle::Buffered;
   const tech::TechParams build_tech =
-      buffered ? buffered_view(opts.tech) : opts.tech;
+      buffered ? opts.tech.as_buffered() : opts.tech;
   const geom::Point cp = design_.die.center();
 
   // 1. Topology: nearest-neighbor for the baseline; the selected scheme
@@ -168,6 +153,7 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts) const {
     reg.gauge("router.total_swcap").set(res.swcap.total_swcap());
     reg.gauge("router.num_gates").set(res.tree.num_gates());
   }
+  if (self_check) self_check(res, opts);
   return res;
 }
 

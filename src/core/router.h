@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "activity/analyzer.h"
@@ -65,6 +66,16 @@ struct RouterOptions {
   tech::TechParams tech{};
 };
 
+struct RouterResult;
+
+/// Optional debug self-check hook: called with the finished result just
+/// before route() returns. gcr::verify installs its invariant checker here
+/// (verify::make_self_check); the hook may throw to reject the result.
+/// Kept outside RouterOptions so option structs stay value-comparable and
+/// cheap to copy in sweeps.
+using SelfCheckHook =
+    std::function<void(const RouterResult&, const RouterOptions&)>;
+
 struct RouterResult {
   ct::RoutedTree tree;
   gating::NodeActivity activity;
@@ -90,8 +101,11 @@ class GatedClockRouter {
     return analyzer_;
   }
 
-  /// Run the full flow for the requested style.
-  [[nodiscard]] RouterResult route(const RouterOptions& opts) const;
+  /// Run the full flow for the requested style. When `self_check` is set it
+  /// runs on the finished result (after observability bookkeeping) and may
+  /// throw; auto-tune candidate results are not individually checked.
+  [[nodiscard]] RouterResult route(const RouterOptions& opts,
+                                   const SelfCheckHook& self_check = {}) const;
 
  private:
   Design design_;

@@ -46,6 +46,18 @@ struct TechParams {
   [[nodiscard]] double buffer_delay() const { return gate_delay; }
   [[nodiscard]] double buffer_area() const { return 0.5 * gate_area; }
 
+  /// The electrical view of the buffered baseline tree: the inserted cells
+  /// are half-size buffers, so the gate parameters seen by the merge,
+  /// embedding and verification math are the buffer's.
+  [[nodiscard]] TechParams as_buffered() const {
+    TechParams b = *this;
+    b.gate_input_cap = buffer_input_cap();
+    b.gate_output_res = buffer_output_res();
+    b.gate_delay = buffer_delay();
+    b.gate_area = buffer_area();
+    return b;
+  }
+
   /// Capacitance of a wire of length `len` [pF].
   [[nodiscard]] double wire_cap(double len) const { return unit_cap * len; }
   /// Resistance of a wire of length `len` [ohm].

@@ -1,0 +1,208 @@
+#include "verify/differential.h"
+
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <random>
+
+#include "activity/brute_force.h"
+#include "core/router.h"
+#include "obs/metrics.h"
+
+namespace gcr::verify {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates (base, index) into a design seed.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct Driver {
+  const DiffOptions& opts;
+  DiffStats stats;
+
+  void fail(const DesignSpec& spec, std::string stage, std::string message,
+            Report report = {}) {
+    if (!opts.dump_dir.empty()) {
+      std::ofstream os(opts.dump_dir + "/verify_fail_" +
+                       std::to_string(spec.seed) + ".json");
+      if (os) write_design_artifact(os, spec, stage, &report);
+    }
+    stats.failures.push_back(
+        {spec, std::move(stage), std::move(message), std::move(report)});
+    if (obs::metrics_enabled()) {
+      obs::Registry::global().counter("verify.diff_failures").inc();
+    }
+  }
+
+  /// Route + invariant-check one configuration; returns the result only
+  /// when it verified clean.
+  std::optional<core::RouterResult> route_checked(
+      const core::GatedClockRouter& router, const DesignSpec& spec,
+      const core::RouterOptions& ropts, const std::string& stage) {
+    core::RouterResult res = router.route(ropts);
+    ++stats.routes;
+    Report rep = verify_result(router, ropts, res);
+    if (!rep.ok()) {
+      fail(spec, stage, "invariant violations", std::move(rep));
+      return std::nullopt;
+    }
+    return res;
+  }
+
+  void check_activity_oracle(const core::GatedClockRouter& router,
+                             const DesignSpec& spec, std::mt19937_64& rng) {
+    const core::Design& d = router.design();
+    const activity::BruteForceActivity oracle(d.rtl, d.stream);
+    const activity::ActivityAnalyzer& table = router.analyzer();
+    const int n = d.rtl.num_modules();
+
+    const auto diff = [&](const activity::ModuleSet& s, const char* what) {
+      ++stats.activity_checks;
+      const double ts = table.signal_prob_of_modules(s);
+      const double bs = oracle.signal_prob(s);
+      if (std::abs(ts - bs) > 1e-9) {
+        fail(spec, "activity-oracle",
+             std::string("signal_prob mismatch on ") + what + ": table " +
+                 std::to_string(ts) + " vs oracle " + std::to_string(bs));
+        return;
+      }
+      const double tt = table.transition_prob_of_modules(s);
+      const double bt = oracle.transition_prob(s);
+      if (std::abs(tt - bt) > 1e-9) {
+        fail(spec, "activity-oracle",
+             std::string("transition_prob mismatch on ") + what + ": table " +
+                 std::to_string(tt) + " vs oracle " + std::to_string(bt));
+      }
+    };
+
+    activity::ModuleSet none(n);
+    diff(none, "the empty set");
+    activity::ModuleSet all(n);
+    for (int m = 0; m < n; ++m) all.set(m);
+    diff(all, "the all-modules set");
+    std::uniform_int_distribution<int> pick(0, n - 1);
+    std::uniform_int_distribution<int> size(1, n);
+    for (int trial = 0; trial < opts.activity_trials; ++trial) {
+      activity::ModuleSet s(n);
+      const int k = size(rng);
+      for (int j = 0; j < k; ++j) s.set(pick(rng));
+      diff(s, "a random set");
+    }
+  }
+
+  void run_design(std::uint64_t dseed) {
+    const DesignSpec spec = random_spec(dseed);
+    if (opts.log) {
+      *opts.log << "design " << stats.designs << " seed " << spec.seed
+                << ": " << spec.num_sinks << " sinks ("
+                << sink_cloud_name(spec.cloud) << "), K="
+                << spec.num_instructions << ", B=" << spec.stream_length
+                << '\n';
+    }
+    const core::GatedClockRouter router(generate_design(spec));
+    ++stats.designs;
+
+    std::mt19937_64 rng(mix(dseed ^ 0xabcdefull));
+    check_activity_oracle(router, spec, rng);
+
+    // Every topology scheme must yield an invariant-clean gated tree.
+    using Scheme = core::TopologyScheme;
+    double flat_swcap_wl = -1.0;
+    for (const auto& [scheme, name] :
+         {std::pair{Scheme::MinSwitchedCap, "swcap"},
+          std::pair{Scheme::NearestNeighbor, "nn"},
+          std::pair{Scheme::ActivityOnly, "activity"},
+          std::pair{Scheme::Mmm, "mmm"}}) {
+      core::RouterOptions ropts;
+      ropts.style = core::TreeStyle::Gated;
+      ropts.topology = scheme;
+      const auto res = route_checked(router, spec, ropts,
+                                     std::string("route:gated:") + name);
+      if (res && scheme == Scheme::MinSwitchedCap) {
+        flat_swcap_wl = res->tree.total_wirelength();
+        // Metamorphic: gating every edge never beats the ungated reference
+        // of the same tree (masking only removes switching).
+        if (res->swcap.clock_swcap >
+            res->swcap.ungated_swcap * (1.0 + 1e-9)) {
+          fail(spec, "route:gated:swcap",
+               "gated W(T) exceeds the ungated reference of the same tree");
+        }
+        if (opts.reduction_check) {
+          core::RouterOptions reduced = ropts;
+          reduced.style = core::TreeStyle::GatedReduced;
+          reduced.auto_tune_reduction = true;
+          const auto red = route_checked(router, spec, reduced,
+                                         "route:reduced:swcap");
+          if (red) {
+            Report rrep;
+            check_gate_reduction(res->swcap.total_swcap(),
+                                 red->swcap.total_swcap(), rrep);
+            if (!rrep.ok()) {
+              fail(spec, "reduction-monotone",
+                   "auto-tuned reduction increased total switched cap",
+                   std::move(rrep));
+            }
+          }
+        }
+      }
+    }
+
+    // The buffered baseline verifies with buffer parameters.
+    {
+      core::RouterOptions ropts;
+      ropts.style = core::TreeStyle::Buffered;
+      route_checked(router, spec, ropts, "route:buffered");
+    }
+
+    // Flat vs clustered greedy: same zero-skew guarantee (enforced by the
+    // invariant check), wirelength within the documented factor.
+    if (opts.clustered_check && flat_swcap_wl > 0.0) {
+      core::RouterOptions ropts;
+      ropts.style = core::TreeStyle::Gated;
+      ropts.topology = Scheme::MinSwitchedCap;
+      ropts.clustered = true;
+      const auto res =
+          route_checked(router, spec, ropts, "route:gated:clustered");
+      if (res && spec.num_sinks >= opts.clustered_min_sinks) {
+        const double wl = res->tree.total_wirelength();
+        if (opts.log) {
+          *opts.log << "  clustered/flat wirelength ratio "
+                    << wl / flat_swcap_wl << '\n';
+        }
+        if (wl > opts.clustered_wl_factor * flat_swcap_wl + 1e-6) {
+          fail(spec, "clustered-wirelength",
+               "clustered wirelength " + std::to_string(wl) +
+                   " exceeds " +
+                   std::to_string(opts.clustered_wl_factor) +
+                   "x flat (" + std::to_string(flat_swcap_wl) + ")");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t design_seed(std::uint64_t base, int index) {
+  return mix(base + static_cast<std::uint64_t>(index));
+}
+
+DiffStats run_differential(const DiffOptions& opts) {
+  Driver driver{opts, {}};
+  if (!opts.explicit_seeds.empty()) {
+    for (const std::uint64_t s : opts.explicit_seeds) driver.run_design(s);
+  } else {
+    for (int i = 0; i < opts.num_designs; ++i) {
+      driver.run_design(design_seed(opts.seed, i));
+    }
+  }
+  return std::move(driver.stats);
+}
+
+}  // namespace gcr::verify

@@ -1,0 +1,185 @@
+#include "verify/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <random>
+#include <vector>
+
+#include "obs/json.h"
+#include "verify/invariants.h"
+
+namespace gcr::verify {
+
+std::string_view sink_cloud_name(SinkCloud c) {
+  switch (c) {
+    case SinkCloud::Uniform: return "uniform";
+    case SinkCloud::Clustered: return "clustered";
+    case SinkCloud::Ring: return "ring";
+    case SinkCloud::Diagonal: return "diagonal";
+  }
+  return "?";
+}
+
+DesignSpec random_spec(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  DesignSpec s;
+  s.seed = seed;
+  // Mostly small-to-medium designs (the differential driver routes each one
+  // several times), with occasional degenerate sizes.
+  std::uniform_int_distribution<int> sinks(4, 48);
+  s.num_sinks = (rng() % 8 == 0) ? static_cast<int>(2 + rng() % 3)
+                                 : sinks(rng);
+  s.die_side = std::uniform_real_distribution<double>(500.0, 20000.0)(rng);
+  s.cloud = static_cast<SinkCloud>(rng() % 4);
+  s.cap_lo = std::uniform_real_distribution<double>(0.001, 0.02)(rng);
+  s.cap_hi =
+      s.cap_lo + std::uniform_real_distribution<double>(0.0, 0.08)(rng);
+  std::uniform_int_distribution<int> instrs(2, 48);
+  s.num_instructions = instrs(rng);
+  // Streams from near-degenerate (a handful of cycles) to typical.
+  std::uniform_int_distribution<int> stream(2, 3000);
+  s.stream_length = (rng() % 8 == 0) ? static_cast<int>(1 + rng() % 4)
+                                     : stream(rng);
+  s.module_fraction =
+      std::uniform_real_distribution<double>(0.05, 0.9)(rng);
+  s.locality = std::uniform_real_distribution<double>(0.0, 0.98)(rng);
+  s.zipf_s = std::uniform_real_distribution<double>(0.0, 2.0)(rng);
+  s.constant_modules = rng() % 4 == 0;
+  return s;
+}
+
+core::Design generate_design(const DesignSpec& spec) {
+  std::mt19937_64 rng(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  const double side = spec.die_side;
+  const int n = spec.num_sinks;
+
+  // ---- sink cloud -------------------------------------------------------
+  ct::SinkList sinks;
+  sinks.reserve(static_cast<std::size_t>(n));
+  std::uniform_real_distribution<double> cap(spec.cap_lo, spec.cap_hi);
+  const auto coord = [&] { return unif(rng) * side; };
+  for (int i = 0; i < n; ++i) {
+    geom::Point p;
+    switch (spec.cloud) {
+      case SinkCloud::Uniform:
+        p = {coord(), coord()};
+        break;
+      case SinkCloud::Clustered: {
+        // 3 blob centers derived from the seed; sinks scatter tightly.
+        const int blob = static_cast<int>(rng() % 3);
+        const double cx = side * (0.2 + 0.3 * blob);
+        const double cy = side * (0.25 + 0.25 * ((blob * 2) % 3));
+        std::normal_distribution<double> g(0.0, side * 0.04);
+        p = {std::clamp(cx + g(rng), 0.0, side),
+             std::clamp(cy + g(rng), 0.0, side)};
+        break;
+      }
+      case SinkCloud::Ring: {
+        const double a = 2.0 * 3.14159265358979323846 * unif(rng);
+        const double r = side * (0.38 + 0.08 * unif(rng));
+        p = {std::clamp(side * 0.5 + r * std::cos(a), 0.0, side),
+             std::clamp(side * 0.5 + r * std::sin(a), 0.0, side)};
+        break;
+      }
+      case SinkCloud::Diagonal: {
+        const double t = unif(rng);
+        std::normal_distribution<double> g(0.0, side * 0.02);
+        p = {std::clamp(t * side + g(rng), 0.0, side),
+             std::clamp(t * side + g(rng), 0.0, side)};
+        break;
+      }
+    }
+    sinks.push_back({p, cap(rng)});
+  }
+
+  // ---- RTL module map ---------------------------------------------------
+  // Each instruction exercises a spatially contiguous slice of the sinks
+  // (nearest-to-a-random-center), like real functional units. Optionally
+  // pin module 0 always-on and module n-1 never-on (constant AT tags).
+  activity::RtlDescription rtl(spec.num_instructions, n);
+  const int first_free = spec.constant_modules && n > 1 ? 1 : 0;
+  const int last_free = spec.constant_modules && n > 2 ? n - 1 : n;
+  for (int i = 0; i < spec.num_instructions; ++i) {
+    const geom::Point center{coord(), coord()};
+    std::vector<std::pair<double, int>> by_dist;
+    for (int m = first_free; m < last_free; ++m) {
+      by_dist.emplace_back(
+          geom::manhattan_dist(sinks[static_cast<std::size_t>(m)].loc,
+                               center),
+          m);
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    const int avail = static_cast<int>(by_dist.size());
+    const int want = std::clamp(
+        static_cast<int>(std::lround(
+            spec.module_fraction * avail * (0.5 + unif(rng)))),
+        1, std::max(1, avail));
+    for (int j = 0; j < want && j < avail; ++j) {
+      rtl.add_use(i, by_dist[static_cast<std::size_t>(j)].second);
+    }
+    if (spec.constant_modules && n > 1) rtl.add_use(i, 0);
+  }
+
+  // ---- instruction stream: zipf-skewed Markov ---------------------------
+  std::vector<double> pop(static_cast<std::size_t>(spec.num_instructions));
+  for (int i = 0; i < spec.num_instructions; ++i) {
+    pop[static_cast<std::size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), spec.zipf_s);
+  }
+  std::shuffle(pop.begin(), pop.end(), rng);
+  std::discrete_distribution<int> pick(pop.begin(), pop.end());
+
+  activity::InstructionStream stream;
+  stream.seq.reserve(static_cast<std::size_t>(spec.stream_length));
+  int cur = pick(rng);
+  for (int t = 0; t < spec.stream_length; ++t) {
+    stream.seq.push_back(cur);
+    if (unif(rng) >= spec.locality) cur = pick(rng);
+  }
+
+  return core::Design{geom::DieArea::square(side), std::move(sinks),
+                      std::move(rtl), std::move(stream), {}};
+}
+
+void write_design_artifact(std::ostream& os, const DesignSpec& spec,
+                           const std::string& stage, const Report* failure) {
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.field("schema", "gcr.verify_artifact");
+  w.field("version", 1);
+  w.field("stage", stage);
+  w.key("spec").begin_object();
+  w.field("seed", static_cast<std::uint64_t>(spec.seed));
+  w.field("num_sinks", spec.num_sinks);
+  w.field("die_side", spec.die_side);
+  w.field("cloud", sink_cloud_name(spec.cloud));
+  w.field("cap_lo", spec.cap_lo);
+  w.field("cap_hi", spec.cap_hi);
+  w.field("num_instructions", spec.num_instructions);
+  w.field("stream_length", spec.stream_length);
+  w.field("module_fraction", spec.module_fraction);
+  w.field("locality", spec.locality);
+  w.field("zipf_s", spec.zipf_s);
+  w.field("constant_modules", spec.constant_modules);
+  w.end_object();
+  w.key("replay").value("gcr_check --replay " + std::to_string(spec.seed));
+  w.key("violations").begin_array();
+  if (failure) {
+    for (const Violation& v : failure->violations) {
+      w.begin_object();
+      w.field("invariant", invariant_name(v.invariant));
+      w.field("node", v.node);
+      w.field("measured", v.measured);
+      w.field("expected", v.expected);
+      w.field("message", v.message);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace gcr::verify

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/design.h"
+
+namespace gcr::verify {
+
+struct Report;  // invariants.h
+
+/// \file generator.h
+/// Seeded randomized design generator for the verification harness. Unlike
+/// the benchdata generators (which reproduce the paper's evaluation regime)
+/// this one aims for *coverage*: degenerate sink clouds, skewed IFT/IMATT
+/// distributions, tiny and bursty instruction streams -- the inputs a perf
+/// refactor is most likely to get wrong. Everything is a pure function of
+/// the spec, so a failing case replays from its seed alone.
+
+/// Shape of the random sink cloud.
+enum class SinkCloud {
+  Uniform,    ///< uniform over the die (the r-benchmark regime)
+  Clustered,  ///< a few dense blobs, as placed macros produce
+  Ring,       ///< periphery-only: maximal pairwise distances, empty center
+  Diagonal,   ///< collinear-ish band: degenerate merging-segment geometry
+};
+
+[[nodiscard]] std::string_view sink_cloud_name(SinkCloud c);
+
+struct DesignSpec {
+  std::uint64_t seed{1};
+  int num_sinks{32};
+  double die_side{8000.0};
+  SinkCloud cloud{SinkCloud::Uniform};
+  double cap_lo{0.005};  ///< sink load cap range [pF]
+  double cap_hi{0.06};
+  int num_instructions{16};
+  int stream_length{2000};
+  double module_fraction{0.35};  ///< expected fraction of modules per instr
+  double locality{0.8};          ///< Markov self-transition probability
+  double zipf_s{1.0};  ///< instruction-popularity skew (0 = uniform IFT)
+  bool constant_modules{false};  ///< include an always-on and a never-on module
+};
+
+/// Derive a full spec from a single seed: every field (cloud shape, sizes,
+/// stream statistics) is sampled from the seed, covering the corner regimes
+/// with non-trivial probability. Deterministic -- the replay contract.
+[[nodiscard]] DesignSpec random_spec(std::uint64_t seed);
+
+/// Generate the design (sinks + RTL module map + instruction stream) from a
+/// spec. Module i is sink i (identity mapping).
+[[nodiscard]] core::Design generate_design(const DesignSpec& spec);
+
+/// Dump a failing case as a replayable JSON artifact (schema
+/// "gcr.verify_artifact"): the full spec, so `gcr_check --replay <seed>`
+/// (or generate_design on the recorded fields) reproduces it, plus the
+/// invariant violations when a report is given.
+void write_design_artifact(std::ostream& os, const DesignSpec& spec,
+                           const std::string& stage,
+                           const Report* failure = nullptr);
+
+}  // namespace gcr::verify

@@ -6,7 +6,9 @@
 #include "benchdata/workload.h"
 #include "clocktree/elmore.h"
 #include "clocktree/embed.h"
+#include "core/router.h"
 #include "cts/clustered.h"
+#include "test_seed.h"
 
 namespace gcr::cts {
 namespace {
@@ -107,6 +109,49 @@ TEST(ClusteredEmbed, ScalesToManySinks) {
   EXPECT_TRUE(r.topo.valid());
   EXPECT_LT(elapsed, 30) << "clustered build too slow";
 }
+
+/// Flat vs clustered through the full router on the paper's Eq. 3 cost:
+/// both constructions must deliver exact zero skew, and on benign inputs
+/// (uniform rbench cloud, a couple hundred sinks) the clustered tree's
+/// wirelength stays within the documented 1.5x of flat. Adversarial sink
+/// clouds can reach ~2.7x -- that looser bound is checked by the verify
+/// differential driver, not here (see docs/verification.md).
+class FlatVsClustered : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatVsClustered, SameZeroSkewAndBoundedWirelength) {
+  const std::uint64_t seed = GetParam();
+  benchdata::RBenchSpec spec{"fvc", 200, 30000.0, 0.005, 0.08, seed};
+  const benchdata::RBench rb = benchdata::generate_rbench(spec);
+  benchdata::WorkloadSpec w;
+  w.num_instructions = 24;
+  w.target_activity = 0.4;
+  w.stream_length = 4000;
+  w.seed = seed;
+  benchdata::Workload wl = benchdata::generate_workload(w, rb.sinks, rb.die);
+  const core::GatedClockRouter router(core::Design{
+      rb.die, rb.sinks, std::move(wl.rtl), std::move(wl.stream), {}});
+
+  core::RouterOptions opts;
+  opts.style = core::TreeStyle::Gated;
+  opts.topology = core::TopologyScheme::MinSwitchedCap;
+  const core::RouterResult flat = router.route(opts);
+  opts.clustered = true;
+  const core::RouterResult clus = router.route(opts);
+
+  const auto skew_slack = [](const core::RouterResult& r) {
+    return 1e-6 * std::max(1.0, r.delays.max_delay);
+  };
+  EXPECT_LT(flat.delays.skew(), skew_slack(flat)) << "seed " << seed;
+  EXPECT_LT(clus.delays.skew(), skew_slack(clus)) << "seed " << seed;
+  EXPECT_LE(clus.tree.total_wirelength(),
+            1.5 * flat.tree.total_wirelength())
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatVsClustered,
+                         ::testing::ValuesIn(test::fuzz_seeds({101u, 102u,
+                                                               103u})),
+                         test::SeedParamName{});
 
 TEST(ClusteredEmbed, ExplicitGridRespected) {
   Inst inst = Inst::make(120, 95);

@@ -3,6 +3,7 @@
 #include <random>
 
 #include "geom/tilted_rect.h"
+#include "test_seed.h"
 
 /// Randomized property suite for the TRR geometry underlying DME: every
 /// query is checked against first-principles definitions (membership
@@ -107,7 +108,9 @@ TEST_P(Fuzz, CenterIsContained) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Values(1u, 2u, 3u, 4u));
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::ValuesIn(test::fuzz_seeds({1u, 2u, 3u, 4u})),
+                         test::SeedParamName{});
 
 }  // namespace
 }  // namespace gcr::geom

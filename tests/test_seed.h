@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+/// \file test_seed.h
+/// Seed plumbing for the fuzz/property tests. Every randomized test
+/// parameterizes over `fuzz_seeds({...defaults...})`; setting the
+/// GCR_TEST_SEED environment variable replaces the default list with that
+/// single seed, so a CI failure replays locally with
+///
+///   GCR_TEST_SEED=<seed> ctest -R <test> --output-on-failure
+///
+/// Tests embed the seed in the gtest parameter name (see seed_param_name),
+/// so a failing test's name prints the seed to reproduce.
+
+namespace gcr::test {
+
+[[nodiscard]] inline std::vector<std::uint64_t> fuzz_seeds(
+    std::initializer_list<std::uint64_t> defaults) {
+  if (const char* env = std::getenv("GCR_TEST_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return defaults;
+}
+
+/// Name generator for INSTANTIATE_TEST_SUITE_P over raw seeds: the failing
+/// test prints as Suite/Case/seed_<N>.
+struct SeedParamName {
+  template <class ParamInfo>
+  std::string operator()(const ParamInfo& info) const {
+    return "seed_" + std::to_string(static_cast<std::uint64_t>(info.param));
+  }
+};
+
+}  // namespace gcr::test

@@ -4,6 +4,7 @@
 
 #include "clocktree/bounded.h"
 #include "clocktree/zskew.h"
+#include "test_seed.h"
 
 /// Randomized property suite for the merge arithmetic: commutativity,
 /// exact balance, snaking correctness and bounded-skew width guarantees
@@ -131,7 +132,9 @@ TEST_P(MergeFuzz, BiggerBudgetNeverCostsMoreWire) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MergeFuzz, ::testing::Values(11u, 12u, 13u));
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeFuzz,
+                         ::testing::ValuesIn(test::fuzz_seeds({11u, 12u, 13u})),
+                         test::SeedParamName{});
 
 }  // namespace
 }  // namespace gcr::ct

@@ -1,0 +1,217 @@
+/// \file gcr_check.cpp
+/// Verification front end: run the gcr::verify invariant checker and the
+/// differential/metamorphic driver from the command line.
+///
+/// Modes:
+///   gcr_check --random N [--seed S] [--dump DIR] [--verbose]
+///       route N randomized designs through every topology scheme and
+///       cross-check against the oracles; nonzero exit on any violation.
+///   gcr_check --replay SEED [--dump DIR]
+///       re-run one failing design by the seed a dumped artifact (or a CI
+///       log) recorded.
+///   gcr_check --tree FILE [--skew-bound B]
+///       structural/geometric/electrical invariants of a routed-tree dump
+///       (io/tree_io.h format, e.g. from gcr_route --tree).
+///   gcr_check --sinks F --rtl F --stream F [route options]
+///       route one design from files and verify the full result.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/router.h"
+#include "io/text_io.h"
+#include "io/tree_io.h"
+#include "verify/differential.h"
+#include "verify/generator.h"
+#include "verify/invariants.h"
+
+using namespace gcr;
+
+namespace {
+
+struct Args {
+  int random_designs = 0;
+  std::uint64_t seed = 2026;
+  std::optional<std::uint64_t> replay;
+  std::string dump_dir;
+  bool verbose = false;
+  std::string tree_file;
+  double skew_bound = 0.0;
+  std::string sinks, rtl, stream;
+  std::string style = "reduced";
+  std::string topology = "swcap";
+  int partitions = 1;
+  bool clustered = false;
+};
+
+void usage() {
+  std::cerr
+      << "usage: gcr_check --random N [--seed S] [--dump DIR] [--verbose]\n"
+         "       gcr_check --replay SEED [--dump DIR]\n"
+         "       gcr_check --tree FILE [--skew-bound B]\n"
+         "       gcr_check --sinks F --rtl F --stream F [options]\n"
+         "options (file mode):\n"
+         "  --style buffered|gated|reduced   tree style (default reduced)\n"
+         "  --topology swcap|nn|activity|mmm topology scheme\n"
+         "  --partitions K                   distributed controllers\n"
+         "  --clustered                      two-level construction\n"
+         "  --skew-bound PS                  skew budget (0 = exact)\n";
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (flag == "--random") {
+      if (const char* v = next()) a.random_designs = std::atoi(v);
+      else return std::nullopt;
+    } else if (flag == "--seed") {
+      if (const char* v = next()) a.seed = std::strtoull(v, nullptr, 10);
+      else return std::nullopt;
+    } else if (flag == "--replay") {
+      if (const char* v = next()) a.replay = std::strtoull(v, nullptr, 10);
+      else return std::nullopt;
+    } else if (flag == "--dump") {
+      if (const char* v = next()) a.dump_dir = v; else return std::nullopt;
+    } else if (flag == "--verbose") {
+      a.verbose = true;
+    } else if (flag == "--tree") {
+      if (const char* v = next()) a.tree_file = v; else return std::nullopt;
+    } else if (flag == "--skew-bound") {
+      if (const char* v = next()) a.skew_bound = std::atof(v);
+      else return std::nullopt;
+    } else if (flag == "--sinks") {
+      if (const char* v = next()) a.sinks = v; else return std::nullopt;
+    } else if (flag == "--rtl") {
+      if (const char* v = next()) a.rtl = v; else return std::nullopt;
+    } else if (flag == "--stream") {
+      if (const char* v = next()) a.stream = v; else return std::nullopt;
+    } else if (flag == "--style") {
+      if (const char* v = next()) a.style = v; else return std::nullopt;
+    } else if (flag == "--topology") {
+      if (const char* v = next()) a.topology = v; else return std::nullopt;
+    } else if (flag == "--partitions") {
+      if (const char* v = next()) a.partitions = std::atoi(v);
+      else return std::nullopt;
+    } else if (flag == "--clustered") {
+      a.clustered = true;
+    } else {
+      std::cerr << "unknown flag: " << flag << '\n';
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+int report_diff(const verify::DiffStats& stats, bool replayed) {
+  std::cout << "designs " << stats.designs << ", routes " << stats.routes
+            << ", activity cross-checks " << stats.activity_checks
+            << ", failures " << stats.failures.size() << '\n';
+  for (const verify::DiffFailure& f : stats.failures) {
+    std::cout << "FAIL seed " << f.spec.seed << " [" << f.stage << "] "
+              << f.message << '\n';
+    if (!f.report.ok()) std::cout << f.report.summary();
+    if (!replayed)
+      std::cout << "  replay: gcr_check --replay " << f.spec.seed << '\n';
+  }
+  if (stats.ok()) std::cout << "all invariants hold\n";
+  return stats.ok() ? 0 : 1;
+}
+
+int run_tree_mode(const Args& a) {
+  std::ifstream is(a.tree_file);
+  if (!is) {
+    std::cerr << "error: cannot open " << a.tree_file << '\n';
+    return 2;
+  }
+  const ct::RoutedTree tree = io::read_routed_tree(is);
+  const verify::Report rep =
+      verify::verify_tree(tree, tech::TechParams{}, a.skew_bound);
+  std::cout << rep.summary() << '\n';
+  return rep.ok() ? 0 : 1;
+}
+
+int run_file_mode(const Args& a) {
+  std::ifstream sf(a.sinks);
+  if (!sf) throw std::runtime_error("cannot open " + a.sinks);
+  io::SinksFile sinks = io::read_sinks(sf);
+  std::ifstream rf(a.rtl);
+  if (!rf) throw std::runtime_error("cannot open " + a.rtl);
+  activity::RtlDescription rtl = io::read_rtl(rf);
+  std::ifstream tf(a.stream);
+  if (!tf) throw std::runtime_error("cannot open " + a.stream);
+  activity::InstructionStream stream = io::read_stream(tf);
+
+  core::Design design{sinks.die, std::move(sinks.sinks), std::move(rtl),
+                      std::move(stream), {}};
+  const core::GatedClockRouter router(std::move(design));
+
+  core::RouterOptions opts;
+  if (a.style == "buffered") opts.style = core::TreeStyle::Buffered;
+  else if (a.style == "gated") opts.style = core::TreeStyle::Gated;
+  else if (a.style == "reduced") opts.style = core::TreeStyle::GatedReduced;
+  else throw std::runtime_error("unknown style: " + a.style);
+  if (a.topology == "swcap")
+    opts.topology = core::TopologyScheme::MinSwitchedCap;
+  else if (a.topology == "nn")
+    opts.topology = core::TopologyScheme::NearestNeighbor;
+  else if (a.topology == "activity")
+    opts.topology = core::TopologyScheme::ActivityOnly;
+  else if (a.topology == "mmm") opts.topology = core::TopologyScheme::Mmm;
+  else throw std::runtime_error("unknown topology: " + a.topology);
+  opts.controller_partitions = a.partitions;
+  opts.clustered = a.clustered;
+  opts.skew_bound = a.skew_bound;
+
+  const core::RouterResult result = router.route(opts);
+  const verify::Report rep = verify::verify_result(router, opts, result);
+  std::cout << rep.summary() << '\n';
+  return rep.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Args> parsed = parse(argc, argv);
+  if (!parsed) {
+    usage();
+    return 2;
+  }
+  const Args& a = *parsed;
+  try {
+    if (!a.tree_file.empty()) return run_tree_mode(a);
+    if (!a.sinks.empty() || !a.rtl.empty() || !a.stream.empty()) {
+      if (a.sinks.empty() || a.rtl.empty() || a.stream.empty()) {
+        usage();
+        return 2;
+      }
+      return run_file_mode(a);
+    }
+    if (a.replay) {
+      verify::DiffOptions opts;
+      opts.explicit_seeds = {*a.replay};
+      opts.dump_dir = a.dump_dir;
+      opts.log = &std::cerr;
+      return report_diff(verify::run_differential(opts), true);
+    }
+    if (a.random_designs > 0) {
+      verify::DiffOptions opts;
+      opts.num_designs = a.random_designs;
+      opts.seed = a.seed;
+      opts.dump_dir = a.dump_dir;
+      if (a.verbose) opts.log = &std::cerr;
+      return report_diff(verify::run_differential(opts), false);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  usage();
+  return 2;
+}

@@ -28,6 +28,7 @@
 #include "obs/report.h"
 #include "obs/session.h"
 #include "obs/trace.h"
+#include "verify/invariants.h"
 
 using namespace gcr;
 
@@ -47,6 +48,7 @@ struct Args {
   bool csv = false;
   std::string report, trace;
   bool verbose = false;
+  bool selftest = false;
 };
 
 void usage() {
@@ -69,7 +71,9 @@ void usage() {
          "                                   timings, counters, results)\n"
          "  --trace FILE                     Chrome trace-event JSON (open in\n"
          "                                   chrome://tracing or Perfetto)\n"
-         "  --verbose                        phase/counter summary to stderr\n";
+         "  --verbose                        phase/counter summary to stderr\n"
+         "  --selftest                       re-derive all paper invariants on\n"
+         "                                   the result; exit 3 on violation\n";
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -115,6 +119,8 @@ std::optional<Args> parse(int argc, char** argv) {
       if (const char* v = next()) a.trace = v; else return std::nullopt;
     } else if (flag == "--verbose") {
       a.verbose = true;
+    } else if (flag == "--selftest") {
+      a.selftest = true;
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -214,6 +220,12 @@ int main(int argc, char** argv) {
       opts.reduction = gating::GateReductionParams::from_strength(*a.strength);
 
     const core::RouterResult r = router.route(opts);
+
+    if (a.selftest) {
+      const verify::Report rep = verify::verify_result(router, opts, r);
+      std::cerr << "selftest: " << rep.summary() << '\n';
+      if (!rep.ok()) return 3;
+    }
 
     if (!a.report.empty()) {
       std::ofstream os(a.report);
