@@ -8,9 +8,8 @@
 ///                     (the prior-work style of [Tellez et al.'95])
 ///   * min-swcap    -- the paper's Eq. 3 (geometry x activity combined)
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "clocktree/elmore.h"
 #include "clocktree/embed.h"
@@ -98,26 +97,30 @@ void print_ablation() {
   std::cout << '\n';
 }
 
-void BM_BuildOrderCost(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const activity::ActivityAnalyzer an(inst.design.rtl, inst.design.stream);
-  const auto mods = cts::identity_modules(inst.design.num_sinks());
-  cts::BuildOptions opts;
-  opts.cost = state.range(0) ? cts::MergeCost::SwitchedCapacitance
-                             : cts::MergeCost::NearestNeighbor;
-  opts.control_point = inst.rb.die.center();
-  for (auto _ : state) {
-    auto r = cts::build_topology(inst.design.sinks, &an, mods, opts);
-    benchmark::DoNotOptimize(r.topo.root());
-  }
+perf::BenchFactory build_order_cost(bool swcap_cost) {
+  return [swcap_cost] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    auto an = std::make_shared<activity::ActivityAnalyzer>(
+        inst->design.rtl, inst->design.stream);
+    auto mods = std::make_shared<std::vector<int>>(
+        cts::identity_modules(inst->design.num_sinks()));
+    cts::BuildOptions opts;
+    opts.cost = swcap_cost ? cts::MergeCost::SwitchedCapacitance
+                           : cts::MergeCost::NearestNeighbor;
+    opts.control_point = inst->rb.die.center();
+    return [inst, an, mods, opts] {
+      auto r = cts::build_topology(inst->design.sinks, an.get(), *mods, opts);
+      perf::do_not_optimize(r.topo.root());
+    };
+  };
 }
-BENCHMARK(BM_BuildOrderCost)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_nn{"ablation_cost/build/nn", build_order_cost(false)};
+const perf::Registrar reg_sw{"ablation_cost/build/swcap",
+                             build_order_cost(true)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_ablation);
 }

@@ -7,9 +7,8 @@
 /// without sizing, at several gate-reduction levels (asymmetric gating is
 /// where the imbalance comes from).
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/table.h"
@@ -57,25 +56,29 @@ void print_ablation() {
   std::cout << '\n';
 }
 
-void BM_SizedEmbed(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const core::GatedClockRouter router(inst.design);
-  core::RouterOptions opts;
-  opts.style = core::TreeStyle::GatedReduced;
-  opts.gate_sizing = state.range(0) ? ct::GateSizing::MinWirelength
-                                    : ct::GateSizing::Unit;
-  for (auto _ : state) {
-    auto r = router.route(opts);
-    benchmark::DoNotOptimize(r.swcap.total_swcap());
-  }
+perf::BenchFactory sized_embed(bool sized) {
+  return [sized] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    auto router =
+        std::make_shared<const core::GatedClockRouter>(inst->design);
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::GatedReduced;
+    opts.gate_sizing =
+        sized ? ct::GateSizing::MinWirelength : ct::GateSizing::Unit;
+    return [router, opts] {
+      auto r = router->route(opts);
+      perf::do_not_optimize(r.swcap.total_swcap());
+    };
+  };
 }
-BENCHMARK(BM_SizedEmbed)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_unit{"ablation_sizing/route/unit",
+                               sized_embed(false)};
+const perf::Registrar reg_sized{"ablation_sizing/route/sized",
+                                sized_embed(true)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_ablation);
 }

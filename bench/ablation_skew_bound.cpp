@@ -6,9 +6,8 @@
 /// gate-reduced tree, with the measured sink skew certifying the budget is
 /// honored. (Delay unit: ohm*pF = ps.)
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/table.h"
@@ -42,24 +41,28 @@ void print_ablation() {
   std::cout << '\n';
 }
 
-void BM_BoundedEmbed(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const core::GatedClockRouter router(inst.design);
-  core::RouterOptions opts;
-  opts.style = core::TreeStyle::GatedReduced;
-  opts.skew_bound = static_cast<double>(state.range(0));
-  for (auto _ : state) {
-    auto r = router.route(opts);
-    benchmark::DoNotOptimize(r.swcap.total_swcap());
-  }
+perf::BenchFactory bounded_embed(double skew_bound) {
+  return [skew_bound] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    auto router =
+        std::make_shared<const core::GatedClockRouter>(inst->design);
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::GatedReduced;
+    opts.skew_bound = skew_bound;
+    return [router, opts] {
+      auto r = router->route(opts);
+      perf::do_not_optimize(r.swcap.total_swcap());
+    };
+  };
 }
-BENCHMARK(BM_BoundedEmbed)->Arg(0)->Arg(50)->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_zskew{"ablation_skew_bound/route/zskew",
+                                bounded_embed(0.0)};
+const perf::Registrar reg_bounded{"ablation_skew_bound/route/bound=50",
+                                  bounded_embed(50.0)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_ablation);
 }

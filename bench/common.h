@@ -1,61 +1,34 @@
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
-#include <memory>
+#include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "benchdata/rbench.h"
 #include "benchdata/workload.h"
 #include "core/router.h"
 #include "obs/metrics.h"
-#include "obs/report.h"
 #include "obs/session.h"
+#include "obs/timer.h"
+#include "perf/memhook.h"
+#include "perf/report.h"
+#include "perf/runner.h"
 #include "verify/invariants.h"
 
 /// \file common.h
 /// Shared setup for the paper-reproduction benches: build a Design for an
 /// r-benchmark with the evaluation workload of section 5 (20k-cycle stream,
-/// ~40% average module activity unless overridden).
+/// ~40% average module activity unless overridden), plus `bench_main` --
+/// the common entry point that prints the paper tables and then runs the
+/// binary's registered timed benchmarks (perf::Registrar) through the
+/// statistical runner.
 
 namespace gcr::bench {
-
-/// Opt-in JSON sidecar for bench runs: when GCR_BENCH_NAME is set in the
-/// environment (scripts/reproduce_all.sh exports it per binary), the whole
-/// process runs under an observability session and writes
-/// `${GCR_BENCH_JSON_DIR:-.}/BENCH_<name>.json` at exit. Without the
-/// variable this is inert, so interactive bench runs are unaffected.
-class ObsScope {
- public:
-  ObsScope() {
-    const char* name = std::getenv("GCR_BENCH_NAME");
-    if (!name || !*name) return;
-    name_ = name;
-    obs::set_metrics_enabled(true);
-    obs::Registry::global().reset();
-    session_ = std::make_unique<obs::Session>();
-    bind_ = std::make_unique<obs::Bind>(session_.get());
-  }
-
-  ~ObsScope() {
-    if (!session_) return;
-    bind_.reset();
-    const char* dir = std::getenv("GCR_BENCH_JSON_DIR");
-    const std::string path =
-        std::string(dir && *dir ? dir : ".") + "/BENCH_" + name_ + ".json";
-    std::ofstream os(path);
-    if (os) obs::write_bench_report(os, name_, *session_);
-    obs::set_metrics_enabled(false);
-  }
-
- private:
-  std::string name_;
-  std::unique_ptr<obs::Session> session_;
-  std::unique_ptr<obs::Bind> bind_;
-};
-
-inline ObsScope obs_scope_instance{};
 
 struct Instance {
   benchdata::RBench rb;
@@ -109,6 +82,92 @@ inline core::RouterResult run_style(const core::GatedClockRouter& router,
     return router.route(opts, verify::make_self_check(router));
   }
   return router.route(opts);
+}
+
+/// Common main for the bench binaries. Flow:
+///   1. when GCR_BENCH_NAME is set (scripts/reproduce_all.sh exports it per
+///      binary), bind an observability session for the whole run;
+///   2. print the paper tables (`print_tables`, skipped by --no-tables);
+///   3. run the binary's perf::Registrar benchmarks through the statistical
+///      runner (GCR_BENCH_QUICK=1 or --quick selects the quick tier);
+///   4. finalize: write `${GCR_BENCH_JSON_DIR:-.}/BENCH_<name>.json` -- a
+///      v2 bench report -- creating the directory if missing.
+///
+/// The sidecar is written here, explicitly, before returning: the previous
+/// design wrote it from a global's destructor, which ran during static
+/// destruction after the obs registry could already be gone.
+///
+/// Flags: --quick --filter SUBSTR --no-tables --mem (enable the allocation
+/// hook; off by default so timing columns are undisturbed).
+inline int bench_main(int argc, char** argv, void (*print_tables)()) {
+  perf::RunnerOptions opts = perf::RunnerOptions::from_env();
+  bool tables = true;
+  bool mem = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      opts = perf::RunnerOptions::quick_tier();
+    } else if (flag == "--filter" && i + 1 < argc) {
+      opts.filter = argv[++i];
+    } else if (flag == "--no-tables") {
+      tables = false;
+    } else if (flag == "--mem") {
+      mem = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--filter SUBSTR] [--no-tables] [--mem]\n";
+      return 2;
+    }
+  }
+
+  const char* name_env = std::getenv("GCR_BENCH_NAME");
+  const std::string bench_name = name_env ? name_env : "";
+  const bool observed = !bench_name.empty();
+
+  if (mem && perf::memhook::available()) perf::memhook::enable();
+
+  obs::Session session;
+  std::optional<obs::Bind> bind;
+  if (observed) {
+    obs::set_metrics_enabled(true);
+    obs::Registry::global().reset();
+    bind.emplace(&session);
+  }
+
+  try {
+    if (tables && print_tables) {
+      obs::ScopedTimer t("tables");
+      print_tables();
+    }
+
+    std::vector<perf::BenchResult> results;
+    if (!perf::default_runner().empty()) {
+      std::cout << "=== timed benchmarks (median over adaptive reps"
+                << (opts.quick ? ", quick tier" : "") << ") ===\n";
+      results = perf::default_runner().run(opts, &std::cerr);
+      perf::print_results(std::cout, results);
+    }
+
+    if (observed) {
+      bind.reset();  // close the session before serializing it
+      const char* dir_env = std::getenv("GCR_BENCH_JSON_DIR");
+      const std::string dir = dir_env && *dir_env ? dir_env : ".";
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      const std::string path = dir + "/BENCH_" + bench_name + ".json";
+      std::ofstream os(path);
+      if (os) {
+        perf::write_bench_report(os, bench_name, results, opts, &session);
+      } else {
+        std::cerr << "warning: cannot write " << path << '\n';
+      }
+      obs::set_metrics_enabled(false);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace gcr::bench

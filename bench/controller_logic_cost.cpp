@@ -6,9 +6,8 @@
 /// with the exact transition probability of its enable union), alongside
 /// the enable-wire cost the controller already pays.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/table.h"
@@ -51,28 +50,33 @@ void print_report() {
                "distribution limits reuse to same-partition enables)\n\n";
 }
 
-void BM_LogicSynthesis(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const core::GatedClockRouter router(inst.design);
-  core::RouterOptions opts;
-  opts.style = core::TreeStyle::Gated;
-  const auto r = router.route(opts);
-  const gating::ControllerPlacement ctrl(inst.rb.die, 1);
-  const auto style = state.range(0) ? gating::LogicStyle::Hierarchical
-                                    : gating::LogicStyle::Flat;
-  for (auto _ : state) {
-    auto rep = gating::synthesize_controller_logic(
-        r.tree, r.activity, router.analyzer(), ctrl, opts.tech, style);
-    benchmark::DoNotOptimize(rep.num_or_gates);
-  }
+perf::BenchFactory logic_synthesis(gating::LogicStyle style) {
+  return [style] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    auto router =
+        std::make_shared<const core::GatedClockRouter>(inst->design);
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::Gated;
+    auto r = std::make_shared<const core::RouterResult>(router->route(opts));
+    auto ctrl =
+        std::make_shared<const gating::ControllerPlacement>(inst->rb.die, 1);
+    const tech::TechParams tech = opts.tech;
+    return [router, r, ctrl, tech, style] {
+      auto rep = gating::synthesize_controller_logic(
+          r->tree, r->activity, router->analyzer(), *ctrl, tech, style);
+      perf::do_not_optimize(rep.num_or_gates);
+    };
+  };
 }
-BENCHMARK(BM_LogicSynthesis)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_flat{"controller_logic/synthesize/flat",
+                               logic_synthesis(gating::LogicStyle::Flat)};
+const perf::Registrar reg_hier{
+    "controller_logic/synthesize/hierarchical",
+    logic_synthesis(gating::LogicStyle::Hierarchical)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_report);
 }

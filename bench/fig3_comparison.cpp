@@ -9,9 +9,8 @@
 /// buffered by roughly 30% in switched capacitance while keeping an area
 /// overhead. The timed section benchmarks the full route() flow on r1.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/table.h"
@@ -68,26 +67,27 @@ void print_fig3() {
   std::cout << '\n';
 }
 
-void BM_RouteR1(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const core::GatedClockRouter router(inst.design);
-  const auto style = static_cast<core::TreeStyle>(state.range(0));
-  for (auto _ : state) {
-    auto r = bench::run_style(router, style);
-    benchmark::DoNotOptimize(r.swcap.total_swcap());
-  }
+perf::BenchFactory route_r1(core::TreeStyle style) {
+  return [style] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    auto router =
+        std::make_shared<const core::GatedClockRouter>(inst->design);
+    return [router, style] {
+      auto r = bench::run_style(*router, style);
+      perf::do_not_optimize(r.swcap.total_swcap());
+    };
+  };
 }
-BENCHMARK(BM_RouteR1)
-    ->Arg(0)  // Buffered
-    ->Arg(1)  // Gated
-    ->Arg(2)  // GatedReduced
-    ->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_buf{"fig3/route_r1/buffered",
+                              route_r1(core::TreeStyle::Buffered)};
+const perf::Registrar reg_gated{"fig3/route_r1/gated",
+                                route_r1(core::TreeStyle::Gated)};
+const perf::Registrar reg_red{"fig3/route_r1/reduced",
+                              route_r1(core::TreeStyle::GatedReduced)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_fig3);
 }

@@ -10,9 +10,8 @@
 /// 40% of the modules are active whenever the corresponding subtrees are
 /// clocked; the last column tracks that ratio.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/table.h"
@@ -46,24 +45,28 @@ void print_fig4() {
                "power stays >= ~40% of ungated)\n\n";
 }
 
-void BM_ActivityAnalysis(benchmark::State& state) {
-  // The per-activity cost of the flow is dominated by the activity-aware
-  // topology construction; time it at one representative activity.
-  const bench::Instance inst =
-      bench::make_instance("r1", state.range(0) / 10.0);
-  const core::GatedClockRouter router(inst.design);
-  for (auto _ : state) {
-    auto r = bench::run_style(router, core::TreeStyle::GatedReduced);
-    benchmark::DoNotOptimize(r.swcap.total_swcap());
-  }
+// The per-activity cost of the flow is dominated by the activity-aware
+// topology construction; time it at two representative activities.
+perf::BenchFactory route_at_activity(double activity) {
+  return [activity] {
+    auto inst = std::make_shared<bench::Instance>(
+        bench::make_instance("r1", activity));
+    auto router =
+        std::make_shared<const core::GatedClockRouter>(inst->design);
+    return [router] {
+      auto r = bench::run_style(*router, core::TreeStyle::GatedReduced);
+      perf::do_not_optimize(r.swcap.total_swcap());
+    };
+  };
 }
-BENCHMARK(BM_ActivityAnalysis)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_low{"fig4/route/activity=0.2",
+                              route_at_activity(0.2)};
+const perf::Registrar reg_high{"fig4/route/activity=0.8",
+                               route_at_activity(0.8)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_fig4);
 }

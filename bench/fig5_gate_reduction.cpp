@@ -9,9 +9,8 @@
 /// reduction in the paper). The sweep drives the reduction heuristic's
 /// aggressiveness knob and reports the *achieved* reduction percentage.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/table.h"
@@ -58,25 +57,28 @@ void print_fig5() {
             << eval::Table::num(best_pct, 1) << "% (paper: ~55%)\n\n";
 }
 
-void BM_ReductionAndReembed(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const core::GatedClockRouter router(inst.design);
-  core::RouterOptions opts;
-  opts.style = core::TreeStyle::GatedReduced;
-  opts.reduction =
-      gating::GateReductionParams::from_strength(state.range(0) / 10.0);
-  for (auto _ : state) {
-    auto r = router.route(opts);
-    benchmark::DoNotOptimize(r.swcap.total_swcap());
-  }
+perf::BenchFactory route_at_strength(double strength) {
+  return [strength] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    auto router =
+        std::make_shared<const core::GatedClockRouter>(inst->design);
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::GatedReduced;
+    opts.reduction = gating::GateReductionParams::from_strength(strength);
+    return [router, opts] {
+      auto r = router->route(opts);
+      perf::do_not_optimize(r.swcap.total_swcap());
+    };
+  };
 }
-BENCHMARK(BM_ReductionAndReembed)->Arg(3)->Arg(7)->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_s3{"fig5/route/strength=0.3",
+                             route_at_strength(0.3)};
+const perf::Registrar reg_s7{"fig5/route/strength=0.7",
+                             route_at_strength(0.7)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_fig5);
 }

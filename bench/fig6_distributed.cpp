@@ -7,9 +7,8 @@
 /// star wirelength of real gated trees on r1..r3 and reports the switched
 /// capacitance gain.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/table.h"
@@ -48,23 +47,28 @@ void print_fig6() {
                "partitions)\n\n";
 }
 
-void BM_ControllerAssignment(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const gating::ControllerPlacement ctrl(inst.rb.die,
-                                         static_cast<int>(state.range(0)));
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto& s = inst.rb.sinks[i++ % inst.rb.sinks.size()];
-    benchmark::DoNotOptimize(ctrl.star_length(s.loc));
-  }
+perf::BenchFactory controller_assignment(int partitions) {
+  return [partitions] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    auto ctrl = std::make_shared<const gating::ControllerPlacement>(
+        inst->rb.die, partitions);
+    auto i = std::make_shared<std::size_t>(0);
+    return [inst, ctrl, i] {
+      const auto& s = inst->rb.sinks[(*i)++ % inst->rb.sinks.size()];
+      perf::do_not_optimize(ctrl->star_length(s.loc));
+    };
+  };
 }
-BENCHMARK(BM_ControllerAssignment)->Arg(1)->Arg(16)->Arg(64);
+
+const perf::Registrar reg_k1{"fig6/star_length/n=1",
+                             controller_assignment(1)};
+const perf::Registrar reg_k16{"fig6/star_length/n=16",
+                              controller_assignment(16)};
+const perf::Registrar reg_k64{"fig6/star_length/n=64",
+                              controller_assignment(64)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_fig6);
 }

@@ -6,10 +6,10 @@
 ///   * full construction: O(B + K^2 N^2) -- quadratic in the sink count,
 ///     linear in the stream length.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 #include <random>
+#include <string>
 
 #include "activity/analyzer.h"
 #include "common.h"
@@ -31,100 +31,113 @@ benchdata::Workload workload_for(int k, int n, int b, std::uint64_t seed) {
   return benchdata::generate_workload(w, rb.sinks, rb.die);
 }
 
-void BM_SignalProbVsK(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  const auto wl = workload_for(k, 64, 4000, 3);
-  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
-  activity::ActivationMask mask(k);
-  for (int i = 0; i < k; i += 2) mask.set(i);
-  for (auto _ : state) benchmark::DoNotOptimize(an.signal_prob(mask));
-  state.SetComplexityN(k);
+perf::BenchFactory prob_query(int k, bool transition) {
+  return [k, transition] {
+    auto wl = std::make_shared<const benchdata::Workload>(
+        workload_for(k, 64, transition ? 8000 : 4000, transition ? 4 : 3));
+    auto an =
+        std::make_shared<const activity::ActivityAnalyzer>(wl->rtl, wl->stream);
+    activity::ActivationMask mask(k);
+    for (int i = 0; i < k; i += 2) mask.set(i);
+    // wl stays captured: the analyzer references its rtl, not a copy.
+    return [wl, an, mask, transition] {
+      perf::do_not_optimize(transition ? an->transition_prob(mask)
+                                       : an->signal_prob(mask));
+    };
+  };
 }
-BENCHMARK(BM_SignalProbVsK)->RangeMultiplier(2)->Range(8, 256)->Complexity();
 
-void BM_TransitionProbVsK(benchmark::State& state) {
-  const int k = static_cast<int>(state.range(0));
-  const auto wl = workload_for(k, 64, 8000, 4);
-  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
-  activity::ActivationMask mask(k);
-  for (int i = 0; i < k; i += 2) mask.set(i);
-  for (auto _ : state) benchmark::DoNotOptimize(an.transition_prob(mask));
-  state.SetComplexityN(k);
+perf::BenchFactory topology_build(int n) {
+  return [n] {
+    auto rb = std::make_shared<const benchdata::RBench>(benchdata::generate_rbench(
+        benchdata::RBenchSpec{"s", n, 20000.0, 0.005, 0.08, 9}));
+    auto wl = std::make_shared<const benchdata::Workload>(
+        workload_for(32, n, 4000, 9));
+    auto an =
+        std::make_shared<const activity::ActivityAnalyzer>(wl->rtl, wl->stream);
+    auto mods =
+        std::make_shared<const std::vector<int>>(cts::identity_modules(n));
+    cts::BuildOptions opts;
+    opts.cost = cts::MergeCost::SwitchedCapacitance;
+    opts.control_point = rb->die.center();
+    return [rb, wl, an, mods, opts] {
+      auto r = cts::build_topology(rb->sinks, an.get(), *mods, opts);
+      perf::do_not_optimize(r.topo.root());
+    };
+  };
 }
-BENCHMARK(BM_TransitionProbVsK)
-    ->RangeMultiplier(2)
-    ->Range(8, 256)
-    ->Complexity();
 
-void BM_TopologyConstructionVsN(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  benchdata::RBenchSpec spec{"s", n, 20000.0, 0.005, 0.08, 9};
-  const auto rb = benchdata::generate_rbench(spec);
-  const auto wl = workload_for(32, n, 4000, 9);
-  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
-  const auto mods = cts::identity_modules(n);
-  cts::BuildOptions opts;
-  opts.cost = cts::MergeCost::SwitchedCapacitance;
-  opts.control_point = rb.die.center();
-  for (auto _ : state) {
-    auto r = cts::build_topology(rb.sinks, &an, mods, opts);
-    benchmark::DoNotOptimize(r.topo.root());
-  }
-  state.SetComplexityN(n);
+perf::BenchFactory construction(int n, bool clustered) {
+  return [n, clustered] {
+    auto rb = std::make_shared<const benchdata::RBench>(benchdata::generate_rbench(
+        benchdata::RBenchSpec{"s", n, 40000.0, 0.005, 0.08, 10}));
+    auto wl = std::make_shared<const benchdata::Workload>(
+        workload_for(32, n, 4000, 10));
+    auto an =
+        std::make_shared<const activity::ActivityAnalyzer>(wl->rtl, wl->stream);
+    auto mods =
+        std::make_shared<const std::vector<int>>(cts::identity_modules(n));
+    cts::BuildOptions opts;
+    opts.cost = cts::MergeCost::SwitchedCapacitance;
+    opts.control_point = rb->die.center();
+    return [rb, wl, an, mods, opts, clustered] {
+      if (clustered) {
+        cts::ClusterOptions copts;
+        copts.build = opts;
+        auto r =
+            cts::build_topology_clustered(rb->sinks, an.get(), *mods, copts);
+        perf::do_not_optimize(r.topo.root());
+      } else {
+        auto r = cts::build_topology(rb->sinks, an.get(), *mods, opts);
+        perf::do_not_optimize(r.topo.root());
+      }
+    };
+  };
 }
-BENCHMARK(BM_TopologyConstructionVsN)
-    ->RangeMultiplier(2)
-    ->Range(32, 1024)
-    ->Complexity(benchmark::oNSquared)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_ClusteredVsFlatConstruction(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const bool clustered = state.range(1) != 0;
-  benchdata::RBenchSpec spec{"s", n, 40000.0, 0.005, 0.08, 10};
-  const auto rb = benchdata::generate_rbench(spec);
-  const auto wl = workload_for(32, n, 4000, 10);
-  const activity::ActivityAnalyzer an(wl.rtl, wl.stream);
-  const auto mods = cts::identity_modules(n);
-  cts::BuildOptions opts;
-  opts.cost = cts::MergeCost::SwitchedCapacitance;
-  opts.control_point = rb.die.center();
-  for (auto _ : state) {
-    if (clustered) {
-      cts::ClusterOptions copts;
-      copts.build = opts;
-      auto r = cts::build_topology_clustered(rb.sinks, &an, mods, copts);
-      benchmark::DoNotOptimize(r.topo.root());
-    } else {
-      auto r = cts::build_topology(rb.sinks, &an, mods, opts);
-      benchmark::DoNotOptimize(r.topo.root());
+perf::BenchFactory end_to_end(const char* name) {
+  return [name] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance(name));
+    auto router =
+        std::make_shared<const core::GatedClockRouter>(inst->design);
+    return [router] {
+      auto r = bench::run_style(*router, core::TreeStyle::GatedReduced);
+      perf::do_not_optimize(r.swcap.total_swcap());
+    };
+  };
+}
+
+/// The n=<size> families reproduce the old google-benchmark complexity
+/// sweeps; the runner's log-log fit replaces Complexity().
+struct RegisterAll {
+  RegisterAll() {
+    auto& r = perf::default_runner();
+    for (int k = 8; k <= 256; k *= 2) {
+      r.add("perf/signal_prob/n=" + std::to_string(k), prob_query(k, false));
+      r.add("perf/transition_prob/n=" + std::to_string(k),
+            prob_query(k, true));
     }
+    for (int n = 32; n <= 1024; n *= 2)
+      r.add("perf/topology_build/n=" + std::to_string(n), topology_build(n));
+    for (const int n : {2000, 8000}) {
+      r.add("perf/construct_flat/n=" + std::to_string(n),
+            construction(n, false));
+      r.add("perf/construct_clustered/n=" + std::to_string(n),
+            construction(n, true));
+    }
+    r.add("perf/route/r1", end_to_end("r1"));
+    r.add("perf/route/r2", end_to_end("r2"));
   }
-}
-BENCHMARK(BM_ClusteredVsFlatConstruction)
-    ->Args({2000, 0})
-    ->Args({2000, 1})
-    ->Args({8000, 0})
-    ->Args({8000, 1})
-    ->Unit(benchmark::kMillisecond);
+};
+const RegisterAll register_all{};
 
-void BM_EndToEndR1R2(benchmark::State& state) {
-  const char* name = state.range(0) == 1 ? "r1" : "r2";
-  const bench::Instance inst = bench::make_instance(name);
-  const core::GatedClockRouter router(inst.design);
-  for (auto _ : state) {
-    auto r = bench::run_style(router, core::TreeStyle::GatedReduced);
-    benchmark::DoNotOptimize(r.swcap.total_swcap());
-  }
+void print_header() {
+  std::cout << "=== Complexity validation: O(B + K^2 N^2) construction ===\n"
+            << "(see the complexity fits below the timing table)\n\n";
 }
-BENCHMARK(BM_EndToEndR1R2)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::cout << "=== Complexity validation: O(B + K^2 N^2) construction ===\n"
-            << "(see the google-benchmark complexity fits below)\n\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_header);
 }

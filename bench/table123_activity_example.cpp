@@ -6,14 +6,14 @@
 /// The timed section benchmarks table construction and the two query paths
 /// (table-driven vs brute-force rescan) whose gap motivates section 3.3.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "activity/analyzer.h"
 #include "activity/brute_force.h"
 #include "benchdata/paper_example.h"
+#include "common.h"
 #include "eval/table.h"
 
 using namespace gcr;
@@ -75,46 +75,47 @@ void print_tables() {
   std::cout << '\n';
 }
 
-void BM_BuildTables(benchmark::State& state) {
-  const auto ex = benchdata::paper_example();
-  for (auto _ : state) {
-    activity::ActivityAnalyzer an(ex.rtl, ex.stream);
-    benchmark::DoNotOptimize(an.ift().prob(0));
-  }
-}
-BENCHMARK(BM_BuildTables);
+const perf::Registrar reg_build{"table123/build_tables", [] {
+  auto ex = std::make_shared<const benchdata::PaperExample>(
+      benchdata::paper_example());
+  return [ex] {
+    activity::ActivityAnalyzer an(ex->rtl, ex->stream);
+    perf::do_not_optimize(an.ift().prob(0));
+  };
+}};
 
-void BM_TableDrivenQuery(benchmark::State& state) {
-  const auto ex = benchdata::paper_example();
-  const activity::ActivityAnalyzer an(ex.rtl, ex.stream);
+const perf::Registrar reg_table_query{"table123/query/table", [] {
+  auto ex = std::make_shared<const benchdata::PaperExample>(
+      benchdata::paper_example());
+  auto an =
+      std::make_shared<const activity::ActivityAnalyzer>(ex->rtl, ex->stream);
   activity::ModuleSet s(6);
   s.set(4);
   s.set(5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(an.signal_prob_of_modules(s));
-    benchmark::DoNotOptimize(an.transition_prob_of_modules(s));
-  }
-}
-BENCHMARK(BM_TableDrivenQuery);
+  // ex stays captured: the analyzer references its rtl, not a copy.
+  return [ex, an, s] {
+    perf::do_not_optimize(an->signal_prob_of_modules(s));
+    perf::do_not_optimize(an->transition_prob_of_modules(s));
+  };
+}};
 
-void BM_BruteForceQuery(benchmark::State& state) {
-  const auto ex = benchdata::paper_example();
-  const activity::BruteForceActivity bf(ex.rtl, ex.stream);
+const perf::Registrar reg_brute_query{"table123/query/brute_force", [] {
+  auto ex = std::make_shared<const benchdata::PaperExample>(
+      benchdata::paper_example());
+  auto bf = std::make_shared<const activity::BruteForceActivity>(ex->rtl,
+                                                                 ex->stream);
   activity::ModuleSet s(6);
   s.set(4);
   s.set(5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bf.signal_prob(s));
-    benchmark::DoNotOptimize(bf.transition_prob(s));
-  }
-}
-BENCHMARK(BM_BruteForceQuery);
+  // ex stays captured: BruteForceActivity rescans it on every query.
+  return [ex, bf, s] {
+    perf::do_not_optimize(bf->signal_prob(s));
+    perf::do_not_optimize(bf->transition_prob(s));
+  };
+}};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_tables);
 }

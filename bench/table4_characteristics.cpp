@@ -5,9 +5,9 @@
 /// instruction (~40% in the paper). The timed section verifies that the
 /// one-scan table construction is O(B) in the stream length.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "activity/analyzer.h"
 #include "common.h"
@@ -34,28 +34,34 @@ void print_table4() {
   std::cout << "\n(paper: Ave(M(Ij)) ~ 0.4 for all benchmarks)\n\n";
 }
 
-void BM_TableConstructionVsStreamLength(benchmark::State& state) {
-  const auto rb = benchdata::generate_rbench("r1");
-  benchdata::WorkloadSpec spec =
-      bench::eval_workload_spec(rb.spec.num_sinks);
-  spec.stream_length = static_cast<int>(state.range(0));
-  const auto wl = benchdata::generate_workload(spec, rb.sinks, rb.die);
-  for (auto _ : state) {
-    activity::ActivityAnalyzer an(wl.rtl, wl.stream);
-    benchmark::DoNotOptimize(an.ift().prob(0));
-  }
-  state.SetComplexityN(state.range(0));
+// Table construction should be linear in the stream length B (paper
+// section 3.3); the runner fits a log-log slope over the n=<B> family.
+perf::BenchFactory table_build_at(int stream_length) {
+  return [stream_length] {
+    auto rb =
+        std::make_shared<const benchdata::RBench>(benchdata::generate_rbench("r1"));
+    benchdata::WorkloadSpec spec = bench::eval_workload_spec(rb->spec.num_sinks);
+    spec.stream_length = stream_length;
+    auto wl = std::make_shared<const benchdata::Workload>(
+        benchdata::generate_workload(spec, rb->sinks, rb->die));
+    return [wl] {
+      activity::ActivityAnalyzer an(wl->rtl, wl->stream);
+      perf::do_not_optimize(an.ift().prob(0));
+    };
+  };
 }
-BENCHMARK(BM_TableConstructionVsStreamLength)
-    ->RangeMultiplier(4)
-    ->Range(1 << 10, 1 << 18)
-    ->Complexity(benchmark::oN);
+
+struct RegisterTableBuilds {
+  RegisterTableBuilds() {
+    for (int b = 1 << 10; b <= 1 << 18; b <<= 2)
+      perf::default_runner().add("table4/table_build/n=" + std::to_string(b),
+                                 table_build_at(b));
+  }
+};
+const RegisterTableBuilds reg_table_builds{};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_table4);
 }

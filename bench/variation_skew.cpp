@@ -7,9 +7,8 @@
 /// baseline. 10%/15% relative sigmas on wire RC / cell strength, 200
 /// Monte-Carlo trials per row.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "eval/power.h"
@@ -51,26 +50,29 @@ void print_report() {
   std::cout << '\n';
 }
 
-void BM_VariationTrials(benchmark::State& state) {
-  const bench::Instance inst = bench::make_instance("r1");
-  const core::GatedClockRouter router(inst.design);
-  core::RouterOptions opts;
-  opts.style = core::TreeStyle::GatedReduced;
-  const auto r = router.route(opts);
-  eval::VariationSpec spec;
-  spec.trials = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    auto rep = eval::variation_analysis(r.tree, opts.tech, spec);
-    benchmark::DoNotOptimize(rep.mean_skew);
-  }
+perf::BenchFactory variation_trials(int trials) {
+  return [trials] {
+    auto inst = std::make_shared<bench::Instance>(bench::make_instance("r1"));
+    const core::GatedClockRouter router(inst->design);
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::GatedReduced;
+    auto r = std::make_shared<const core::RouterResult>(router.route(opts));
+    const tech::TechParams tech = opts.tech;
+    eval::VariationSpec spec;
+    spec.trials = trials;
+    return [r, tech, spec] {
+      auto rep = eval::variation_analysis(r->tree, tech, spec);
+      perf::do_not_optimize(rep.mean_skew);
+    };
+  };
 }
-BENCHMARK(BM_VariationTrials)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+const perf::Registrar reg_t50{"variation/trials/n=50", variation_trials(50)};
+const perf::Registrar reg_t200{"variation/trials/n=200",
+                               variation_trials(200)};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_report);
 }

@@ -7,11 +7,11 @@
 /// much a mis-trained gate placement costs, and the mix-trained row shows
 /// why training on representative workloads matters.
 
-#include <benchmark/benchmark.h>
-
 #include <iostream>
+#include <memory>
 
 #include "benchdata/rbench.h"
+#include "common.h"
 #include "core/router.h"
 #include "cpu/bridge.h"
 #include "eval/simulate.h"
@@ -73,11 +73,20 @@ void print_matrix() {
                "workload.)\n\n";
 }
 
-void BM_SimulateReplay(benchmark::State& state) {
+struct ReplayFixture {
+  activity::RtlDescription rtl;
+  activity::InstructionStream mix;
+  std::vector<int> modules;
+  gating::ControllerPlacement ctrl;
+  core::RouterResult routed;
+  tech::TechParams tech;
+};
+
+const perf::Registrar reg_replay{"workload/simulate_replay", [] {
   benchdata::RBench rb = benchdata::generate_rbench("r1");
   const cpu::UnitFloorplan plan = cpu::assign_units(rb.sinks);
-  const activity::RtlDescription rtl = cpu::make_rtl(plan);
-  const activity::InstructionStream mix = cpu::multiprogram_stream(20000);
+  activity::RtlDescription rtl = cpu::make_rtl(plan);
+  activity::InstructionStream mix = cpu::multiprogram_stream(20000);
   std::vector<int> modules(rb.sinks.size());
   for (std::size_t i = 0; i < modules.size(); ++i)
     modules[i] = static_cast<int>(i);
@@ -85,21 +94,19 @@ void BM_SimulateReplay(benchmark::State& state) {
   const core::GatedClockRouter router(std::move(d));
   core::RouterOptions opts;
   opts.style = core::TreeStyle::GatedReduced;
-  const auto routed = router.route(opts);
-  const gating::ControllerPlacement ctrl(rb.die, 1);
-  for (auto _ : state) {
-    auto sim = eval::simulate_swcap(routed.tree, rtl, mix, modules, ctrl,
-                                    opts.tech, true);
-    benchmark::DoNotOptimize(sim.total_per_cycle());
-  }
-}
-BENCHMARK(BM_SimulateReplay)->Unit(benchmark::kMillisecond);
+  auto fx = std::make_shared<ReplayFixture>(
+      ReplayFixture{std::move(rtl), std::move(mix), std::move(modules),
+                    gating::ControllerPlacement(rb.die, 1),
+                    router.route(opts), opts.tech});
+  return [fx] {
+    auto sim = eval::simulate_swcap(fx->routed.tree, fx->rtl, fx->mix,
+                                    fx->modules, fx->ctrl, fx->tech, true);
+    perf::do_not_optimize(sim.total_per_cycle());
+  };
+}};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_matrix();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::bench_main(argc, argv, print_matrix);
 }

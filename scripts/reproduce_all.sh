@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure and extension study, plus the test
-# log, into out/. Usage: scripts/reproduce_all.sh [build-dir]
+# log and benchmark sidecars, into out/.
+#
+# Usage: scripts/reproduce_all.sh [build-dir]
+#   GCR_BENCH_QUICK=1  run all timed sections in the quick tier (fewer
+#                      reps, tighter time caps) -- what CI uses.
 set -euo pipefail
 
 BUILD="${1:-build}"
 OUT=out
 mkdir -p "$OUT"
 
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
+# Prefer Ninja for fresh build dirs; an already-configured dir keeps its
+# generator (CMake refuses to switch generators in place).
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD"
+elif command -v ninja > /dev/null 2>&1; then
+  cmake -B "$BUILD" -G Ninja
+else
+  cmake -B "$BUILD"
+fi
+cmake --build "$BUILD" -j "$(nproc)"
 
 ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$OUT/tests.txt"
 
@@ -22,15 +34,23 @@ mkdir -p "$demo"
 "$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" --rtl "$demo/demo.rtl" \
   --stream "$demo/demo.stream" --auto-tune --selftest > /dev/null
 
+# The registered benchmark suite: statistics + memory sidecars per group
+# (BENCH_<group>.json), schema-validated. GCR_BENCH_QUICK propagates into
+# both gcr_bench and the per-figure binaries below.
+"$BUILD"/tools/gcr_bench ${GCR_BENCH_QUICK:+--quick} --out "$OUT" \
+  2>&1 | tee "$OUT/gcr_bench.txt"
+"$BUILD"/tools/gcr_benchdiff --validate "$OUT"/BENCH_*.json
+
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name="$(basename "$b")"
   echo "== $name =="
   # Each bench also drops a machine-readable BENCH_<name>.json sidecar
-  # (phase timings + counters) next to its text output.
+  # (timing statistics + phase tree + counters) next to its text output.
   GCR_BENCH_NAME="$name" GCR_BENCH_JSON_DIR="$OUT" \
     "$b" 2>&1 | tee "$OUT/$name.txt"
 done
+"$BUILD"/tools/gcr_benchdiff --validate "$OUT"/BENCH_*.json
 
 "$BUILD"/examples/layout_svg "$OUT"
 echo "All outputs in $OUT/"

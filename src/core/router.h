@@ -96,6 +96,13 @@ class GatedClockRouter {
  public:
   explicit GatedClockRouter(Design design);
 
+  // Self-referential: analyzer_ points into design_, so a moved or copied
+  // router would keep reading the original object. Construct in place.
+  GatedClockRouter(const GatedClockRouter&) = delete;
+  GatedClockRouter& operator=(const GatedClockRouter&) = delete;
+  GatedClockRouter(GatedClockRouter&&) = delete;
+  GatedClockRouter& operator=(GatedClockRouter&&) = delete;
+
   [[nodiscard]] const Design& design() const { return design_; }
   [[nodiscard]] const activity::ActivityAnalyzer& analyzer() const {
     return analyzer_;

@@ -268,8 +268,206 @@ class Checker {
   int nesting_{0};
 };
 
+/// Recursive-descent parser building a `Value` tree. Mirrors the Checker's
+/// grammar exactly so `parse(doc).has_value() == valid(doc)` for any input
+/// that fits in memory.
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    std::optional<Value> v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] int peek() const {
+    return pos_ < s_.size() ? static_cast<unsigned char>(s_[pos_]) : -1;
+  }
+
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Value> value() {
+    if (++nesting_ > 256) return std::nullopt;
+    std::optional<Value> out;
+    switch (peek()) {
+      case '{': out = object(); break;
+      case '[': out = array(); break;
+      case '"': {
+        std::optional<std::string> s = string();
+        if (s) out = Value(std::move(*s));
+        break;
+      }
+      case 't': if (literal("true")) out = Value(true); break;
+      case 'f': if (literal("false")) out = Value(false); break;
+      case 'n': if (literal("null")) out = Value(nullptr); break;
+      default: out = number(); break;
+    }
+    --nesting_;
+    return out;
+  }
+
+  std::optional<Value> object() {
+    eat('{');
+    Value::Object obj;
+    skip_ws();
+    if (eat('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      std::optional<std::string> k = string();
+      if (!k) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      skip_ws();
+      std::optional<Value> v = value();
+      if (!v) return std::nullopt;
+      obj.insert_or_assign(std::move(*k), std::move(*v));
+      skip_ws();
+      if (eat('}')) return Value(std::move(obj));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Value> array() {
+    eat('[');
+    Value::Array arr;
+    skip_ws();
+    if (eat(']')) return Value(std::move(arr));
+    while (true) {
+      skip_ws();
+      std::optional<Value> v = value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (eat(']')) return Value(std::move(arr));
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  /// Append `cp` to `out` as UTF-8.
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::optional<unsigned> hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int c = peek();
+      if (!std::isxdigit(c)) return std::nullopt;
+      v = v * 16 + static_cast<unsigned>(
+                       c <= '9' ? c - '0' : (std::tolower(c) - 'a' + 10));
+      ++pos_;
+    }
+    return v;
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (true) {
+      const int c = peek();
+      if (c < 0 || c < 0x20) return std::nullopt;
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        continue;
+      }
+      const int e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::optional<unsigned> hi = hex4();
+          if (!hi) return std::nullopt;
+          unsigned cp = *hi;
+          if (cp >= 0xd800 && cp <= 0xdbff && literal("\\u")) {
+            const std::optional<unsigned> lo = hex4();
+            if (!lo || *lo < 0xdc00 || *lo > 0xdfff) return std::nullopt;
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (*lo - 0xdc00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(peek())) return std::nullopt;
+    if (!eat('0'))
+      while (std::isdigit(peek())) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(peek())) return std::nullopt;
+      while (std::isdigit(peek())) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(peek())) return std::nullopt;
+      while (std::isdigit(peek())) ++pos_;
+    }
+    double d = 0.0;
+    const char* first = s_.data() + start;
+    const char* last = s_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last) return std::nullopt;
+    return Value(d);
+  }
+
+  std::string_view s_;
+  std::size_t pos_{0};
+  int nesting_{0};
+};
+
 }  // namespace
 
 bool valid(std::string_view doc) { return Checker(doc).run(); }
+
+std::optional<Value> parse(std::string_view doc) { return Parser(doc).run(); }
 
 }  // namespace gcr::obs::json

@@ -1,12 +1,10 @@
 #include "obs/report.h"
 
-#include <cmath>
-#include <iomanip>
 #include <ostream>
-#include <string>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/report_util.h"
 
 namespace gcr::obs {
 
@@ -29,52 +27,6 @@ const char* topology_name(core::TopologyScheme t) {
     case core::TopologyScheme::Mmm: return "mmm";
   }
   return "?";
-}
-
-void write_phases(json::Writer& w, const PhaseStats& node) {
-  w.begin_object();
-  w.field("name", node.name);
-  w.field("calls", node.calls);
-  w.field("total_ms", node.total_ms);
-  w.key("children").begin_array();
-  for (const auto& c : node.children) write_phases(w, *c);
-  w.end_array();
-  w.end_object();
-}
-
-void write_phase_forest(json::Writer& w, const Session& session) {
-  w.key("phases").begin_array();
-  for (const auto& c : session.timers().root().children) write_phases(w, *c);
-  w.end_array();
-}
-
-void write_metrics(json::Writer& w) {
-  const Registry& reg = Registry::global();
-  w.key("counters").begin_object();
-  for (const auto& [name, value] : reg.counters()) w.field(name, value);
-  w.end_object();
-  w.key("gauges").begin_object();
-  for (const auto& [name, value] : reg.gauges()) w.field(name, value);
-  w.end_object();
-  w.key("histograms").begin_object();
-  for (const auto& [name, snap] : reg.histograms()) {
-    w.key(name).begin_object();
-    w.field("count", snap.count);
-    w.field("sum", snap.sum);
-    w.field("min", snap.min);
-    w.field("max", snap.max);
-    w.field("mean", snap.mean());
-    // Sparse bucket map keyed by the bucket's lower bound (power of two).
-    w.key("buckets").begin_object();
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(i)];
-      if (n == 0) continue;
-      w.field(json::number(std::ldexp(1.0, i - Histogram::kExpBias)), n);
-    }
-    w.end_object();
-    w.end_object();
-  }
-  w.end_object();
 }
 
 void write_options(json::Writer& w, const core::RouterOptions& o) {
@@ -152,40 +104,8 @@ void write_run_report(std::ostream& os, const core::RouterOptions& opts,
   os << '\n';
 }
 
-void write_bench_report(std::ostream& os, std::string_view bench_name,
-                        const Session& session) {
-  json::Writer w(os);
-  w.begin_object();
-  w.field("schema", "gcr.bench_report");
-  w.field("version", kReportVersion);
-  w.field("bench", bench_name);
-  write_phase_forest(w, session);
-  write_metrics(w);
-  w.end_object();
-  os << '\n';
-}
-
-namespace {
-
-void print_phase(std::ostream& os, const PhaseStats& node, int indent) {
-  os << std::string(static_cast<std::size_t>(2 * indent), ' ') << node.name
-     << "  " << std::fixed << std::setprecision(2) << node.total_ms << " ms";
-  if (node.calls > 1) os << "  (x" << node.calls << ")";
-  os << '\n';
-  for (const auto& c : node.children) print_phase(os, *c, indent + 1);
-}
-
-}  // namespace
-
 void print_run_summary(std::ostream& os, const Session& session) {
-  os << "-- phases --\n";
-  for (const auto& c : session.timers().root().children)
-    print_phase(os, *c, 1);
-  os << "-- counters --\n";
-  for (const auto& [name, value] : Registry::global().counters())
-    if (value != 0) os << "  " << name << " = " << value << '\n';
-  for (const auto& [name, value] : Registry::global().gauges())
-    if (value != 0.0) os << "  " << name << " = " << value << '\n';
+  print_session_summary(os, session);
 }
 
 }  // namespace gcr::obs

@@ -1,18 +1,21 @@
 #pragma once
 
 #include <iosfwd>
-#include <string_view>
 
 #include "core/router.h"
 #include "obs/session.h"
 
 /// \file report.h
-/// Versioned JSON run reports: one document per routing run (or per bench
-/// run) carrying the options, the phase-timing tree, every metric in the
-/// global registry, and the final switched-capacitance / delay numbers.
+/// Versioned JSON run reports: one document per routing run carrying the
+/// options, the phase-timing tree, every metric in the global registry,
+/// and the final switched-capacitance / delay numbers.
 /// Schema: `{"schema": "gcr.run_report", "version": 1, ...}` -- bump
 /// `kReportVersion` on breaking layout changes and note it in
 /// docs/observability.md.
+///
+/// Bench reports (`gcr.bench_report`, now at v2 with statistics and memory
+/// sections) moved to `perf/report.h`: they are produced by the
+/// statistical bench runner, not by a routed run.
 ///
 /// This is the only observability component that knows about the router's
 /// types, which is why it lives in its own library target (`gcr_obs_report`
@@ -26,11 +29,6 @@ inline constexpr int kReportVersion = 1;
 /// Full run report for one routed design.
 void write_run_report(std::ostream& os, const core::RouterOptions& opts,
                       const core::RouterResult& result, const Session& session);
-
-/// Bench-harness report: phase tree + metrics only (no router result),
-/// tagged with the bench name. Schema "gcr.bench_report", same version.
-void write_bench_report(std::ostream& os, std::string_view bench_name,
-                        const Session& session);
 
 /// Human-readable phase tree + non-zero counters (the CLI's --verbose
 /// output, written to stderr there).

@@ -1,0 +1,106 @@
+#include "obs/report_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/timer.h"
+
+namespace gcr::obs {
+
+namespace {
+
+void write_phases(json::Writer& w, const PhaseStats& node) {
+  w.begin_object();
+  w.field("name", node.name);
+  w.field("calls", node.calls);
+  w.field("total_ms", node.total_ms);
+  if (node.alloc_count > 0 || node.alloc_bytes > 0) {
+    w.field("alloc_count", node.alloc_count);
+    w.field("alloc_bytes", node.alloc_bytes);
+  }
+  w.key("children").begin_array();
+  for (const auto& c : node.children) write_phases(w, *c);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_phase_forest(json::Writer& w, const Session& session) {
+  w.key("phases").begin_array();
+  for (const auto& c : session.timers().root().children) write_phases(w, *c);
+  w.end_array();
+}
+
+void write_metrics(json::Writer& w) {
+  const Registry& reg = Registry::global();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : reg.counters()) w.field(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : reg.gauges()) w.field(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, snap] : reg.histograms()) {
+    w.key(name).begin_object();
+    w.field("count", snap.count);
+    w.field("sum", snap.sum);
+    w.field("min", snap.min);
+    w.field("max", snap.max);
+    w.field("mean", snap.mean());
+    // Sparse bucket map keyed by the bucket's lower bound (power of two).
+    w.key("buckets").begin_object();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      w.field(json::number(std::ldexp(1.0, i - Histogram::kExpBias)), n);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+namespace {
+
+std::string human_bytes(std::uint64_t b) {
+  char buf[32];
+  if (b >= 10ull * 1024 * 1024)
+    std::snprintf(buf, sizeof buf, "%.1f MiB", double(b) / (1024.0 * 1024.0));
+  else if (b >= 10ull * 1024)
+    std::snprintf(buf, sizeof buf, "%.1f KiB", double(b) / 1024.0);
+  else
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  return buf;
+}
+
+void print_phase(std::ostream& os, const PhaseStats& node, int indent) {
+  os << std::string(static_cast<std::size_t>(2 * indent), ' ') << node.name
+     << "  " << std::fixed << std::setprecision(2) << node.total_ms << " ms";
+  if (node.calls > 1) os << "  (x" << node.calls << ")";
+  if (node.alloc_count > 0)
+    os << "  [" << node.alloc_count << " allocs, "
+       << human_bytes(node.alloc_bytes) << "]";
+  os << '\n';
+  for (const auto& c : node.children) print_phase(os, *c, indent + 1);
+}
+
+}  // namespace
+
+void print_session_summary(std::ostream& os, const Session& session) {
+  os << "-- phases --\n";
+  for (const auto& c : session.timers().root().children)
+    print_phase(os, *c, 1);
+  os << "-- counters --\n";
+  for (const auto& [name, value] : Registry::global().counters())
+    if (value != 0) os << "  " << name << " = " << value << '\n';
+  for (const auto& [name, value] : Registry::global().gauges())
+    if (value != 0.0) os << "  " << name << " = " << value << '\n';
+}
+
+}  // namespace gcr::obs

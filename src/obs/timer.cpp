@@ -7,6 +7,14 @@
 
 namespace gcr::obs {
 
+namespace {
+AllocSamplerFn g_alloc_sampler = nullptr;
+}  // namespace
+
+void set_alloc_sampler(AllocSamplerFn fn) { g_alloc_sampler = fn; }
+
+AllocSamplerFn alloc_sampler() { return g_alloc_sampler; }
+
 PhaseStats& PhaseStats::child(std::string_view child_name) {
   for (const auto& c : children)
     if (c->name == child_name) return *c;
@@ -21,12 +29,15 @@ PhaseStats& PhaseTimers::push(std::string_view name) {
   return node;
 }
 
-void PhaseTimers::pop(double elapsed_ms) {
+void PhaseTimers::pop(double elapsed_ms, std::uint64_t alloc_count,
+                      std::uint64_t alloc_bytes) {
   assert(stack_.size() > 1 && "pop without matching push");
   PhaseStats* node = stack_.back();
   stack_.pop_back();
   node->calls += 1;
   node->total_ms += elapsed_ms;
+  node->alloc_count += alloc_count;
+  node->alloc_bytes += alloc_bytes;
 }
 
 ScopedTimer::ScopedTimer(const char* name) : name_(name) {
@@ -34,13 +45,22 @@ ScopedTimer::ScopedTimer(const char* name) : name_(name) {
   if (!s) return;
   session_ = s;
   s->timers().push(name);
+  if (const AllocSamplerFn sampler = alloc_sampler()) a0_ = sampler();
   t0_us_ = s->now_us();
 }
 
 ScopedTimer::~ScopedTimer() {
   if (!session_) return;
   const double t1_us = session_->now_us();
-  session_->timers().pop((t1_us - t0_us_) / 1000.0);
+  AllocSample da;
+  if (const AllocSamplerFn sampler = alloc_sampler()) {
+    const AllocSample a1 = sampler();
+    // Cumulative counters only grow; guard anyway in case the hook was
+    // toggled mid-phase.
+    da.allocs = a1.allocs >= a0_.allocs ? a1.allocs - a0_.allocs : 0;
+    da.bytes = a1.bytes >= a0_.bytes ? a1.bytes - a0_.bytes : 0;
+  }
+  session_->timers().pop((t1_us - t0_us_) / 1000.0, da.allocs, da.bytes);
   if (TraceSink* t = session_->trace()) {
     TraceEvent e;
     e.name = name_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -33,10 +34,32 @@ namespace gcr::obs {
 
 class Session;
 
+/// Cumulative allocation counters at one instant, as reported by the
+/// process's allocation hook (see `set_alloc_sampler`).
+struct AllocSample {
+  std::uint64_t allocs{0};
+  std::uint64_t bytes{0};
+};
+
+/// Sampler the phase timers call to attribute heap traffic to phases.
+/// Installed by `perf::memhook` when the (opt-in) global operator
+/// new/delete hook is enabled; nullptr (the default) keeps `ScopedTimer`
+/// free of any allocation bookkeeping. Install/remove only from quiescent
+/// points, like `set_metrics_enabled`.
+using AllocSamplerFn = AllocSample (*)();
+void set_alloc_sampler(AllocSamplerFn fn);
+[[nodiscard]] AllocSamplerFn alloc_sampler();
+
 struct PhaseStats {
   std::string name;
   int calls{0};
   double total_ms{0.0};
+  /// Heap traffic attributed to this phase (excluding children's own
+  /// double count -- deltas are credited to the innermost open phase's
+  /// subtree root, i.e. each node's numbers *include* its children, like
+  /// total_ms). Zero unless an alloc sampler was installed.
+  std::uint64_t alloc_count{0};
+  std::uint64_t alloc_bytes{0};
   std::vector<std::unique_ptr<PhaseStats>> children;
 
   /// Find-or-create the child with this name (aggregation point).
@@ -53,8 +76,10 @@ class PhaseTimers {
 
   /// Open `name` under the innermost open phase; returns the node.
   PhaseStats& push(std::string_view name);
-  /// Close the innermost phase, crediting `elapsed_ms` to it.
-  void pop(double elapsed_ms);
+  /// Close the innermost phase, crediting `elapsed_ms` (and, when an alloc
+  /// sampler is installed, the allocation deltas) to it.
+  void pop(double elapsed_ms, std::uint64_t alloc_count = 0,
+           std::uint64_t alloc_bytes = 0);
   /// Stack depth excluding the synthetic root (0 = nothing open).
   [[nodiscard]] int depth() const {
     return static_cast<int>(stack_.size()) - 1;
@@ -78,6 +103,7 @@ class ScopedTimer {
   Session* session_{nullptr};
   const char* name_;
   double t0_us_{0.0};
+  AllocSample a0_;  ///< sampler snapshot at phase entry (if installed)
 };
 
 }  // namespace gcr::obs

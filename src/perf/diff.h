@@ -1,0 +1,103 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+/// \file diff.h
+/// Reading side of the bench-report pipeline: schema validation for
+/// `gcr.bench_report` v2 documents and MAD-aware regression diffing
+/// between two report sets (the library behind `gcr_benchdiff`).
+///
+/// Verdict rule, per benchmark present on both sides: the median delta is
+/// a regression (or improvement) only when it clears BOTH gates --
+///   1. relative: |new - old| > threshold * old  (default 5%),
+///   2. noise:    |new - old| > noise_mads * max(old MAD, new MAD)
+///      (default 3 MADs).
+/// Gate 2 is what makes the comparison noise-aware: a 5% shift on a
+/// benchmark whose repetitions scatter by 10% is within noise, while the
+/// same 5% on a tight distribution is a real change.
+
+namespace gcr::perf {
+
+/// One benchmark's statistics as read back from a report.
+struct BenchSample {
+  double median_ms{0.0};
+  double mad_ms{0.0};
+  double min_ms{0.0};
+  int reps{0};
+};
+
+struct LoadedReport {
+  std::string bench;
+  int version{0};
+  bool quick{false};
+  std::string git_sha;
+  std::map<std::string, BenchSample> benchmarks;  ///< by benchmark name
+};
+
+/// Strict schema check of a parsed v2 bench report; returns the list of
+/// problems, empty when valid. (This is the "schema validator" CI runs on
+/// every emitted sidecar: obs/json.h checks syntax, this checks shape.)
+[[nodiscard]] std::vector<std::string> validate_bench_report(
+    const obs::json::Value& doc);
+
+/// Parse + validate + extract. On failure returns nullopt and, when
+/// `error` is non-null, stores a one-line reason.
+[[nodiscard]] std::optional<LoadedReport> load_bench_report(
+    std::string_view text, std::string* error);
+
+enum class Verdict {
+  Improvement,
+  Regression,
+  WithinNoise,
+  OnlyOld,  ///< benchmark disappeared
+  OnlyNew,  ///< benchmark added
+};
+
+[[nodiscard]] std::string_view verdict_name(Verdict v);
+
+struct DiffOptions {
+  double threshold{0.05};  ///< relative median change that matters
+  double noise_mads{3.0};  ///< ... and must exceed this many MADs
+  /// ... and must exceed this many milliseconds. Absolute floor for
+  /// batched micro benchmarks whose in-run MAD is artificially tight:
+  /// deltas below ~50 ns are timer/scheduler territory, not code. (A real
+  /// 2x change on a 100 ns benchmark still clears this.)
+  double min_delta_ms{5e-5};
+};
+
+[[nodiscard]] Verdict classify(const BenchSample& older,
+                               const BenchSample& newer,
+                               const DiffOptions& opts);
+
+struct DiffEntry {
+  std::string name;
+  Verdict verdict{Verdict::WithinNoise};
+  double old_median_ms{0.0};
+  double new_median_ms{0.0};
+  double ratio{0.0};  ///< new/old medians; 0 when one side is missing
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;
+  int regressions{0};
+  int improvements{0};
+
+  [[nodiscard]] bool has_regression() const { return regressions > 0; }
+};
+
+/// Diff two reports benchmark-by-benchmark (union of names, sorted).
+[[nodiscard]] DiffReport diff_reports(const LoadedReport& older,
+                                      const LoadedReport& newer,
+                                      const DiffOptions& opts);
+
+/// Human-readable diff table.
+void print_diff(std::ostream& os, const DiffReport& d);
+
+}  // namespace gcr::perf

@@ -1,0 +1,242 @@
+#include "perf/memhook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/timer.h"
+
+#if defined(__GLIBC__) || (defined(__has_include) && __has_include(<malloc.h>) && defined(__linux__))
+#include <malloc.h>
+#define GCR_MEMHOOK_USABLE_SIZE 1
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define GCR_MEMHOOK_RUSAGE 1
+#endif
+
+namespace gcr::perf::memhook {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::int64_t> g_live{0};
+std::atomic<std::int64_t> g_peak{0};
+
+inline std::size_t usable_size(void* p) {
+#ifdef GCR_MEMHOOK_USABLE_SIZE
+  return malloc_usable_size(p);
+#else
+  (void)p;
+  return 0;
+#endif
+}
+
+inline void on_alloc(void* p) {
+  if (!p || !g_enabled.load(std::memory_order_relaxed)) return;
+  const auto sz = static_cast<std::int64_t>(usable_size(p));
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(static_cast<std::uint64_t>(sz),
+                    std::memory_order_relaxed);
+  const std::int64_t live =
+      g_live.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::int64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void on_free(void* p) {
+  if (!p || !g_enabled.load(std::memory_order_relaxed)) return;
+  const auto sz = static_cast<std::int64_t>(usable_size(p));
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  // Frees of blocks allocated before enable() can drive live negative;
+  // stats() clamps when reporting.
+  g_live.fetch_sub(sz, std::memory_order_relaxed);
+}
+
+obs::AllocSample sample_for_obs() {
+  return {g_allocs.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace
+
+namespace detail {
+
+void* counted_alloc(std::size_t n) {
+  void* p = std::malloc(n ? n : 1);
+  on_alloc(p);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (n + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded ? rounded : align);
+  on_alloc(p);
+  return p;
+}
+
+void counted_free(void* p) {
+  on_free(p);
+  std::free(p);
+}
+
+}  // namespace detail
+
+bool available() {
+#ifdef GCR_MEMHOOK_USABLE_SIZE
+  return true;
+#else
+  return false;
+#endif
+}
+
+void enable() {
+  if (!available()) return;
+  g_enabled.store(true, std::memory_order_relaxed);
+  obs::set_alloc_sampler(&sample_for_obs);
+}
+
+void disable() {
+  if (obs::alloc_sampler() == &sample_for_obs) obs::set_alloc_sampler(nullptr);
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void reset() {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+  g_live.store(0, std::memory_order_relaxed);
+  g_peak.store(0, std::memory_order_relaxed);
+}
+
+void reset_peak() {
+  g_peak.store(g_live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+Stats stats() {
+  Stats s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  s.bytes_allocated = g_bytes.load(std::memory_order_relaxed);
+  const std::int64_t live = g_live.load(std::memory_order_relaxed);
+  s.live_bytes = live > 0 ? static_cast<std::uint64_t>(live) : 0;
+  const std::int64_t peak = g_peak.load(std::memory_order_relaxed);
+  s.peak_live_bytes = peak > 0 ? static_cast<std::uint64_t>(peak) : 0;
+  return s;
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef GCR_MEMHOOK_RUSAGE
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace gcr::perf::memhook
+
+// ---------------------------------------------------------------------------
+// Global allocation operators. Defined here (same translation unit as the
+// API) so any binary that uses the memhook API links these replacements;
+// binaries that don't reference memhook keep the stock allocator.
+// ---------------------------------------------------------------------------
+
+namespace memhook_detail = gcr::perf::memhook::detail;
+
+void* operator new(std::size_t n) {
+  void* p = memhook_detail::counted_alloc(n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = memhook_detail::counted_alloc(n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return memhook_detail::counted_alloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return memhook_detail::counted_alloc(n);
+}
+
+void* operator new(std::size_t n, std::align_val_t al) {
+  void* p = memhook_detail::counted_aligned_alloc(
+      n, static_cast<std::size_t>(al));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t al) {
+  void* p = memhook_detail::counted_aligned_alloc(
+      n, static_cast<std::size_t>(al));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return memhook_detail::counted_aligned_alloc(
+      n, static_cast<std::size_t>(al));
+}
+
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return memhook_detail::counted_aligned_alloc(
+      n, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { memhook_detail::counted_free(p); }
+void operator delete[](void* p) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  memhook_detail::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  memhook_detail::counted_free(p);
+}

@@ -1,0 +1,91 @@
+#include "perf/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+
+namespace gcr::perf {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  // Even size: the lower middle is the max of the left partition.
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double mad(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = median(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (const double x : v) dev.push_back(std::abs(x - m));
+  return median(std::move(dev));
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.reps = static_cast<int>(samples.size());
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  s.min = *mn;
+  s.max = *mx;
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  s.median = median(samples);
+  s.p90 = percentile(samples, 0.9);
+  s.mad = mad(samples);
+  return s;
+}
+
+bool stabilized(const std::vector<double>& samples, double rel_tol) {
+  if (samples.size() < 6) return false;
+  const std::size_t half = samples.size() / 2;
+  const std::vector<double> first(samples.begin(),
+                                  samples.begin() +
+                                      static_cast<std::ptrdiff_t>(half));
+  const std::vector<double> second(samples.end() -
+                                       static_cast<std::ptrdiff_t>(half),
+                                   samples.end());
+  const double m = median(samples);
+  if (!(m > 0.0)) return true;
+  return std::abs(median(first) - median(second)) <= rel_tol * m;
+}
+
+double loglog_slope(const std::vector<std::pair<double, double>>& xy) {
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int n = 0;
+  for (const auto& [x, y] : xy) {
+    if (!(x > 0.0) || !(y > 0.0)) continue;
+    const double lx = std::log(x);
+    const double ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace gcr::perf

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+/// \file stats.h
+/// The statistics kernel of the benchmark harness: robust summary
+/// statistics over per-repetition wall-clock samples. Everything here is
+/// deliberately median/MAD-based -- benchmark timings are right-skewed
+/// (scheduler preemption, cache/TLB warmth, allocator state), so the
+/// median is the location estimate and the MAD (median absolute deviation
+/// about the median) the dispersion estimate; mean/stddev would let one
+/// preempted repetition dominate the report.
+
+namespace gcr::perf {
+
+/// Median of `v` (by-value: the selection is destructive). Even-sized
+/// inputs average the two middle order statistics. 0 for empty input.
+[[nodiscard]] double median(std::vector<double> v);
+
+/// Linear-interpolated percentile, `p` in [0, 1] (0.9 = p90). 0 for empty
+/// input.
+[[nodiscard]] double percentile(std::vector<double> v, double p);
+
+/// Median absolute deviation about the median (unscaled -- we compare MADs
+/// against MADs and against relative thresholds, never against a Gaussian
+/// sigma, so the 1.4826 consistency factor would only add noise).
+[[nodiscard]] double mad(const std::vector<double>& v);
+
+struct Summary {
+  int reps{0};
+  double min{0.0};
+  double max{0.0};
+  double mean{0.0};
+  double median{0.0};
+  double p90{0.0};
+  double mad{0.0};
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Adaptive-repetition cutoff: true once the sample's location estimate
+/// has settled. Splits the samples into first and second half and accepts
+/// when the two half-medians agree within `rel_tol` of the overall median
+/// (a split-half agreement test: warm-up drift or a bimodal machine state
+/// shows up as disagreeing halves). Requires at least 6 samples; a
+/// non-positive overall median (degenerate timer) counts as stable.
+[[nodiscard]] bool stabilized(const std::vector<double>& samples,
+                              double rel_tol);
+
+/// Least-squares slope of log(y) on log(x) over points with positive
+/// coordinates -- the empirical complexity exponent of a benchmark family
+/// (y ~ x^slope). 0 when fewer than 2 usable points.
+[[nodiscard]] double loglog_slope(
+    const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace gcr::perf

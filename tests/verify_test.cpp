@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <sstream>
 
 #include "core/router.h"
@@ -30,14 +31,19 @@ bool fires(const Report& rep, Invariant inv) {
 }
 
 struct Routed {
-  core::GatedClockRouter router;
+  // Heap-held: GatedClockRouter is immovable (its analyzer points into
+  // its own design).
+  std::unique_ptr<core::GatedClockRouter> router_ptr;
   core::RouterOptions opts;
   core::RouterResult result;
+
+  const core::GatedClockRouter& router() const { return *router_ptr; }
 };
 
 Routed route_spec(const DesignSpec& spec, core::RouterOptions opts = {}) {
-  core::GatedClockRouter router(generate_design(spec));
-  core::RouterResult result = router.route(opts);
+  auto router =
+      std::make_unique<core::GatedClockRouter>(generate_design(spec));
+  core::RouterResult result = router->route(opts);
   return {std::move(router), opts, std::move(result)};
 }
 
@@ -59,7 +65,7 @@ TEST(VerifyClean, EveryStyleVerifies) {
     core::RouterOptions opts;
     opts.style = style;
     const Routed r = route_spec(spec, opts);
-    const Report rep = verify_result(r.router, r.opts, r.result);
+    const Report rep = verify_result(r.router(), r.opts, r.result);
     EXPECT_TRUE(rep.ok()) << rep.summary();
     EXPECT_GE(rep.checks_run, 3);
   }
@@ -75,7 +81,7 @@ TEST(VerifyClean, EveryTopologySchemeVerifies) {
     opts.style = core::TreeStyle::Gated;
     opts.topology = scheme;
     const Routed r = route_spec(spec, opts);
-    const Report rep = verify_result(r.router, r.opts, r.result);
+    const Report rep = verify_result(r.router(), r.opts, r.result);
     EXPECT_TRUE(rep.ok()) << rep.summary();
   }
 }
@@ -86,7 +92,7 @@ TEST(VerifyClean, BoundedSkewAndPartitionsVerify) {
   opts.skew_bound = 30.0;
   opts.controller_partitions = 4;
   const Routed r = route_spec(spec, opts);
-  const Report rep = verify_result(r.router, r.opts, r.result);
+  const Report rep = verify_result(r.router(), r.opts, r.result);
   EXPECT_TRUE(rep.ok()) << rep.summary();
 }
 
@@ -107,7 +113,7 @@ class Mutation : public ::testing::Test {
   Mutation() : r_(route_spec(default_spec())) {}
 
   Report verify() const {
-    return verify_result(r_.router, r_.opts, r_.result);
+    return verify_result(r_.router(), r_.opts, r_.result);
   }
 
   /// Some internal, non-root node (mutating a leaf or the root trips
@@ -238,7 +244,7 @@ TEST_F(Mutation, SelfCheckHookThrowsOnBadResult) {
   // VerificationError with the offending report attached.
   r_.result.tree.nodes[static_cast<std::size_t>(internal_node())].down_cap +=
       0.05;
-  const auto hook = make_self_check(r_.router);
+  const auto hook = make_self_check(r_.router());
   try {
     hook(r_.result, r_.opts);
     FAIL() << "self-check accepted a corrupted result";

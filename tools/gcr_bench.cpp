@@ -1,0 +1,336 @@
+/// \file gcr_bench.cpp
+/// Statistical benchmark driver for the library's hot paths. Benchmarks are
+/// registered under five groups -- activity, topology, zskew, reduction,
+/// route -- and run with warmup plus adaptive repetitions until the median
+/// stabilizes (perf/runner.h). The heap hook is on by default, so every
+/// result carries allocations/bytes per repetition next to its timing
+/// statistics, and each group writes a `BENCH_<group>.json` v2 sidecar
+/// (perf/report.h) suitable for `gcr_benchdiff`.
+///
+/// Usage:
+///   gcr_bench [--quick] [--filter SUBSTR] [--out DIR] [--list] [--no-mem]
+///
+///   --quick    small sizes + relaxed stabilization (also via
+///              GCR_BENCH_QUICK=1); the CI perf-smoke tier
+///   --filter   run only benchmarks whose name contains SUBSTR
+///   --out DIR  sidecar directory (created if missing; default ".")
+///   --list     print registered benchmark names and exit
+///   --no-mem   leave the allocation hook off (timings only)
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "activity/analyzer.h"
+#include "benchdata/rbench.h"
+#include "benchdata/workload.h"
+#include "clocktree/zskew.h"
+#include "core/router.h"
+#include "cts/clustered.h"
+#include "cts/greedy.h"
+#include "gating/gate_reduction.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "perf/memhook.h"
+#include "perf/report.h"
+#include "perf/runner.h"
+#include "tech/params.h"
+
+using namespace gcr;
+
+namespace {
+
+/// Evaluation workload in the spirit of bench/common.h, sized down so setup
+/// does not dwarf the timed section on small instances.
+benchdata::Workload make_workload(const benchdata::RBench& rb, int k,
+                                  int stream_length, std::uint64_t seed) {
+  benchdata::WorkloadSpec w;
+  w.num_instructions = k;
+  w.num_clusters = std::max(16, rb.spec.num_sinks / 32);
+  w.target_activity = 0.4;
+  w.in_cluster_use = 0.9;
+  w.locality = 0.85;
+  w.stream_length = stream_length;
+  w.seed = seed;
+  return benchdata::generate_workload(w, rb.sinks, rb.die);
+}
+
+benchdata::RBench synthetic_rbench(int n, std::uint64_t seed) {
+  // Die side tracks sqrt(N) so sink density matches the published r1..r5.
+  const double side = 1200.0 * std::sqrt(static_cast<double>(n));
+  return benchdata::generate_rbench(
+      benchdata::RBenchSpec{"s", n, side, 0.005, 0.08, seed});
+}
+
+struct Instance {
+  benchdata::RBench rb;
+  core::Design design;
+};
+
+std::shared_ptr<const Instance> make_instance(int n, std::uint64_t seed) {
+  benchdata::RBench rb = synthetic_rbench(n, seed);
+  benchdata::Workload wl = make_workload(rb, 32, 8000, seed);
+  core::Design d{rb.die, rb.sinks, std::move(wl.rtl), std::move(wl.stream),
+                 {}};
+  return std::make_shared<Instance>(Instance{std::move(rb), std::move(d)});
+}
+
+using Groups = std::map<std::string, perf::Runner>;
+
+// --- activity: table construction and probability queries ------------------
+
+void register_activity(Groups& g, bool quick) {
+  for (const int k : quick ? std::vector<int>{32} : std::vector<int>{32, 128}) {
+    g["activity"].add(
+        "activity/table_build/n=" + std::to_string(k), [k] {
+          auto rb = std::make_shared<benchdata::RBench>(synthetic_rbench(64, 3));
+          auto wl = std::make_shared<benchdata::Workload>(
+              make_workload(*rb, k, 4000, 3));
+          return [wl] {
+            const activity::ActivityAnalyzer an(wl->rtl, wl->stream);
+            perf::do_not_optimize(an);
+          };
+        });
+    for (const bool transition : {false, true}) {
+      const char* what = transition ? "transition_prob" : "signal_prob";
+      g["activity"].add("activity/" + std::string(what) +
+                            "/n=" + std::to_string(k),
+                        [k, transition] {
+                          auto rb = std::make_shared<benchdata::RBench>(
+                              synthetic_rbench(64, 4));
+                          auto wl = std::make_shared<benchdata::Workload>(
+                              make_workload(*rb, k, 8000, 4));
+                          auto an = std::make_shared<activity::ActivityAnalyzer>(
+                              wl->rtl, wl->stream);
+                          activity::ActivationMask mask(k);
+                          for (int i = 0; i < k; i += 2) mask.set(i);
+                          // wl stays captured: the analyzer references its
+                          // rtl rather than copying it.
+                          return [wl, an, mask, transition] {
+                            perf::do_not_optimize(
+                                transition ? an->transition_prob(mask)
+                                           : an->signal_prob(mask));
+                          };
+                        });
+    }
+  }
+}
+
+// --- topology: the Eq. 3 greedy construction -------------------------------
+
+void register_topology(Groups& g, bool quick) {
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{64, 128} : std::vector<int>{64, 128, 256, 512};
+  for (const int n : sizes) {
+    g["topology"].add("topology/build/n=" + std::to_string(n), [n] {
+      auto rb = std::make_shared<benchdata::RBench>(synthetic_rbench(n, 9));
+      auto wl =
+          std::make_shared<benchdata::Workload>(make_workload(*rb, 32, 4000, 9));
+      auto an = std::make_shared<activity::ActivityAnalyzer>(wl->rtl,
+                                                             wl->stream);
+      auto mods = std::make_shared<std::vector<int>>(cts::identity_modules(n));
+      cts::BuildOptions opts;
+      opts.cost = cts::MergeCost::SwitchedCapacitance;
+      opts.control_point = rb->die.center();
+      return [rb, wl, an, mods, opts] {
+        auto r = cts::build_topology(rb->sinks, an.get(), *mods, opts);
+        perf::do_not_optimize(r.topo.root());
+      };
+    });
+  }
+  if (!quick) {
+    g["topology"].add("topology/clustered/n=2000", [] {
+      auto rb = std::make_shared<benchdata::RBench>(synthetic_rbench(2000, 10));
+      auto wl = std::make_shared<benchdata::Workload>(
+          make_workload(*rb, 32, 4000, 10));
+      auto an =
+          std::make_shared<activity::ActivityAnalyzer>(wl->rtl, wl->stream);
+      auto mods =
+          std::make_shared<std::vector<int>>(cts::identity_modules(2000));
+      cts::ClusterOptions copts;
+      copts.build.cost = cts::MergeCost::SwitchedCapacitance;
+      copts.build.control_point = rb->die.center();
+      return [rb, wl, an, mods, copts] {
+        auto r = cts::build_topology_clustered(rb->sinks, an.get(), *mods,
+                                               copts);
+        perf::do_not_optimize(r.topo.root());
+      };
+    });
+  }
+}
+
+// --- zskew: one exact zero-skew merge (micro; the runner batches it) -------
+
+void register_zskew(Groups& g, bool /*quick*/) {
+  for (const bool gated : {false, true}) {
+    g["zskew"].add(std::string("zskew/merge_") + (gated ? "gated" : "ungated"),
+                   [gated] {
+                     const tech::TechParams t;
+                     ct::SubtreeTap a, b;
+                     a.ms = geom::TiltedRect::from_point({1000.0, 2000.0});
+                     a.delay = 120.0;
+                     a.cap = 0.8;
+                     b.ms = geom::TiltedRect::from_point({9000.0, 5000.0});
+                     b.delay = 80.0;
+                     b.cap = 1.1;
+                     return [a, b, gated, t] {
+                       const ct::MergeResult m =
+                           ct::zero_skew_merge(a, gated, b, gated, t);
+                       perf::do_not_optimize(m.delay);
+                     };
+                   });
+  }
+}
+
+// --- reduction: the section 4.3 gate-removal pass --------------------------
+
+void register_reduction(Groups& g, bool quick) {
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{267} : std::vector<int>{267, 598};
+  for (const int n : sizes) {
+    g["reduction"].add("reduction/reduce_gates/n=" + std::to_string(n), [n] {
+      auto inst = make_instance(n, 11);
+      const core::GatedClockRouter router(inst->design);
+      core::RouterOptions opts;
+      opts.style = core::TreeStyle::Gated;  // fully-gated input tree
+      auto res =
+          std::make_shared<const core::RouterResult>(router.route(opts));
+      const tech::TechParams tech;
+      const gating::GateReductionParams params;
+      return [res, tech, params] {
+        auto gates =
+            gating::reduce_gates(res->tree, res->activity.p_en, tech, params);
+        perf::do_not_optimize(gates);
+      };
+    });
+  }
+}
+
+// --- route: the full PROCEDURE GatedClockRouting flow ----------------------
+
+void register_route(Groups& g, bool quick) {
+  const std::vector<int> flat =
+      quick ? std::vector<int>{64, 128} : std::vector<int>{64, 128, 267, 598};
+  for (const int n : flat) {
+    g["route"].add("route/reduced/n=" + std::to_string(n), [n] {
+      auto inst = make_instance(n, 13);
+      auto router =
+          std::make_shared<const core::GatedClockRouter>(inst->design);
+      return [router] {
+        core::RouterOptions opts;
+        opts.style = core::TreeStyle::GatedReduced;
+        const core::RouterResult r = router->route(opts);
+        perf::do_not_optimize(r.swcap.total_swcap());
+      };
+    });
+  }
+  if (!quick) {
+    // r4/r5-scale designs route through the two-level clustered flow, as a
+    // real large design would.
+    for (const int n : {1903, 3101}) {
+      g["route"].add("route/clustered/n=" + std::to_string(n), [n] {
+        auto inst = make_instance(n, 17);
+        auto router =
+            std::make_shared<const core::GatedClockRouter>(inst->design);
+        return [router] {
+          core::RouterOptions opts;
+          opts.style = core::TreeStyle::GatedReduced;
+          opts.clustered = true;
+          const core::RouterResult r = router->route(opts);
+          perf::do_not_optimize(r.swcap.total_swcap());
+        };
+      });
+    }
+  }
+}
+
+void usage() {
+  std::cerr << "usage: gcr_bench [--quick] [--filter SUBSTR] [--out DIR]"
+               " [--list] [--no-mem]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  perf::RunnerOptions opts = perf::RunnerOptions::from_env();
+  std::string out_dir = ".";
+  bool list = false;
+  bool mem = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      opts = perf::RunnerOptions::quick_tier();
+    } else if (flag == "--filter" && i + 1 < argc) {
+      opts.filter = argv[++i];
+    } else if (flag == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (flag == "--list") {
+      list = true;
+    } else if (flag == "--no-mem") {
+      mem = false;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  Groups groups;
+  register_activity(groups, opts.quick);
+  register_topology(groups, opts.quick);
+  register_zskew(groups, opts.quick);
+  register_reduction(groups, opts.quick);
+  register_route(groups, opts.quick);
+
+  if (list) {
+    for (const auto& [group, runner] : groups)
+      for (const auto& name : runner.names()) std::cout << name << '\n';
+    return 0;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot create " << out_dir << ": " << ec.message()
+              << '\n';
+    return 2;
+  }
+
+  if (mem && perf::memhook::available()) perf::memhook::enable();
+  obs::set_metrics_enabled(true);
+
+  int written = 0;
+  for (auto& [group, runner] : groups) {
+    // Fresh session + metrics per group so each sidecar's phase tree and
+    // counters describe exactly that group's run.
+    obs::Registry::global().reset();
+    obs::Session session;
+    obs::Bind bind(&session);
+
+    std::cerr << "== " << group << " ==\n";
+    const std::vector<perf::BenchResult> results = runner.run(opts, &std::cerr);
+    if (results.empty()) continue;  // filter matched nothing in this group
+    perf::print_results(std::cout, results);
+
+    const std::string path = out_dir + "/BENCH_" + group + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "error: cannot open " << path << '\n';
+      return 2;
+    }
+    perf::write_bench_report(os, group, results, opts, &session);
+    std::cout << "wrote " << path << '\n';
+    ++written;
+  }
+  if (written == 0) {
+    std::cerr << "no benchmarks matched filter '" << opts.filter << "'\n";
+    return 2;
+  }
+  return 0;
+}

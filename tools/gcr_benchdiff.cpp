@@ -1,0 +1,215 @@
+/// \file gcr_benchdiff.cpp
+/// Compare two sets of `BENCH_*.json` bench reports (perf/diff.h) or
+/// validate reports against the v2 schema.
+///
+/// Usage:
+///   gcr_benchdiff OLD NEW [--threshold 5%] [--noise-mads K] [--report-only]
+///   gcr_benchdiff --validate FILE...
+///
+/// OLD and NEW are directories holding `BENCH_*.json` sidecars (paired by
+/// file name) or two individual report files. A benchmark regresses only
+/// when its median slows by more than the threshold AND by more than K MADs
+/// of either run's repetition scatter -- see perf/diff.h.
+///
+/// Exit codes: 0 no regression (or --report-only / all files valid),
+/// 1 regression found (or invalid file in --validate mode), 2 usage/io.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "perf/diff.h"
+
+namespace fs = std::filesystem;
+using namespace gcr;
+
+namespace {
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
+}
+
+/// BENCH_*.json files directly in `dir`, sorted by file name.
+std::vector<fs::path> report_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json")
+      out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// "5%" -> 0.05, "0.05" -> 0.05; nullopt on junk.
+std::optional<double> parse_threshold(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return std::nullopt;
+  if (*end == '%') {
+    v /= 100.0;
+    ++end;
+  }
+  if (*end != '\0' || v < 0.0) return std::nullopt;
+  return v;
+}
+
+void usage() {
+  std::cerr
+      << "usage: gcr_benchdiff OLD NEW [--threshold P%] [--noise-mads K]"
+         " [--min-delta MS] [--report-only]\n"
+         "       gcr_benchdiff --validate FILE...\n"
+         "OLD/NEW: directories of BENCH_*.json sidecars, or two files.\n";
+}
+
+int validate_mode(const std::vector<std::string>& files) {
+  int bad = 0;
+  for (const std::string& f : files) {
+    const std::optional<std::string> text = read_file(f);
+    if (!text) {
+      std::cerr << f << ": cannot read\n";
+      ++bad;
+      continue;
+    }
+    const std::optional<obs::json::Value> doc = obs::json::parse(*text);
+    if (!doc) {
+      std::cerr << f << ": not valid JSON\n";
+      ++bad;
+      continue;
+    }
+    const std::vector<std::string> problems = perf::validate_bench_report(*doc);
+    if (problems.empty()) {
+      std::cout << f << ": ok\n";
+    } else {
+      for (const std::string& p : problems) std::cerr << f << ": " << p << '\n';
+      ++bad;
+    }
+  }
+  return bad > 0 ? 1 : 0;
+}
+
+std::optional<perf::LoadedReport> load(const fs::path& p) {
+  const std::optional<std::string> text = read_file(p);
+  if (!text) {
+    std::cerr << p.string() << ": cannot read\n";
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<perf::LoadedReport> r = perf::load_bench_report(*text, &error);
+  if (!r) std::cerr << p.string() << ": " << error << '\n';
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  perf::DiffOptions opts;
+  bool report_only = false;
+  bool validate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--threshold" && i + 1 < argc) {
+      const std::optional<double> t = parse_threshold(argv[++i]);
+      if (!t) {
+        std::cerr << "bad threshold: " << argv[i] << '\n';
+        return 2;
+      }
+      opts.threshold = *t;
+    } else if (flag == "--noise-mads" && i + 1 < argc) {
+      opts.noise_mads = std::atof(argv[++i]);
+    } else if (flag == "--min-delta" && i + 1 < argc) {
+      opts.min_delta_ms = std::atof(argv[++i]);
+    } else if (flag == "--report-only") {
+      report_only = true;
+    } else if (flag == "--validate") {
+      validate = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      positional.push_back(flag);
+    }
+  }
+
+  if (validate) {
+    if (positional.empty()) {
+      usage();
+      return 2;
+    }
+    return validate_mode(positional);
+  }
+
+  if (positional.size() != 2) {
+    usage();
+    return 2;
+  }
+  const fs::path old_path = positional[0];
+  const fs::path new_path = positional[1];
+
+  // Pair up the reports: directory mode matches by file name, file mode
+  // compares the two files directly.
+  std::vector<std::pair<fs::path, fs::path>> pairs;
+  if (fs::is_directory(old_path) && fs::is_directory(new_path)) {
+    const std::vector<fs::path> old_files = report_files(old_path);
+    if (old_files.empty()) {
+      std::cerr << old_path.string() << ": no BENCH_*.json files\n";
+      return 2;
+    }
+    for (const fs::path& of : old_files) {
+      const fs::path nf = new_path / of.filename();
+      if (fs::exists(nf)) {
+        pairs.emplace_back(of, nf);
+      } else {
+        std::cout << of.filename().string() << ": missing on the new side\n";
+      }
+    }
+    for (const fs::path& nf : report_files(new_path))
+      if (!fs::exists(old_path / nf.filename()))
+        std::cout << nf.filename().string() << ": new report (no baseline)\n";
+  } else if (fs::is_regular_file(old_path) && fs::is_regular_file(new_path)) {
+    pairs.emplace_back(old_path, new_path);
+  } else {
+    std::cerr << "OLD and NEW must both be directories or both files\n";
+    return 2;
+  }
+
+  int regressions = 0;
+  bool io_error = false;
+  for (const auto& [of, nf] : pairs) {
+    const std::optional<perf::LoadedReport> older = load(of);
+    const std::optional<perf::LoadedReport> newer = load(nf);
+    if (!older || !newer) {
+      io_error = true;
+      continue;
+    }
+    std::cout << "== " << of.filename().string() << "  (old " << older->git_sha
+              << " -> new " << newer->git_sha << ") ==\n";
+    const perf::DiffReport d = perf::diff_reports(*older, *newer, opts);
+    perf::print_diff(std::cout, d);
+    regressions += d.regressions;
+  }
+  if (io_error) return 2;
+  if (regressions > 0) {
+    std::cout << (report_only
+                      ? "regressions found (report-only: exit 0)\n"
+                      : "regressions found\n");
+    return report_only ? 0 : 1;
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 /// Input formats are the library's text formats (see io/text_io.h); use
 /// `gcr_route --demo <dir>` to emit a ready-to-route example design.
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,6 +29,7 @@
 #include "obs/report.h"
 #include "obs/session.h"
 #include "obs/trace.h"
+#include "perf/memhook.h"
 #include "verify/invariants.h"
 
 using namespace gcr;
@@ -48,6 +50,7 @@ struct Args {
   bool csv = false;
   std::string report, trace;
   bool verbose = false;
+  bool mem_stats = false;
   bool selftest = false;
 };
 
@@ -72,6 +75,9 @@ void usage() {
          "  --trace FILE                     Chrome trace-event JSON (open in\n"
          "                                   chrome://tracing or Perfetto)\n"
          "  --verbose                        phase/counter summary to stderr\n"
+         "  --mem-stats                      heap bytes per phase + peak RSS\n"
+         "                                   to stderr (implies the phase\n"
+         "                                   summary; counts every new/delete)\n"
          "  --selftest                       re-derive all paper invariants on\n"
          "                                   the result; exit 3 on violation\n";
 }
@@ -119,6 +125,8 @@ std::optional<Args> parse(int argc, char** argv) {
       if (const char* v = next()) a.trace = v; else return std::nullopt;
     } else if (flag == "--verbose") {
       a.verbose = true;
+    } else if (flag == "--mem-stats") {
+      a.mem_stats = true;
     } else if (flag == "--selftest") {
       a.selftest = true;
     } else {
@@ -186,7 +194,15 @@ int main(int argc, char** argv) {
 
     // Observability: bind a session before the router is constructed so
     // the activity-analysis phase inside the constructor is captured.
-    const bool observed = !a.report.empty() || !a.trace.empty() || a.verbose;
+    const bool observed =
+        !a.report.empty() || !a.trace.empty() || a.verbose || a.mem_stats;
+    if (a.mem_stats) {
+      if (perf::memhook::available())
+        perf::memhook::enable();  // before any phase runs
+      else
+        std::cerr << "--mem-stats: allocation hook unavailable on this "
+                     "platform; reporting peak RSS only\n";
+    }
     obs::Session session;
     obs::MemoryTraceSink trace_sink;
     std::optional<obs::Bind> bind;
@@ -237,7 +253,25 @@ int main(int argc, char** argv) {
       if (!os) throw std::runtime_error("cannot open " + a.trace);
       trace_sink.write_chrome_json(os);
     }
-    if (a.verbose) obs::print_run_summary(std::cerr, session);
+    if (a.verbose || a.mem_stats) obs::print_run_summary(std::cerr, session);
+    if (a.mem_stats) {
+      const perf::memhook::Stats m = perf::memhook::stats();
+      char line[160];
+      if (perf::memhook::available()) {
+        std::snprintf(line, sizeof line,
+                      "heap: %llu allocations, %.1f MiB allocated, "
+                      "%.1f MiB peak live\n",
+                      static_cast<unsigned long long>(m.allocs),
+                      static_cast<double>(m.bytes_allocated) / (1024.0 * 1024.0),
+                      static_cast<double>(m.peak_live_bytes) /
+                          (1024.0 * 1024.0));
+        std::cerr << line;
+      }
+      std::snprintf(line, sizeof line, "peak RSS: %.1f MiB\n",
+                    static_cast<double>(perf::memhook::peak_rss_bytes()) /
+                        (1024.0 * 1024.0));
+      std::cerr << line;
+    }
 
     eval::Table t({"metric", "value"});
     t.add_row({"style", a.style});
