@@ -63,6 +63,11 @@ struct RouterOptions {
   /// the snake wirelength exact balancing would pay. Ignores gate_sizing.
   double skew_bound{0.0};
   int controller_partitions{1};  ///< perfect square; 1 = centralized CP
+  /// Worker threads for topology construction (gcr::par). 0 resolves to
+  /// the GCR_THREADS environment default (else the hardware thread count);
+  /// 1 runs serially. Results are bit-identical at every setting -- see
+  /// docs/parallelism.md.
+  int num_threads{0};
   tech::TechParams tech{};
 };
 

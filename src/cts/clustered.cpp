@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "par/pool.h"
 
 namespace gcr::cts {
 
@@ -65,44 +67,64 @@ BuildResult build_topology_clustered(std::span<const ct::Sink> sinks,
   }
 
   ct::Topology global(n);
-  std::vector<SeedSink> tops;  // one pseudo-sink per cell
+  const auto num_cells = static_cast<std::int64_t>(cells.size());
+  std::vector<SeedSink> tops(static_cast<std::size_t>(num_cells));
   std::vector<int> cell_roots;
 
   {
+    // Cell builds are independent, so they fan out across the pool (one
+    // cell per chunk); each iteration writes only its own locals/tops
+    // slot. The splice into the global topology stays serial, in cell
+    // order, so the result is identical at every thread count. Engines
+    // running inside a worker serialize their own scans (par::in_worker).
     const obs::ScopedTimer obs_cells_timer("cluster_cells");
-    for (const auto& cell : cells) {
-      // Local build over the cell's sinks.
-      std::vector<SeedSink> seeds;
-      seeds.reserve(cell.size());
-      activity::ActivationMask cell_mask(
-          analyzer ? analyzer->num_instructions() : 0);
-      geom::Point centroid{0.0, 0.0};
-      double cap = 0.0;
-      for (const int s : cell) {
-        SeedSink seed{sinks[static_cast<std::size_t>(s)],
-                      activity::ActivationMask()};
-        if (analyzer) {
-          seed.mask =
-              analyzer->module_mask(leaf_module[static_cast<std::size_t>(s)]);
-          cell_mask |= seed.mask;
-        }
-        centroid.x += seed.sink.loc.x;
-        centroid.y += seed.sink.loc.y;
-        cap += seed.sink.cap;
-        seeds.push_back(std::move(seed));
-      }
-      centroid.x /= static_cast<double>(cell.size());
-      centroid.y /= static_cast<double>(cell.size());
+    std::vector<std::optional<BuildResult>> locals(
+        static_cast<std::size_t>(num_cells));
+    const int width = par::resolve_threads(opts.build.num_threads);
+    par::parallel_for(
+        width, 0, num_cells, /*grain=*/1,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t ci = b; ci < e; ++ci) {
+            const auto& cell = cells[static_cast<std::size_t>(ci)];
+            // Local build over the cell's sinks.
+            std::vector<SeedSink> seeds;
+            seeds.reserve(cell.size());
+            activity::ActivationMask cell_mask(
+                analyzer ? analyzer->num_instructions() : 0);
+            geom::Point centroid{0.0, 0.0};
+            double cap = 0.0;
+            for (const int s : cell) {
+              SeedSink seed{sinks[static_cast<std::size_t>(s)],
+                            activity::ActivationMask()};
+              if (analyzer) {
+                seed.mask = analyzer->module_mask(
+                    leaf_module[static_cast<std::size_t>(s)]);
+                cell_mask |= seed.mask;
+              }
+              centroid.x += seed.sink.loc.x;
+              centroid.y += seed.sink.loc.y;
+              cap += seed.sink.cap;
+              seeds.push_back(std::move(seed));
+            }
+            centroid.x /= static_cast<double>(cell.size());
+            centroid.y /= static_cast<double>(cell.size());
 
-      BuildResult local = build_topology_seeded(seeds, analyzer, opts.build);
-      cell_roots.push_back(splice(local.topo, cell, global));
-      // The top level sees the cell as a pseudo-sink at its centroid. The
-      // cap only steers merge costs; the real embedding recomputes it.
-      tops.push_back({{centroid, opts.build.gated_edges
-                                     ? opts.build.tech.gate_input_cap
-                                     : cap},
-                      std::move(cell_mask)});
-    }
+            locals[static_cast<std::size_t>(ci)] =
+                build_topology_seeded(seeds, analyzer, opts.build);
+            // The top level sees the cell as a pseudo-sink at its
+            // centroid. The cap only steers merge costs; the real
+            // embedding recomputes it.
+            tops[static_cast<std::size_t>(ci)] = {
+                {centroid, opts.build.gated_edges
+                               ? opts.build.tech.gate_input_cap
+                               : cap},
+                std::move(cell_mask)};
+          }
+        });
+    cell_roots.reserve(static_cast<std::size_t>(num_cells));
+    for (std::int64_t ci = 0; ci < num_cells; ++ci)
+      cell_roots.push_back(splice(locals[static_cast<std::size_t>(ci)]->topo,
+                                  cells[static_cast<std::size_t>(ci)], global));
   }
 
   {

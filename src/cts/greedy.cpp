@@ -1,14 +1,31 @@
 #include "cts/greedy.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "obs/metrics.h"
 #include "obs/session.h"
+#include "par/pool.h"
 
 namespace gcr::cts {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative slack applied to the Eq. 3 lower bound before it is compared
+/// against an incumbent cost: the bound and the exact cost are computed by
+/// different expressions, so a few ulps of rounding must never turn a
+/// legitimate candidate into a "provably" dominated one.
+constexpr double kLbSlack = 1.0 - 1e-9;
+
+/// Chunk grains for the sharded scans. Fixed constants: chunk boundaries
+/// (and therefore every chunk-local pruning decision) depend only on the
+/// range, never on the thread count -- the determinism contract.
+constexpr std::int64_t kRecomputeGrain = 16;  ///< items are O(front) scans
+constexpr std::int64_t kRefreshGrain = 64;    ///< items are one pair cost
 
 struct Candidate {
   int node{-1};  ///< topology node id
@@ -17,11 +34,18 @@ struct Candidate {
   double p_en{1.0};
   double p_tr{0.0};
   double cp_dist{0.0};  ///< dist(CP, mid(ms)) -- Eq. 3 star estimate
+  /// Floored probability weight max(p_en, min_prob_weight): the factor the
+  /// Eq. 3 cost applies to this side's new clock edge.
+  double p_floor{1.0};
+  /// Merge-invariant part of this candidate's Eq. 3 contribution: the
+  /// subtree cap re-switched through the new edge plus the enable-star
+  /// terms. Everything in pair_cost except the new wire itself.
+  double self_cost{0.0};
   bool alive{false};
 };
 
 struct BestPartner {
-  double cost{std::numeric_limits<double>::infinity()};
+  double cost{kInf};
   int partner{-1};
   bool stale{true};
 };
@@ -33,6 +57,115 @@ struct Pick {
   double cost{0.0};
 };
 
+/// Strict total order on candidate pairs: by cost, then by the canonical
+/// (lower id, higher id) pair. This is the tie-break every scan and every
+/// reduction uses, so the chosen merge is independent of scan order, of
+/// the active-front permutation the swap-removes produce, and of the
+/// thread count.
+bool pair_less(double cost_x, int x1, int x2, double cost_y, int y1, int y2) {
+  if (cost_x != cost_y) return cost_x < cost_y;
+  const int xlo = std::min(x1, x2), xhi = std::max(x1, x2);
+  const int ylo = std::min(y1, y2), yhi = std::max(y1, y2);
+  if (xlo != ylo) return xlo < ylo;
+  return xhi < yhi;
+}
+
+/// Uniform grid over candidate merging-segment centers. Its only job is to
+/// hand recompute_best a *nearby* partner to seed the incumbent cost with,
+/// so the lower-bound prune bites from the first comparisons of the scan;
+/// pruning correctness never depends on the seed being the true nearest.
+class SeedGrid {
+ public:
+  void init(int num_sinks, int capacity, double xlo, double ylo, double w,
+            double h) {
+    dim_ = std::max(1, static_cast<int>(
+                           std::floor(std::sqrt(num_sinks / 2.0))));
+    xlo_ = xlo;
+    ylo_ = ylo;
+    inv_w_ = dim_ / std::max(w, 1e-12);
+    inv_h_ = dim_ / std::max(h, 1e-12);
+    cells_.assign(static_cast<std::size_t>(dim_) * dim_, {});
+    cell_of_.assign(static_cast<std::size_t>(capacity), -1);
+    loc_.assign(static_cast<std::size_t>(capacity), geom::Point{0.0, 0.0});
+  }
+
+  void insert(int id, const geom::Point& c) {
+    const int cell = cell_index(c);
+    cells_[static_cast<std::size_t>(cell)].push_back(id);
+    cell_of_[static_cast<std::size_t>(id)] = cell;
+    loc_[static_cast<std::size_t>(id)] = c;
+  }
+
+  void remove(int id) {
+    const int cell = cell_of_[static_cast<std::size_t>(id)];
+    auto& bucket = cells_[static_cast<std::size_t>(cell)];
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      if (bucket[k] == id) {
+        bucket[k] = bucket.back();
+        bucket.pop_back();
+        break;
+      }
+    }
+    cell_of_[static_cast<std::size_t>(id)] = -1;
+  }
+
+  /// A near neighbor of `id` (never `id` itself): the (distance, id)-min
+  /// over the first non-empty Chebyshev ring of cells around `id`'s cell.
+  /// Deterministic; returns -1 when no other candidate is stored.
+  [[nodiscard]] int nearest(int id) const {
+    const geom::Point& c = loc_[static_cast<std::size_t>(id)];
+    const int cx = std::clamp(
+        static_cast<int>((c.x - xlo_) * inv_w_), 0, dim_ - 1);
+    const int cy = std::clamp(
+        static_cast<int>((c.y - ylo_) * inv_h_), 0, dim_ - 1);
+    for (int r = 0; r < dim_; ++r) {
+      int best = -1;
+      double best_d = kInf;
+      const auto consider_cell = [&](int x, int y) {
+        if (x < 0 || x >= dim_ || y < 0 || y >= dim_) return;
+        for (const int j : cells_[static_cast<std::size_t>(y) * dim_ + x]) {
+          if (j == id) continue;
+          const geom::Point& p = loc_[static_cast<std::size_t>(j)];
+          const double d = geom::manhattan_dist(c, p);
+          if (d < best_d || (d == best_d && j < best)) {
+            best_d = d;
+            best = j;
+          }
+        }
+      };
+      if (r == 0) {
+        consider_cell(cx, cy);
+      } else {
+        for (int x = cx - r; x <= cx + r; ++x) {
+          consider_cell(x, cy - r);
+          consider_cell(x, cy + r);
+        }
+        for (int y = cy - r + 1; y <= cy + r - 1; ++y) {
+          consider_cell(cx - r, y);
+          consider_cell(cx + r, y);
+        }
+      }
+      if (best >= 0) return best;
+    }
+    return -1;
+  }
+
+ private:
+  [[nodiscard]] int cell_index(const geom::Point& c) const {
+    const int cx = std::clamp(
+        static_cast<int>((c.x - xlo_) * inv_w_), 0, dim_ - 1);
+    const int cy = std::clamp(
+        static_cast<int>((c.y - ylo_) * inv_h_), 0, dim_ - 1);
+    return cy * dim_ + cx;
+  }
+
+  int dim_{1};
+  double xlo_{0.0}, ylo_{0.0}, inv_w_{1.0}, inv_h_{1.0};
+  std::vector<std::vector<int>> cells_;
+  std::vector<int> cell_of_;        ///< node id -> cell (-1 when absent)
+  std::vector<geom::Point> loc_;    ///< node id -> stored center
+};
+
 class GreedyEngine {
  public:
   GreedyEngine(std::span<const SeedSink> seeds,
@@ -40,12 +173,32 @@ class GreedyEngine {
                const BuildOptions& opts)
       : opts_(opts),
         analyzer_(analyzer),
-        topo_(static_cast<int>(seeds.size())) {
+        topo_(static_cast<int>(seeds.size())),
+        width_(par::resolve_threads(opts.num_threads)),
+        prune_(opts.spatial_prune &&
+               opts.cost == MergeCost::SwitchedCapacitance) {
     assert(!seeds.empty());
     assert(opts.cost == MergeCost::NearestNeighbor || analyzer != nullptr);
     const int n = static_cast<int>(seeds.size());
     cands_.resize(static_cast<std::size_t>(2 * n - 1));
     best_.resize(cands_.size());
+    pos_.assign(cands_.size(), -1);
+
+    double xlo = kInf, xhi = -kInf, ylo = kInf, yhi = -kInf;
+    for (const SeedSink& seed : seeds) {
+      xlo = std::min(xlo, seed.sink.loc.x);
+      xhi = std::max(xhi, seed.sink.loc.x);
+      ylo = std::min(ylo, seed.sink.loc.y);
+      yhi = std::max(yhi, seed.sink.loc.y);
+    }
+    // Distance tie term for ActivityOnly: every merging segment stays
+    // inside the seed bounding box, so dist <= diag and the term stays
+    // below 1e-9 -- under any probability step of a < 10^9-cycle stream,
+    // whatever the coordinate scale.
+    const double diag = (xhi - xlo) + (yhi - ylo);
+    tie_eps_ = 1e-9 / std::max(diag, 1.0);
+    if (prune_) grid_.init(n, 2 * n - 1, xlo, ylo, xhi - xlo, yhi - ylo);
+
     for (int i = 0; i < n; ++i) {
       const SeedSink& seed = seeds[static_cast<std::size_t>(i)];
       Candidate& c = cands_[static_cast<std::size_t>(i)];
@@ -60,7 +213,8 @@ class GreedyEngine {
         c.p_tr = analyzer_->transition_prob(c.mask);
       }
       c.cp_dist = geom::manhattan_dist(opts.control_point, c.tap.ms.center());
-      active_.push_back(i);
+      finish_candidate(c);
+      activate(i);
     }
   }
 
@@ -91,6 +245,34 @@ class GreedyEngine {
   }
 
  private:
+  /// Derived Eq. 3 fields (floored weight, merge-invariant cost part);
+  /// call after p_en/p_tr/cp_dist/tap are final.
+  void finish_candidate(Candidate& c) const {
+    const tech::TechParams& t = opts_.tech;
+    c.p_floor = std::max(c.p_en, opts_.min_prob_weight);
+    c.self_cost = c.tap.cap * c.p_floor +
+                  (t.wire_cap(c.cp_dist) + t.gate_enable_cap) * c.p_tr;
+  }
+
+  void activate(int id) {
+    pos_[static_cast<std::size_t>(id)] = static_cast<int>(active_.size());
+    active_.push_back(id);
+    if (prune_)
+      grid_.insert(id, cands_[static_cast<std::size_t>(id)].tap.ms.center());
+  }
+
+  /// O(1) swap-remove from the active front (the old std::erase pair was an
+  /// O(front) memmove per merge).
+  void deactivate(int id) {
+    const int p = pos_[static_cast<std::size_t>(id)];
+    const int last = active_.back();
+    active_[static_cast<std::size_t>(p)] = last;
+    pos_[static_cast<std::size_t>(last)] = p;
+    active_.pop_back();
+    pos_[static_cast<std::size_t>(id)] = -1;
+    if (prune_) grid_.remove(id);
+  }
+
   /// Cost of merging two live candidates. Deliberately uninstrumented --
   /// this is the innermost loop; callers bulk-count candidate evaluations
   /// per scan instead.
@@ -98,62 +280,117 @@ class GreedyEngine {
     if (opts_.cost == MergeCost::NearestNeighbor)
       return x.tap.ms.distance_to(y.tap.ms);
     if (opts_.cost == MergeCost::ActivityOnly) {
-      // Joint enable probability dominates; distance only breaks ties
-      // (scaled well below the smallest probability step of the stream).
+      // Joint enable probability dominates; distance only breaks ties.
+      // The epsilon is scaled by the seed bounding-box diagonal (see the
+      // constructor) so the term stays below the stream's smallest
+      // probability step even for chip-scale coordinates.
       const double p_union = analyzer_->signal_prob(x.mask | y.mask);
-      return p_union + 1e-12 * x.tap.ms.distance_to(y.tap.ms);
+      return p_union + tie_eps_ * x.tap.ms.distance_to(y.tap.ms);
     }
     // Eq. 3: switched capacitance added by this merge (probability weights
     // floored; see BuildOptions::min_prob_weight).
     const ct::MergeResult m = ct::zero_skew_merge(
         x.tap, opts_.gated_edges, y.tap, opts_.gated_edges, opts_.tech);
     const tech::TechParams& t = opts_.tech;
-    const double px = std::max(x.p_en, opts_.min_prob_weight);
-    const double py = std::max(y.p_en, opts_.min_prob_weight);
-    return (t.wire_cap(m.len_a) + x.tap.cap) * px +
-           (t.wire_cap(m.len_b) + y.tap.cap) * py +
+    return (t.wire_cap(m.len_a) + x.tap.cap) * x.p_floor +
+           (t.wire_cap(m.len_b) + y.tap.cap) * y.p_floor +
            (t.wire_cap(x.cp_dist) + t.gate_enable_cap) * x.p_tr +
            (t.wire_cap(y.cp_dist) + t.gate_enable_cap) * y.p_tr;
   }
 
+  /// Cheap Eq. 3 lower bound: the two new edges jointly span at least the
+  /// merging-segment distance (snaking only adds wire), each lambda of it
+  /// weighted by at least min(p_floor) -- plus both sides' merge-invariant
+  /// terms. kLbSlack absorbs cross-expression rounding.
+  double lower_bound(const Candidate& x, const Candidate& y) const {
+    const double d = x.tap.ms.distance_to(y.tap.ms);
+    return (x.self_cost + y.self_cost +
+            opts_.tech.wire_cap(d) * std::min(x.p_floor, y.p_floor)) *
+           kLbSlack;
+  }
+
   void recompute_best(int i) {
-    if (obs::metrics_enabled()) [[unlikely]] {
-      static obs::Counter& recomputes =
-          obs::Registry::global().counter("cts.best_partner_recomputes");
-      static obs::Counter& evals =
-          obs::Registry::global().counter("cts.candidate_evals");
-      recomputes.inc();
-      evals.inc(active_.size() - 1);
-    }
     BestPartner bp;
     const Candidate& ci = cands_[static_cast<std::size_t>(i)];
+    std::uint64_t evaluated = 0;
+    std::uint64_t pruned = 0;
+    int seed = -1;
+    if (prune_) {
+      // Seed the incumbent with a geometric near-neighbor so the bound
+      // starts pruning immediately instead of after a lucky early hit.
+      seed = grid_.nearest(i);
+      if (seed >= 0) {
+        bp.cost = pair_cost(ci, cands_[static_cast<std::size_t>(seed)]);
+        bp.partner = seed;
+        ++evaluated;
+      }
+    }
     for (const int j : active_) {
-      if (j == i) continue;
-      const double cost = pair_cost(ci, cands_[static_cast<std::size_t>(j)]);
-      if (cost < bp.cost) {
+      if (j == i || j == seed) continue;
+      const Candidate& cj = cands_[static_cast<std::size_t>(j)];
+      if (prune_ && bp.partner >= 0 && lower_bound(ci, cj) > bp.cost) {
+        // Strictly dominated: cost >= bound > incumbent >= final minimum,
+        // so the pair can neither win nor tie. Skipping it cannot change
+        // the (cost, id) argmin.
+        ++pruned;
+        continue;
+      }
+      ++evaluated;
+      const double cost = pair_cost(ci, cj);
+      if (cost < bp.cost || (cost == bp.cost && j < bp.partner)) {
         bp.cost = cost;
         bp.partner = j;
       }
     }
     bp.stale = false;
     best_[static_cast<std::size_t>(i)] = bp;
+    if (obs::metrics_enabled()) [[unlikely]] {
+      static obs::Counter& recomputes =
+          obs::Registry::global().counter("cts.best_partner_recomputes");
+      static obs::Counter& evals =
+          obs::Registry::global().counter("cts.candidate_evals");
+      static obs::Counter& pruned_pairs =
+          obs::Registry::global().counter("cts.pruned_pairs");
+      recomputes.inc();
+      evals.inc(evaluated);
+      if (pruned > 0) pruned_pairs.inc(pruned);
+    }
   }
 
   Pick pick_min_pair() {
     assert(active_.size() >= 2);
-    Pick pick;
-    double minc = std::numeric_limits<double>::infinity();
+    // Phase 1: refresh stale / invalidated best-partner entries, sharded
+    // across the pool. Each item writes only best_[active_[pos]]; all
+    // shared state (cands_, active_, the grid) is read-only here.
+    const auto num_active = static_cast<std::int64_t>(active_.size());
+    par::parallel_for(
+        width_, 0, num_active, kRecomputeGrain,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t p = b; p < e; ++p) {
+            const int i = active_[static_cast<std::size_t>(p)];
+            const BestPartner& bp = best_[static_cast<std::size_t>(i)];
+            if (bp.stale ||
+                !cands_[static_cast<std::size_t>(bp.partner)].alive)
+              recompute_best(i);
+          }
+        });
+    // Phase 2: the (cost, lower-id, higher-id) argmin over the fresh
+    // entries. Cheap (one comparison per front member), so it stays
+    // serial; the total order makes it scan-order independent anyway.
+    int besti = -1;
     for (const int i : active_) {
-      BestPartner& bp = best_[static_cast<std::size_t>(i)];
-      if (bp.stale || !cands_[static_cast<std::size_t>(bp.partner)].alive)
-        recompute_best(i);
-      if (best_[static_cast<std::size_t>(i)].cost < minc) {
-        minc = best_[static_cast<std::size_t>(i)].cost;
-        pick.a = i;
-      }
+      const BestPartner& bp = best_[static_cast<std::size_t>(i)];
+      if (besti < 0 ||
+          pair_less(bp.cost, i, bp.partner,
+                    best_[static_cast<std::size_t>(besti)].cost, besti,
+                    best_[static_cast<std::size_t>(besti)].partner))
+        besti = i;
     }
-    pick.b = best_[static_cast<std::size_t>(pick.a)].partner;
-    pick.cost = minc;
+    const int partner = best_[static_cast<std::size_t>(besti)].partner;
+    Pick pick;
+    pick.a = std::min(besti, partner);
+    pick.b = std::max(besti, partner);
+    pick.cost = best_[static_cast<std::size_t>(besti)].cost;
     return pick;
   }
 
@@ -215,43 +452,98 @@ class GreedyEngine {
       cn.p_tr = analyzer_->transition_prob(cn.mask);
     }
     cn.cp_dist = geom::manhattan_dist(opts_.control_point, cn.tap.ms.center());
+    finish_candidate(cn);
 
     ca.alive = false;
     cb.alive = false;
-    std::erase(active_, a);
-    std::erase(active_, b);
+    deactivate(a);
+    deactivate(b);
+
+    // The new candidate may beat existing best partners; refresh every
+    // front member and find the new node's own best in one sharded pass.
+    // Each chunk writes only its own best_[j] entries and its partial-min
+    // slot; partials are folded in ascending chunk order (gcr::par), and
+    // ties fall to the smaller partner id -- so the outcome is identical
+    // at every thread count.
+    struct ChunkBest {
+      double cost{kInf};
+      int partner{-1};
+      std::uint64_t evaluated{0};
+      std::uint64_t pruned{0};
+    };
+    const auto num_active = static_cast<std::int64_t>(active_.size());
+    const ChunkBest total = par::parallel_reduce(
+        width_, 0, num_active, kRefreshGrain, ChunkBest{},
+        [&](std::int64_t bpos, std::int64_t epos) {
+          ChunkBest cb_local;
+          for (std::int64_t p = bpos; p < epos; ++p) {
+            const int j = active_[static_cast<std::size_t>(p)];
+            const Candidate& cj = cands_[static_cast<std::size_t>(j)];
+            BestPartner& bj = best_[static_cast<std::size_t>(j)];
+            if (prune_) {
+              const double lb = lower_bound(cn, cj);
+              // The exact cost is only needed when the pair could either
+              // improve j's cached best or this chunk's incumbent for the
+              // new node; both tests are against a strict bound, so only
+              // strictly-dominated pairs are skipped.
+              const bool for_bj = !bj.stale && lb <= bj.cost;
+              const bool for_new = cb_local.partner < 0 || lb <= cb_local.cost;
+              if (!for_bj && !for_new) {
+                ++cb_local.pruned;
+                continue;
+              }
+            }
+            ++cb_local.evaluated;
+            const double cost = pair_cost(cn, cj);
+            // (cost, id) tie-break: `id` is the largest live node id, so
+            // only a strictly better cost may displace j's cached partner.
+            if (!bj.stale && cost < bj.cost) {
+              bj.cost = cost;
+              bj.partner = id;
+            }
+            if (cost < cb_local.cost ||
+                (cost == cb_local.cost && j < cb_local.partner)) {
+              cb_local.cost = cost;
+              cb_local.partner = j;
+            }
+          }
+          return cb_local;
+        },
+        [](ChunkBest x, ChunkBest y) {
+          ChunkBest out;
+          out.evaluated = x.evaluated + y.evaluated;
+          out.pruned = x.pruned + y.pruned;
+          const bool take_y =
+              x.partner < 0 ||
+              (y.partner >= 0 &&
+               (y.cost < x.cost || (y.cost == x.cost && y.partner < x.partner)));
+          out.cost = take_y ? y.cost : x.cost;
+          out.partner = take_y ? y.partner : x.partner;
+          return out;
+        });
+    best_[static_cast<std::size_t>(id)] = {total.cost, total.partner, false};
+    activate(id);
     if (obs::metrics_enabled()) [[unlikely]] {
       static obs::Counter& evals =
           obs::Registry::global().counter("cts.candidate_evals");
-      evals.inc(active_.size());
+      static obs::Counter& pruned_pairs =
+          obs::Registry::global().counter("cts.pruned_pairs");
+      evals.inc(total.evaluated);
+      if (total.pruned > 0) pruned_pairs.inc(total.pruned);
     }
-
-    // The new candidate may beat existing best partners; refresh in one
-    // scan and compute its own best on the way.
-    BestPartner bp;
-    for (const int j : active_) {
-      const double cost = pair_cost(cn, cands_[static_cast<std::size_t>(j)]);
-      if (cost < bp.cost) {
-        bp.cost = cost;
-        bp.partner = j;
-      }
-      BestPartner& bj = best_[static_cast<std::size_t>(j)];
-      if (!bj.stale && cost < bj.cost) {
-        bj.cost = cost;
-        bj.partner = id;
-      }
-    }
-    bp.stale = false;
-    best_[static_cast<std::size_t>(id)] = bp;
-    active_.push_back(id);
   }
 
   BuildOptions opts_;
   const activity::ActivityAnalyzer* analyzer_;
   ct::Topology topo_;
+  int width_;        ///< effective worker width (par::resolve_threads)
+  bool prune_;       ///< spatial prune armed (SwitchedCapacitance only)
+  double tie_eps_;   ///< ActivityOnly distance tie epsilon (bbox-scaled)
+  SeedGrid grid_;
   std::vector<Candidate> cands_;
   std::vector<BestPartner> best_;
-  std::vector<int> active_;
+  std::vector<int> active_;  ///< live node ids (order mutates via swap-remove)
+  std::vector<int> pos_;     ///< node id -> index in active_ (-1 when dead)
 };
 
 }  // namespace
@@ -259,6 +551,7 @@ class GreedyEngine {
 BuildResult build_topology_seeded(std::span<const SeedSink> seeds,
                                   const activity::ActivityAnalyzer* analyzer,
                                   const BuildOptions& opts) {
+  if (seeds.empty()) return BuildResult{ct::Topology(0), {}, {}, {}};
   if (seeds.size() == 1) {
     BuildResult out{ct::Topology(1), {}, {}, {}};
     if (analyzer) {

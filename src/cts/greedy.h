@@ -31,6 +31,20 @@
 /// P(EN), P_tr(EN) and CP distance, so evaluating a pair cost is a closed-
 /// form zero-skew merge plus a handful of flops; a best-partner array with
 /// lazy recomputation keeps the whole construction near O(N^2).
+///
+/// Two accelerations sit on top (both produce bit-identical topologies, at
+/// any thread count -- see docs/parallelism.md):
+///
+///   * the best-partner rescans and the post-merge refresh are sharded
+///     across a gcr::par thread pool with a strict (cost, lower-id,
+///     higher-id) tie-break, so the chosen merge never depends on scan or
+///     scheduling order;
+///   * a uniform-grid spatial prune skips the exact zero-skew merge for
+///     pairs whose cheap Eq. 3 lower bound (merging-segment distance times
+///     the floored probability weight, plus each side's merge-invariant
+///     terms) already exceeds the incumbent best. Only strictly-dominated
+///     pairs are pruned, so the argmin (ties included) is untouched; the
+///     `cts.pruned_pairs` counter records the skip rate.
 
 namespace gcr::cts {
 
@@ -40,7 +54,9 @@ enum class MergeCost {
   /// Activity-pattern clustering in the spirit of [Tellez-Farrahi-
   /// Sarrafzadeh'95]: merge the pair whose joint enable probability is
   /// lowest (most co-active / least union growth), geometry only as a tie
-  /// break. Included as a prior-work-style baseline for ablation.
+  /// break. The tie term is scaled by the seed bounding-box diagonal so it
+  /// stays below any probability step of the stream even for chip-scale
+  /// coordinates. Included as a prior-work-style baseline for ablation.
   ActivityOnly,
 };
 
@@ -58,6 +74,15 @@ struct BuildOptions {
   /// keeps a geometric term in every merge; 0 reproduces the literal paper
   /// cost.
   double min_prob_weight{0.05};
+  /// Worker threads for the candidate scans (gcr::par). 0 resolves to the
+  /// GCR_THREADS environment default (else the hardware thread count); 1
+  /// runs serially. The built topology is bit-identical at every setting.
+  int num_threads{0};
+  /// Skip exact Eq. 3 evaluation of provably-dominated pairs via the
+  /// uniform-grid lower bound (SwitchedCapacitance cost only). Never
+  /// changes the result; `false` forces exhaustive evaluation and is the
+  /// reference the prune tests compare against.
+  bool spatial_prune{true};
   tech::TechParams tech{};
 };
 
@@ -85,6 +110,8 @@ struct SeedSink {
 };
 
 /// Build a topology over arbitrary seeds; leaf i of the result is seed i.
+/// An empty `seeds` span yields an empty result (a zero-leaf topology and
+/// empty activity arrays) rather than undefined behaviour.
 [[nodiscard]] BuildResult build_topology_seeded(
     std::span<const SeedSink> seeds,
     const activity::ActivityAnalyzer* analyzer, const BuildOptions& opts);

@@ -39,6 +39,7 @@ void write_options(json::Writer& w, const core::RouterOptions& o) {
           o.gate_sizing == ct::GateSizing::Unit ? "unit" : "min_wirelength");
   w.field("skew_bound", o.skew_bound);
   w.field("controller_partitions", o.controller_partitions);
+  w.field("num_threads", o.num_threads);
   w.key("reduction").begin_object();
   w.field("theta_activity", o.reduction.theta_activity);
   w.field("theta_swcap", o.reduction.theta_swcap);

@@ -1,0 +1,152 @@
+#include "par/pool.h"
+
+#include <cstdlib>
+
+namespace gcr::par {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+int clamp_threads(long v) {
+  if (v < 1) return 1;
+  if (v > 256) return 256;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int hardware_threads() {
+  static const int n =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  return n;
+}
+
+int default_threads() {
+  static const int n = [] {
+    if (const char* env = std::getenv("GCR_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env) return clamp_threads(v);
+    }
+    return hardware_threads();
+  }();
+  return n;
+}
+
+int resolve_threads(int requested) {
+  return requested > 0 ? requested : default_threads();
+}
+
+bool in_worker() { return t_in_worker; }
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(default_threads(), 8));
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::int64_t)>* job = nullptr;
+    std::int64_t total = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      // The job may already be fully drained (the caller reset it under
+      // this mutex); there is nothing left to join.
+      if (job_ == nullptr) continue;
+      // The job's width caps how many workers join; latecomers skip.
+      if (slots_.fetch_sub(1, std::memory_order_relaxed) <= 0) continue;
+      job = job_;
+      total = total_chunks_;
+      active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_job(*job, total);
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_job(const std::function<void(std::int64_t)>& job,
+                         std::int64_t total) {
+  for (;;) {
+    const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= total) return;
+    try {
+      job(c);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (done_chunks_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      const std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(int width, std::int64_t num_chunks,
+                            const std::function<void(std::int64_t)>& job) {
+  if (num_chunks <= 0) return;
+  width = std::min(width, num_threads_);
+  if (width <= 1 || num_chunks == 1 || t_in_worker || workers_.empty()) {
+    // Serial fallback: same chunks, same order -- the chunking (and thus
+    // every chunk-local decision) is identical to the parallel path.
+    for (std::int64_t c = 0; c < num_chunks; ++c) job(c);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    total_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    done_chunks_.store(0, std::memory_order_relaxed);
+    slots_.store(width - 1, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is a lane too; mark it as pool work so nested constructs
+  // reached from its chunks serialize instead of re-entering the pool.
+  t_in_worker = true;
+  run_job(job, num_chunks);
+  t_in_worker = false;
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Wait for completion AND for every worker to leave run_job, so no
+    // straggler can touch the chunk counters of a later job.
+    done_cv_.wait(lk, [&] {
+      return done_chunks_.load(std::memory_order_acquire) >= total_chunks_ &&
+             active_.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace gcr::par

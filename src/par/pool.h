@@ -1,0 +1,142 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file pool.h
+/// gcr::par -- a small deterministic parallel-execution subsystem.
+///
+/// Design contract (docs/parallelism.md): *the result of every parallel
+/// construct is bit-identical at any thread count, including 1*. Two rules
+/// make that hold by construction:
+///
+///   1. Work is split into chunks whose boundaries depend only on the
+///      range and the grain, never on the number of threads. Threads race
+///      for whole chunks; they never subdivide or steal partial chunks.
+///   2. `parallel_reduce` stores one partial result per chunk and combines
+///      them serially in ascending chunk order after the barrier, so
+///      floating-point reduction order is fixed.
+///
+/// Scheduling therefore only changes *which thread* runs a chunk, never
+/// what the chunk computes or how results are folded.
+///
+/// The pool is a fixed set of workers created once (`ThreadPool::global()`)
+/// and parked on a condition variable between jobs; a construct's `width`
+/// caps how many of them participate (the caller always participates too).
+/// `width <= 1`, a single chunk, or a nested call from inside a worker all
+/// fall back to running the same chunks inline on the calling thread.
+
+namespace gcr::par {
+
+/// std::thread::hardware_concurrency() clamped to >= 1, cached.
+[[nodiscard]] int hardware_threads();
+
+/// The process default width: GCR_THREADS (clamped to [1, 256]) when set,
+/// else hardware_threads(). Read once at first use.
+[[nodiscard]] int default_threads();
+
+/// Map an options-style request to an effective width: values > 0 pass
+/// through, 0 (the "pick for me" default) resolves to default_threads().
+[[nodiscard]] int resolve_threads(int requested);
+
+/// True while the current thread is executing pool work (including a
+/// caller participating in its own job). Nested constructs run serially.
+[[nodiscard]] bool in_worker();
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the caller is the remaining lane.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  /// The process-wide pool. Sized to cover default_threads() but at least
+  /// 8 lanes, so determinism suites can request widths above the machine's
+  /// core count (idle workers just stay parked).
+  static ThreadPool& global();
+
+  /// Run job(c) for every chunk c in [0, num_chunks) using up to `width`
+  /// threads including the caller; blocks until every chunk ran. The first
+  /// exception thrown by a chunk is rethrown here after completion.
+  void run_chunks(int width, std::int64_t num_chunks,
+                  const std::function<void(std::int64_t)>& job);
+
+ private:
+  void worker_loop();
+  void run_job(const std::function<void(std::int64_t)>& job,
+               std::int64_t total);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers park here between jobs
+  std::condition_variable done_cv_;  ///< the caller waits here
+  std::uint64_t generation_{0};
+  bool stop_{false};
+  const std::function<void(std::int64_t)>* job_{nullptr};
+  std::int64_t total_chunks_{0};
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<std::int64_t> done_chunks_{0};
+  std::atomic<int> slots_{0};    ///< worker lanes the current job may use
+  std::atomic<int> active_{0};   ///< workers currently inside run_job
+  std::exception_ptr error_;     ///< first chunk exception (guarded by mu_)
+};
+
+namespace detail {
+[[nodiscard]] inline std::int64_t chunk_count(std::int64_t n,
+                                              std::int64_t grain) {
+  return n <= 0 ? 0 : (n + grain - 1) / grain;
+}
+}  // namespace detail
+
+/// body(b, e) over deterministic grain-sized subranges of [begin, end).
+/// Safe when iterations write disjoint state; iterations must not touch
+/// state another live chunk reads.
+template <typename Body>
+void parallel_for(int width, std::int64_t begin, std::int64_t end,
+                  std::int64_t grain, Body&& body) {
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = detail::chunk_count(end - begin, grain);
+  if (chunks == 0) return;
+  const std::function<void(std::int64_t)> job = [&](std::int64_t c) {
+    const std::int64_t b = begin + c * grain;
+    body(b, std::min(end, b + grain));
+  };
+  ThreadPool::global().run_chunks(width, chunks, job);
+}
+
+/// Deterministic index-ordered reduction: map(b, e) produces one partial
+/// value per chunk (chunk boundaries fixed by `grain` alone); partials are
+/// folded serially in ascending chunk order as acc = combine(acc, partial).
+/// Identical results at every width because neither the chunking nor the
+/// fold order ever depends on the thread count.
+template <typename T, typename MapChunk, typename Combine>
+[[nodiscard]] T parallel_reduce(int width, std::int64_t begin,
+                                std::int64_t end, std::int64_t grain, T init,
+                                MapChunk&& map, Combine&& combine) {
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = detail::chunk_count(end - begin, grain);
+  if (chunks == 0) return init;
+  std::vector<T> partial(static_cast<std::size_t>(chunks), init);
+  const std::function<void(std::int64_t)> job = [&](std::int64_t c) {
+    const std::int64_t b = begin + c * grain;
+    partial[static_cast<std::size_t>(c)] = map(b, std::min(end, b + grain));
+  };
+  ThreadPool::global().run_chunks(width, chunks, job);
+  T acc = std::move(init);
+  for (std::int64_t c = 0; c < chunks; ++c)
+    acc = combine(std::move(acc), std::move(partial[static_cast<std::size_t>(c)]));
+  return acc;
+}
+
+}  // namespace gcr::par

@@ -22,6 +22,26 @@ std::uint64_t mix(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
+/// Exact (bit-level) equality of two routed trees: same shape, same
+/// embedding, same gating, same electrical annotation. Any divergence in
+/// the greedy's merge order shows up here.
+bool trees_identical(const ct::RoutedTree& a, const ct::RoutedTree& b) {
+  if (a.root != b.root || a.num_leaves != b.num_leaves ||
+      a.nodes.size() != b.nodes.size())
+    return false;
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    const ct::RoutedNode& x = a.nodes[i];
+    const ct::RoutedNode& y = b.nodes[i];
+    if (x.left != y.left || x.right != y.right || x.parent != y.parent ||
+        x.loc.x != y.loc.x || x.loc.y != y.loc.y ||
+        x.edge_len != y.edge_len || x.gated != y.gated ||
+        x.gate_size != y.gate_size || x.down_cap != y.down_cap ||
+        x.delay != y.delay)
+      return false;
+  }
+  return true;
+}
+
 struct Driver {
   const DiffOptions& opts;
   DiffStats stats;
@@ -158,6 +178,24 @@ struct Driver {
       core::RouterOptions ropts;
       ropts.style = core::TreeStyle::Buffered;
       route_checked(router, spec, ropts, "route:buffered");
+    }
+
+    // Serial vs multi-threaded Eq. 3 greedy: the gcr::par determinism
+    // contract says the routed tree is bit-identical at any width.
+    if (opts.thread_check) {
+      core::RouterOptions ropts;
+      ropts.style = core::TreeStyle::Gated;
+      ropts.topology = Scheme::MinSwitchedCap;
+      ropts.num_threads = 1;
+      const auto serial =
+          route_checked(router, spec, ropts, "thread-determinism");
+      ropts.num_threads = 4;
+      const auto wide =
+          route_checked(router, spec, ropts, "thread-determinism");
+      if (serial && wide && !trees_identical(serial->tree, wide->tree)) {
+        fail(spec, "thread-determinism",
+             "routed trees differ between 1 and 4 worker threads");
+      }
     }
 
     // Flat vs clustered greedy: same zero-skew guarantee (enforced by the

@@ -19,6 +19,8 @@
 ///     MMM) must produce an invariant-clean exact-zero-skew tree;
 ///   * flat vs clustered greedy: identical zero-skew guarantee, clustered
 ///     wirelength within a documented factor of flat;
+///   * serial vs multi-threaded Eq. 3 greedy: bit-identical routed trees
+///     (the gcr::par determinism contract);
 ///   * gate reduction (auto-tuned, so the strength-0 candidate anchors the
 ///     sweep) never increases total switched capacitance;
 ///   * the buffered baseline stays invariant-clean with buffer parameters.
@@ -45,6 +47,10 @@ struct DiffOptions {
   /// design (docs/verification.md).
   double clustered_wl_factor{3.0};
   int clustered_min_sinks{24};
+  /// Route the Eq. 3 gated tree serially and at 4 worker threads and
+  /// require bit-identical routed trees (the gcr::par determinism
+  /// contract, docs/parallelism.md).
+  bool thread_check{true};
   std::string dump_dir;        ///< write failing artifacts here ("" = off)
   std::ostream* log{nullptr};  ///< per-design progress ("" = silent)
   /// When non-empty, these exact seeds are replayed instead of the

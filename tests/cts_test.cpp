@@ -82,6 +82,73 @@ TEST(Greedy, DeterministicAcrossRuns) {
   }
 }
 
+TEST(Greedy, EmptySeedsYieldEmptyResult) {
+  // Regression: an empty seed span used to be UB in release builds (only a
+  // debug assert guarded it); the contract now is an empty result.
+  BuildOptions opts;
+  const BuildResult seeded = build_topology_seeded({}, nullptr, opts);
+  EXPECT_EQ(seeded.topo.num_nodes(), 0);
+  EXPECT_TRUE(seeded.mask.empty());
+  EXPECT_TRUE(seeded.p_en.empty());
+  EXPECT_TRUE(seeded.p_tr.empty());
+  const BuildResult sinks = build_topology({}, nullptr, {}, opts);
+  EXPECT_EQ(sinks.topo.num_nodes(), 0);
+}
+
+TEST(Greedy, CostTiesBreakByLowestPairIds) {
+  // Four corners of a square: the four side pairs all tie at cost 100
+  // (the diagonals cost 200), so the pick is decided purely by the
+  // (cost, lower-id, higher-id) tie-break: first (0,1), then (2,3).
+  ct::SinkList sinks = {{{0, 0}, 0.02},
+                        {{100, 0}, 0.02},
+                        {{0, 100}, 0.02},
+                        {{100, 100}, 0.02}};
+  BuildOptions opts;
+  opts.cost = MergeCost::NearestNeighbor;
+  const BuildResult r = build_topology(sinks, nullptr, {}, opts);
+  ASSERT_EQ(r.topo.num_nodes(), 7);
+  const auto children = [&](int id) {
+    const ct::TreeNode& n = r.topo.node(id);
+    return std::pair{std::min(n.left, n.right), std::max(n.left, n.right)};
+  };
+  EXPECT_EQ(children(4), (std::pair{0, 1}));
+  EXPECT_EQ(children(5), (std::pair{2, 3}));
+  EXPECT_EQ(children(6), (std::pair{4, 5}));
+}
+
+TEST(Greedy, ActivityOnlyTieTermStaysBelowProbabilityStepsAtChipScale) {
+  // Regression: the ActivityOnly distance tie term used to be a fixed
+  // 1e-12 * dist; at chip-scale coordinates (dist ~ 2e7 lambda) that is
+  // 2e-5 -- larger than a fine probability difference -- and flipped the
+  // activity order. Sink 2 is far away but its mask union with sink 0 is
+  // 1e-5 *less* probable than sink 1's; activity must still win.
+  ct::SinkList sinks = {{{0.0, 0.0}, 0.02},
+                        {{100.0, 0.0}, 0.02},
+                        {{2e7, 0.0}, 0.02}};
+  // Masks: m0 -> {i0}, m1 -> {i0, i1}, m2 -> {i0, i2}.
+  activity::RtlDescription rtl(3, 3);
+  rtl.add_use(0, 0);
+  rtl.add_use(0, 1);
+  rtl.add_use(1, 1);
+  rtl.add_use(0, 2);
+  rtl.add_use(2, 2);
+  // P(i1) - P(i2) = 1/100000: below the old tie term, far above the new.
+  activity::InstructionStream stream;
+  for (int t = 0; t < 50001; ++t) stream.seq.push_back(0);
+  for (int t = 0; t < 25000; ++t) stream.seq.push_back(1);
+  for (int t = 0; t < 24999; ++t) stream.seq.push_back(2);
+  const activity::ActivityAnalyzer an(rtl, stream);
+
+  BuildOptions opts;
+  opts.cost = MergeCost::ActivityOnly;
+  const auto mods = identity_modules(3);
+  const BuildResult r = build_topology(sinks, &an, mods, opts);
+  ASSERT_EQ(r.topo.num_nodes(), 5);
+  const ct::TreeNode& first = r.topo.node(3);
+  EXPECT_EQ(std::min(first.left, first.right), 0);
+  EXPECT_EQ(std::max(first.left, first.right), 2);
+}
+
 TEST(Greedy, SingleSinkDegenerates) {
   ct::SinkList sinks = {{{100, 100}, 0.02}};
   BuildOptions opts;

@@ -298,8 +298,9 @@ TEST(Differential, HundredRandomDesignsAllSchemesZeroViolations) {
                         std::chrono::steady_clock::now() - t0)
                         .count();
   EXPECT_EQ(stats.designs, 100);
-  // 4 gated schemes + reduced + buffered + clustered per design.
-  EXPECT_EQ(stats.routes, 700);
+  // 4 gated schemes + reduced + buffered + 2 thread-determinism routes
+  // + clustered per design.
+  EXPECT_EQ(stats.routes, 900);
   EXPECT_GE(stats.activity_checks, 100 * 26);
   for (const DiffFailure& f : stats.failures) {
     ADD_FAILURE() << "seed " << f.spec.seed << " [" << f.stage << "] "

@@ -1,7 +1,7 @@
 /// \file gcr_bench.cpp
 /// Statistical benchmark driver for the library's hot paths. Benchmarks are
-/// registered under five groups -- activity, topology, zskew, reduction,
-/// route -- and run with warmup plus adaptive repetitions until the median
+/// registered under six groups -- activity, topology, zskew, reduction,
+/// route, route_par -- and run with warmup plus adaptive repetitions until the median
 /// stabilizes (perf/runner.h). The heap hook is on by default, so every
 /// result carries allocations/bytes per repetition next to its timing
 /// statistics, and each group writes a `BENCH_<group>.json` v2 sidecar
@@ -9,13 +9,15 @@
 ///
 /// Usage:
 ///   gcr_bench [--quick] [--filter SUBSTR] [--out DIR] [--list] [--no-mem]
+///             [--threads N]
 ///
-///   --quick    small sizes + relaxed stabilization (also via
-///              GCR_BENCH_QUICK=1); the CI perf-smoke tier
-///   --filter   run only benchmarks whose name contains SUBSTR
-///   --out DIR  sidecar directory (created if missing; default ".")
-///   --list     print registered benchmark names and exit
-///   --no-mem   leave the allocation hook off (timings only)
+///   --quick      small sizes + relaxed stabilization (also via
+///                GCR_BENCH_QUICK=1); the CI perf-smoke tier
+///   --filter     run only benchmarks whose name contains SUBSTR
+///   --out DIR    sidecar directory (created if missing; default ".")
+///   --list       print registered benchmark names and exit
+///   --no-mem     leave the allocation hook off (timings only)
+///   --threads N  route_par sweeps widths {1, N} instead of the default set
 
 #include <cmath>
 #include <cstring>
@@ -251,9 +253,38 @@ void register_route(Groups& g, bool quick) {
   }
 }
 
+// --- route_par: thread scaling of the parallel topology build --------------
+
+void register_route_par(Groups& g, bool quick, int threads_override) {
+  // One design size per tier, routed gated (no reduction pass, so the
+  // timed section is dominated by the Eq. 3 greedy the pool shards); the
+  // thread sweep makes the scaling visible in one sidecar. The routed
+  // tree is identical at every width -- only the time may differ.
+  const int n = quick ? 512 : 2048;
+  std::vector<int> widths = quick ? std::vector<int>{1, 4}
+                                  : std::vector<int>{1, 2, 4};
+  if (threads_override > 0) widths = {1, threads_override};
+  for (const int t : widths) {
+    g["route_par"].add(
+        "route_par/gated/n=" + std::to_string(n) + "/t=" + std::to_string(t),
+        [n, t] {
+          auto inst = make_instance(n, 19);
+          auto router =
+              std::make_shared<const core::GatedClockRouter>(inst->design);
+          return [router, t] {
+            core::RouterOptions opts;
+            opts.style = core::TreeStyle::Gated;
+            opts.num_threads = t;
+            const core::RouterResult r = router->route(opts);
+            perf::do_not_optimize(r.swcap.total_swcap());
+          };
+        });
+  }
+}
+
 void usage() {
   std::cerr << "usage: gcr_bench [--quick] [--filter SUBSTR] [--out DIR]"
-               " [--list] [--no-mem]\n";
+               " [--list] [--no-mem] [--threads N]\n";
 }
 
 }  // namespace
@@ -263,6 +294,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool list = false;
   bool mem = true;
+  int threads_override = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--quick") {
@@ -275,6 +307,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (flag == "--no-mem") {
       mem = false;
+    } else if (flag == "--threads" && i + 1 < argc) {
+      threads_override = std::atoi(argv[++i]);
     } else {
       usage();
       return 2;
@@ -287,6 +321,7 @@ int main(int argc, char** argv) {
   register_zskew(groups, opts.quick);
   register_reduction(groups, opts.quick);
   register_route(groups, opts.quick);
+  register_route_par(groups, opts.quick, threads_override);
 
   if (list) {
     for (const auto& [group, runner] : groups)

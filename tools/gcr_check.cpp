@@ -45,6 +45,7 @@ struct Args {
   std::string topology = "swcap";
   int partitions = 1;
   bool clustered = false;
+  int threads = 0;
 };
 
 void usage() {
@@ -58,6 +59,7 @@ void usage() {
          "  --topology swcap|nn|activity|mmm topology scheme\n"
          "  --partitions K                   distributed controllers\n"
          "  --clustered                      two-level construction\n"
+         "  --threads N                      topology-build worker threads\n"
          "  --skew-bound PS                  skew budget (0 = exact)\n";
 }
 
@@ -101,6 +103,9 @@ std::optional<Args> parse(int argc, char** argv) {
       else return std::nullopt;
     } else if (flag == "--clustered") {
       a.clustered = true;
+    } else if (flag == "--threads") {
+      if (const char* v = next()) a.threads = std::atoi(v);
+      else return std::nullopt;
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -167,6 +172,7 @@ int run_file_mode(const Args& a) {
   else throw std::runtime_error("unknown topology: " + a.topology);
   opts.controller_partitions = a.partitions;
   opts.clustered = a.clustered;
+  opts.num_threads = a.threads;
   opts.skew_bound = a.skew_bound;
 
   const core::RouterResult result = router.route(opts);

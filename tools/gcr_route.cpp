@@ -4,6 +4,7 @@
 /// Usage:
 ///   gcr_route --sinks <file> --rtl <file> --stream <file>
 ///             [--style buffered|gated|reduced] [--partitions k]
+///             [--threads n]
 ///             [--strength s | --auto-tune] [--svg out.svg]
 ///             [--tree out.tree] [--csv]
 ///             [--report out.json] [--trace out.trace.json] [--verbose]
@@ -44,6 +45,7 @@ struct Args {
   std::optional<double> strength;
   bool auto_tune = false;
   bool clustered = false;
+  int threads = 0;
   bool sizing = false;
   double skew_bound = 0.0;
   std::string svg, tree_out, demo_dir;
@@ -65,6 +67,9 @@ void usage() {
          "  --strength S                     reduction aggressiveness in [0,1]\n"
          "  --auto-tune                      sweep reduction strength, keep best\n"
          "  --clustered                      two-level construction (large designs)\n"
+         "  --threads N                      topology-build worker threads\n"
+         "                                   (0 = GCR_THREADS or hardware;\n"
+         "                                   result identical at any N)\n"
          "  --size-gates                     per-merge gate sizing\n"
          "  --skew-bound PS                  skew budget (0 = exact zero skew)\n"
          "  --svg FILE                       write layout drawing\n"
@@ -101,6 +106,8 @@ std::optional<Args> parse(int argc, char** argv) {
       if (const char* v = next()) a.topology = v; else return std::nullopt;
     } else if (flag == "--clustered") {
       a.clustered = true;
+    } else if (flag == "--threads") {
+      if (const char* v = next()) a.threads = std::atoi(v); else return std::nullopt;
     } else if (flag == "--size-gates") {
       a.sizing = true;
     } else if (flag == "--skew-bound") {
@@ -230,6 +237,7 @@ int main(int argc, char** argv) {
     opts.controller_partitions = a.partitions;
     opts.auto_tune_reduction = a.auto_tune;
     opts.clustered = a.clustered;
+    opts.num_threads = a.threads;
     opts.skew_bound = a.skew_bound;
     if (a.sizing) opts.gate_sizing = ct::GateSizing::MinWirelength;
     if (a.strength)
