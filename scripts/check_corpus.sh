@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run the malformed-input corpus plus CLI-level exit-code spot checks:
+# every file in tests/corpus/ must produce its declared GCR_E_* code
+# (corpus_test asserts code and line number), and the tools must map bad
+# inputs onto the shared exit-code contract (docs/robustness.md).
+#
+# Usage: scripts/check_corpus.sh [build-dir]
+set -uo pipefail
+
+BUILD="${1:-build}"
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+ctest --test-dir "$BUILD" -R '^(corpus_test|guard_test)$' \
+  --output-on-failure || fail=1
+
+# expect <want-exit> <cmd...>: the command must exit with exactly that code.
+expect() {
+  local want="$1"
+  shift
+  "$@" > /dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: expected exit $want, got $got: $*" >&2
+    fail=1
+  else
+    echo "ok (exit $want): $*"
+  fi
+}
+
+expect 1 "$BUILD"/tools/gcr_check --bogus-flag
+expect 1 "$BUILD"/tools/gcr_route --bogus-flag
+expect 1 "$BUILD"/tools/gcr_bench --bogus-flag
+expect 1 "$BUILD"/tools/gcr_benchdiff --bogus-flag
+expect 2 "$BUILD"/tools/gcr_check --tree "$REPO/tests/corpus/cycle.tree"
+expect 2 "$BUILD"/tools/gcr_check --tree /nonexistent.tree
+expect 2 "$BUILD"/tools/gcr_check --replay /nonexistent-artifact.json
+
+# A truncated route must exit 3 with a partial report: build a demo design
+# and give it a deadline no route can meet.
+demo="$(mktemp -d)"
+trap 'rm -rf "$demo"' EXIT
+"$BUILD"/tools/gcr_route --demo "$demo" > /dev/null
+expect 3 "$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" \
+  --rtl "$demo/demo.rtl" --stream "$demo/demo.stream" \
+  --auto-tune --deadline-ms 0
+
+exit $fail

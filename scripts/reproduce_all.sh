@@ -28,6 +28,14 @@ ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee "$OUT/tests.txt"
 # routed-and-selfchecked demo design. Either exits nonzero on any invariant
 # violation, aborting the reproduction before bad numbers land in out/.
 "$BUILD"/tools/gcr_check --random 100 --seed 2026 2>&1 | tee "$OUT/verify.txt"
+
+# Robustness gates: the seeded fault-injection sweep (every injected fault
+# must surface as a diagnostic, never a crash) and the malformed-input
+# corpus with its CLI exit-code contract. Either failing aborts the
+# reproduction -- see docs/robustness.md.
+"$BUILD"/tools/gcr_check --faults --seed 2026 2>&1 | tee "$OUT/faults.txt"
+"$(dirname "$0")"/check_corpus.sh "$BUILD" 2>&1 | tee "$OUT/corpus.txt"
+
 demo="$OUT/demo_design"
 mkdir -p "$demo"
 "$BUILD"/tools/gcr_route --demo "$demo" > /dev/null

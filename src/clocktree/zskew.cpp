@@ -1,9 +1,32 @@
 #include "clocktree/zskew.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
+#include "guard/status.h"
+#include "obs/metrics.h"
+
 namespace gcr::ct {
+
+namespace {
+
+std::atomic<std::uint64_t> g_detached_merges{0};
+
+void note_detached_merge() {
+  g_detached_merges.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) [[unlikely]] {
+    static obs::Counter& c =
+        obs::Registry::global().counter("zskew.detached_merges");
+    c.inc();
+  }
+}
+
+}  // namespace
+
+std::uint64_t detached_merge_count() {
+  return g_detached_merges.load(std::memory_order_relaxed);
+}
 
 BranchCoeffs branch_coeffs(const SubtreeTap& sub, bool gated,
                            const tech::TechParams& t, double gate_size) {
@@ -66,8 +89,16 @@ MergeResult zero_skew_merge(const SubtreeTap& a, bool gate_a,
     r.len_b = dist - x;
     const auto isect =
         a.ms.inflated(r.len_a).intersect(b.ms.inflated(r.len_b), 1e-6);
-    assert(isect.has_value());
-    r.ms = isect.value_or(a.ms.nearest_region_to(b.ms));
+    if (isect.has_value()) {
+      r.ms = *isect;
+    } else [[unlikely]] {
+      // Numeric corner: the inflated segments miss by more than the
+      // tolerance. Fall back to the nearest region (slightly pessimistic
+      // wire) and count the event -- route_guarded() reports any increase
+      // as GCR_W_DETACHED_MERGE instead of the old debug-only assert.
+      note_detached_merge();
+      r.ms = a.ms.nearest_region_to(b.ms);
+    }
   } else if (x < 0.0) {
     // Subtree a is too slow: merge point sits on ms(a); snake the wire to b.
     r.len_a = 0.0;
@@ -85,6 +116,12 @@ MergeResult zero_skew_merge(const SubtreeTap& a, bool gate_a,
   r.delay = branch_delay(a, gate_a, r.len_a, t, size_a);
   r.cap = branch_cap(a, gate_a, r.len_a, t, size_a) +
           branch_cap(b, gate_b, r.len_b, t, size_b);
+  // A NaN or Inf here (degenerate tech parameters, overflowed snake
+  // lengths) would silently poison every merge above this one; fail as a
+  // structured internal error at the first bad value instead.
+  if (!(std::isfinite(r.delay) && std::isfinite(r.cap))) [[unlikely]]
+    throw guard::GuardError(guard::make_error(
+        guard::Code::Internal, "non-finite delay/cap in zero-skew merge"));
   return r;
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "geom/tilted_rect.h"
 #include "tech/params.h"
 
@@ -75,5 +77,13 @@ struct BranchCoeffs {
                                           const tech::TechParams& t,
                                           double size_a = 1.0,
                                           double size_b = 1.0);
+
+/// Process-wide count of detached-merge fallbacks: balanced-split merges
+/// whose inflated merging segments failed to intersect (a numeric corner
+/// of the tilted-rect arithmetic) and fell back to the nearest region.
+/// Used to be a debug-only assert; now it is a counted, reported event --
+/// route_guarded() surfaces any increase as a GCR_W_DETACHED_MERGE
+/// warning. Monotone, relaxed, never reset.
+[[nodiscard]] std::uint64_t detached_merge_count();
 
 }  // namespace gcr::ct

@@ -4,8 +4,10 @@
 #include <limits>
 
 #include "clocktree/embed.h"
+#include "clocktree/zskew.h"
 #include "cts/clustered.h"
 #include "cts/mmm.h"
+#include "guard/validate.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
@@ -20,7 +22,49 @@ GatedClockRouter::GatedClockRouter(Design design)
 
 RouterResult GatedClockRouter::route(const RouterOptions& opts,
                                      const SelfCheckHook& self_check) const {
+  RouteOutcome out = route_guarded(opts, guard::Deadline(), self_check);
+  if (!out.result)
+    throw guard::GuardError(out.diag.first_error());
+  return std::move(*out.result);
+}
+
+RouteOutcome GatedClockRouter::route_guarded(const RouterOptions& opts,
+                                             const guard::Deadline& deadline,
+                                             const SelfCheckHook& self_check)
+    const {
+  RouteOutcome out;
+  guard::ValidateOptions vopts;
+  vopts.strict = false;  // the router tolerates what it can route
+  if (!guard::validate_design(design_, out.diag, vopts)) return out;
+
+  const std::uint64_t detached_before = ct::detached_merge_count();
+  const guard::DeadlineScope scope(deadline);
+  try {
+    out.result = route_impl(opts, self_check, &out.phases_completed);
+  } catch (const guard::CancelledError& e) {
+    out.cancelled = true;
+    out.aborted_phase = e.phase();
+    out.diag.report(e.status());
+  } catch (const guard::GuardError& e) {
+    out.diag.report(e.status());
+  }
+  const std::uint64_t detached = ct::detached_merge_count() - detached_before;
+  if (detached > 0)
+    out.diag.warning(guard::Code::DetachedMerge,
+                     std::to_string(detached) +
+                         " zero-skew merges fell back to the detached "
+                         "nearest-region merge");
+  return out;
+}
+
+RouterResult GatedClockRouter::route_impl(const RouterOptions& opts,
+                                          const SelfCheckHook& self_check,
+                                          std::vector<std::string>* phases)
+    const {
   const obs::ScopedTimer obs_route_timer("route");
+  const auto phase_done = [&](const char* name) {
+    if (phases != nullptr) phases->emplace_back(name);
+  };
   const bool buffered = opts.style == TreeStyle::Buffered;
   const tech::TechParams build_tech =
       buffered ? opts.tech.as_buffered() : opts.tech;
@@ -28,6 +72,7 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts,
 
   // 1. Topology: nearest-neighbor for the baseline; the selected scheme
   //    (Eq. 3 by default) for the gated styles.
+  guard::poll_deadline("topology");
   cts::BuildResult built = [&] {
     const obs::ScopedTimer obs_timer("topology");
     if (!buffered && opts.topology == TopologyScheme::Mmm) {
@@ -69,6 +114,7 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts,
     return cts::build_topology(design_.sinks, &analyzer_, leaf_module_,
                                bopts);
   }();
+  phase_done("topology");
 
   // Node activity depends only on the topology, not the embedding.
   gating::NodeActivity act{built.mask, built.p_en, built.p_tr};
@@ -91,6 +137,7 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts,
   bopts_embed.root_hint = cp;
   bopts_embed.skew_bound = opts.skew_bound;
   const auto do_embed = [&](const std::vector<bool>& gate_set) {
+    guard::poll_deadline("embed");
     const obs::ScopedTimer obs_timer("embed");
     if (obs::metrics_enabled()) {
       obs::Registry::global().counter("embed.passes").inc();
@@ -114,6 +161,7 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts,
     if (opts.auto_tune_reduction) {
       double best = std::numeric_limits<double>::infinity();
       for (int step = 0; step <= 10; ++step) {
+        guard::poll_deadline("reduction");
         const auto params =
             gating::GateReductionParams::from_strength(0.1 * step);
         auto cand_gates =
@@ -137,8 +185,10 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts,
     gates_before = tree.num_gates();
     swcap = gating::evaluate_swcap(tree, act, ctrl, build_tech, cell_style);
   }
+  phase_done(opts.style == TreeStyle::GatedReduced ? "reduction" : "embed");
 
   // 3. Package the result.
+  guard::poll_deadline("delays");
   RouterResult res;
   res.gates_before_reduction = buffered ? 0 : gates_before;
   res.activity = std::move(act);
@@ -147,6 +197,7 @@ RouterResult GatedClockRouter::route(const RouterOptions& opts,
     const obs::ScopedTimer obs_timer("delays");
     res.delays = ct::elmore_delays(tree, build_tech);
   }
+  phase_done("delays");
   res.tree = std::move(tree);
   if (obs::metrics_enabled()) {
     obs::Registry& reg = obs::Registry::global();

@@ -2,6 +2,8 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "activity/analyzer.h"
 #include "clocktree/elmore.h"
@@ -13,6 +15,8 @@
 #include "gating/controller.h"
 #include "gating/gate_reduction.h"
 #include "gating/swcap.h"
+#include "guard/deadline.h"
+#include "guard/status.h"
 #include "tech/params.h"
 
 /// \file router.h
@@ -97,6 +101,25 @@ struct RouterResult {
   }
 };
 
+/// What route_guarded() returns: the result when the run completed, plus
+/// every diagnostic collected along the way (validation findings, the
+/// cancellation record, detached-merge warnings). A partial outcome still
+/// tells the caller which phases finished before the run stopped.
+struct RouteOutcome {
+  std::optional<RouterResult> result;
+  guard::Diag diag;
+  std::vector<std::string> phases_completed;
+  std::string aborted_phase;  ///< phase the deadline fired in ("" when none)
+  bool cancelled{false};
+
+  [[nodiscard]] bool ok() const { return result.has_value(); }
+  /// Exit code under the CLI contract: 0 when a result exists (warnings
+  /// do not fail a run), else the worst collected diagnostic's code.
+  [[nodiscard]] int exit_code() const {
+    return ok() ? guard::kExitOk : diag.exit_code();
+  }
+};
+
 class GatedClockRouter {
  public:
   explicit GatedClockRouter(Design design);
@@ -116,10 +139,30 @@ class GatedClockRouter {
   /// Run the full flow for the requested style. When `self_check` is set it
   /// runs on the finished result (after observability bookkeeping) and may
   /// throw; auto-tune candidate results are not individually checked.
+  /// Throws guard::GuardError when the design fails (lenient) validation
+  /// or an internal numeric guard trips; equivalent to route_guarded()
+  /// with an unlimited deadline plus a throw on the first error.
   [[nodiscard]] RouterResult route(const RouterOptions& opts,
                                    const SelfCheckHook& self_check = {}) const;
 
+  /// The guarded flow: validates the design (leniently -- out-of-die,
+  /// duplicate and zero-cap sinks become warnings), installs `deadline` as
+  /// the ambient deadline for the run, and converts cancellation and
+  /// guard errors into diagnostics on the outcome instead of exceptions.
+  /// Non-guard exceptions (e.g. a rejecting self-check hook) propagate
+  /// unchanged. Deadline polls sit only at deterministic positions in the
+  /// serial control flow, so behavior is bit-identical at every thread
+  /// width (docs/robustness.md).
+  [[nodiscard]] RouteOutcome route_guarded(
+      const RouterOptions& opts,
+      const guard::Deadline& deadline = guard::Deadline(),
+      const SelfCheckHook& self_check = {}) const;
+
  private:
+  RouterResult route_impl(const RouterOptions& opts,
+                          const SelfCheckHook& self_check,
+                          std::vector<std::string>* phases) const;
+
   Design design_;
   std::vector<int> leaf_module_;
   activity::ActivityAnalyzer analyzer_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "guard/deadline.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "par/pool.h"
@@ -221,7 +222,12 @@ class GreedyEngine {
   BuildResult run() {
     const int n = topo_.num_leaves();
     obs::TraceSink* trace = obs::active_trace();
+    // Hoisted: the ambient deadline cannot change during the run, and the
+    // per-merge poll sits on the serial coordinating thread -- a merge
+    // either happens completely or not at all at every thread width.
+    const guard::Deadline* dl = guard::current_deadline();
     for (int step = 0; step + 1 < n; ++step) {
+      if (dl != nullptr && dl->expired()) throw guard::CancelledError("topology");
       const Pick pick = pick_min_pair();
       if (trace) trace_merge_decision(*trace, pick);
       merge(pick.a, pick.b);

@@ -1,0 +1,22 @@
+#include "guard/deadline.h"
+
+namespace gcr::guard {
+
+namespace {
+thread_local const Deadline* t_deadline = nullptr;
+}  // namespace
+
+DeadlineScope::DeadlineScope(const Deadline& d) : prev_(t_deadline) {
+  t_deadline = &d;
+}
+
+DeadlineScope::~DeadlineScope() { t_deadline = prev_; }
+
+const Deadline* current_deadline() { return t_deadline; }
+
+void poll_deadline(const char* phase) {
+  if (t_deadline != nullptr && t_deadline->expired())
+    throw CancelledError(phase);
+}
+
+}  // namespace gcr::guard

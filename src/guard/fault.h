@@ -1,0 +1,115 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+/// \file fault.h
+/// Deterministic, seeded fault injection. The pipeline marks designated
+/// recovery paths with `guard::fault_point("site")`; when a `FaultPlan` is
+/// armed, the injector decides -- purely from (seed, visit counter) --
+/// whether each visited point fires. Armed sites simulate the failure they
+/// guard (a failed read, an exhausted arena), and the surrounding code must
+/// turn that into a clean `Status`, never UB: `gcr_check --faults` sweeps
+/// hundreds of injection points under ASan to prove it.
+///
+/// `ShortReadStreambuf` complements the in-process points for I/O: it
+/// serves a payload but fails (badbit) after a chosen byte count, modeling
+/// short reads and mid-file stream failure for the text parsers.
+
+namespace gcr::guard {
+
+struct FaultPlan {
+  std::uint64_t seed{0};
+  /// When > 0: fire exactly at the nth visited fault point (1-based).
+  std::uint64_t nth{0};
+  /// Else: each visited point fires independently with this probability,
+  /// derived deterministically from (seed, visit index).
+  double probability{0.0};
+
+  [[nodiscard]] bool armed() const { return nth > 0 || probability > 0.0; }
+};
+
+/// Process-wide injector. Disarmed by default: `fault_point()` is a single
+/// relaxed atomic load on the hot path. Arm/disarm only from a quiescent
+/// point (the test/harness driver), not concurrently with guarded work.
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  void arm(const FaultPlan& plan);  ///< resets the visit/fire counters
+  void disarm();
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Visit a fault point; true when the plan says this visit fires.
+  bool should_inject(const char* site);
+
+  [[nodiscard]] std::uint64_t points_visited() const {
+    return visited_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t faults_fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  /// Site name of the most recent fired point ("" when none).
+  [[nodiscard]] std::string last_site() const;
+
+ private:
+  std::atomic<bool> armed_{false};
+  FaultPlan plan_{};
+  std::atomic<std::uint64_t> visited_{0};
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<const char*> last_site_{nullptr};
+};
+
+/// Shorthand for call sites: false when the injector is disarmed.
+[[nodiscard]] inline bool fault_point(const char* site) {
+  FaultInjector& fi = FaultInjector::global();
+  return fi.armed() && fi.should_inject(site);
+}
+
+/// A streambuf over an in-memory payload that stops after `fail_at` bytes.
+/// Two failure models:
+///   Truncate -- the payload simply ends early (a short read that the OS
+///               reported as EOF); indistinguishable from a shorter file.
+///   Fail     -- the refill past the limit throws, which std::istream
+///               converts to badbit: a mid-file I/O error.
+class ShortReadStreambuf : public std::streambuf {
+ public:
+  enum class Mode { Truncate, Fail };
+
+  /// `fail_at >= payload.size()` serves the whole payload normally.
+  ShortReadStreambuf(std::string payload, std::size_t fail_at,
+                     Mode mode = Mode::Fail);
+
+  /// True once a read ran into the failure point.
+  [[nodiscard]] bool tripped() const { return tripped_; }
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  std::string payload_;
+  std::size_t fail_at_;
+  Mode mode_;
+  bool tripped_{false};
+};
+
+/// An istream over ShortReadStreambuf: in Fail mode it goes bad() at the
+/// failure point, exactly how a real mid-file I/O error surfaces.
+class ShortReadStream : public std::istream {
+ public:
+  ShortReadStream(std::string payload, std::size_t fail_at,
+                  ShortReadStreambuf::Mode mode = ShortReadStreambuf::Mode::Fail);
+
+  [[nodiscard]] bool tripped() const { return buf_.tripped(); }
+
+ private:
+  ShortReadStreambuf buf_;
+};
+
+}  // namespace gcr::guard

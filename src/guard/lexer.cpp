@@ -1,0 +1,115 @@
+#include "guard/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <limits>
+
+#include "guard/fault.h"
+
+namespace gcr::guard {
+
+namespace {
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+}  // namespace
+
+void LineCursor::skip_ws() {
+  while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
+}
+
+bool LineCursor::next_token(std::string_view& tok) {
+  skip_ws();
+  if (pos_ >= text_.size()) {
+    tok_start_ = pos_;
+    last_tok_ = {};
+    return false;
+  }
+  tok_start_ = pos_;
+  while (pos_ < text_.size() && !is_space(text_[pos_])) ++pos_;
+  tok = text_.substr(tok_start_, pos_ - tok_start_);
+  last_tok_ = tok;
+  return true;
+}
+
+bool LineCursor::next_int(int& v) {
+  std::string_view tok;
+  if (!next_token(tok)) return false;
+  long long wide = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), wide);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return false;
+  if (wide < std::numeric_limits<int>::min() ||
+      wide > std::numeric_limits<int>::max())
+    return false;
+  v = static_cast<int>(wide);
+  return true;
+}
+
+bool LineCursor::next_double(double& v) {
+  std::string_view tok;
+  if (!next_token(tok)) return false;
+  double d = 0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                         d, std::chars_format::general);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return false;
+  v = d;
+  return true;
+}
+
+bool LineCursor::at_end() {
+  skip_ws();
+  if (pos_ >= text_.size()) return true;
+  tok_start_ = pos_;  // so loc() points at the stray character
+  return false;
+}
+
+SourceLoc LineCursor::loc() const {
+  return SourceLoc{*file_, line_, static_cast<int>(tok_start_) + 1};
+}
+
+Lexer::Lexer(std::istream& is, std::string filename, std::size_t max_bytes)
+    : file_(std::move(filename)), arena_(max_bytes) {
+  std::string raw;
+  std::size_t raw_bytes = 0;
+  while (std::getline(is, raw)) {
+    ++last_raw_line_;
+    raw_bytes += raw.size() + 1;
+    if (raw_bytes > max_bytes) {
+      load_status_ = make_error(
+          Code::Resource,
+          "input exceeds " + std::to_string(max_bytes) + " byte cap",
+          end_loc());
+      return;
+    }
+    if (fault_point("lexer.read")) {
+      load_status_ =
+          make_error(Code::Io, "injected read failure", end_loc());
+      return;
+    }
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    if (raw.find_first_not_of(" \t\r\v\f") == std::string::npos) continue;
+    char* stored = arena_.store(raw.data(), raw.size());
+    if (stored == nullptr) {
+      load_status_ =
+          make_error(Code::Resource, "input arena allocation failed",
+                     SourceLoc{file_, last_raw_line_, 1});
+      return;
+    }
+    lines_.push_back(
+        Line{std::string_view(stored, raw.size()), last_raw_line_});
+  }
+  // getline failing *without* reaching EOF means the underlying stream
+  // broke mid-file (badbit): a short read, not a short file.
+  if (is.bad() || (is.fail() && !is.eof())) {
+    load_status_ = make_error(
+        Code::Io, "stream failed before end of file (short read?)",
+        end_loc());
+  }
+}
+
+}  // namespace gcr::guard

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "guard/arena.h"
+#include "guard/status.h"
+
+/// \file lexer.h
+/// Line/column-tracking input front end for the text parsers. A `Lexer`
+/// drains a stream up front into a `BoundedArena` (so the byte cap and
+/// allocation faults apply before any parsing), strips '#' comments and
+/// blank lines while remembering original 1-based line numbers, and
+/// distinguishes true EOF from a mid-file stream failure (short read).
+///
+/// `LineCursor` then tokenises one payload line with std::from_chars and
+/// reports the exact 1-based column of the offending token, which is what
+/// gives every GCR_E_PARSE diagnostic its file:line:col anchor.
+
+namespace gcr::guard {
+
+class LineCursor {
+ public:
+  LineCursor(std::string_view text, const std::string* file, int line)
+      : text_(text), file_(file), line_(line) {}
+
+  /// Next whitespace-delimited token; false at end of line.
+  bool next_token(std::string_view& tok);
+  /// Next token parsed as an int (whole token must parse, value must fit).
+  bool next_int(int& v);
+  /// Next token parsed as a double ("inf"/"nan" parse; semantic layers
+  /// decide whether non-finite values are acceptable).
+  bool next_double(double& v);
+
+  /// True when only whitespace remains.
+  [[nodiscard]] bool at_end();
+
+  /// Location of the most recent token (or of the line end / next
+  /// unconsumed character when no token was read yet).
+  [[nodiscard]] SourceLoc loc() const;
+  /// The most recent token ("" before the first next_* call).
+  [[nodiscard]] std::string_view last_token() const { return last_tok_; }
+
+ private:
+  void skip_ws();
+
+  std::string_view text_;
+  const std::string* file_;
+  int line_;
+  std::size_t pos_{0};
+  std::size_t tok_start_{0};
+  std::string_view last_tok_;
+};
+
+class Lexer {
+ public:
+  /// Default input cap: generous for real designs, small enough that a
+  /// runaway file fails fast with GCR_E_RESOURCE instead of thrashing.
+  static constexpr std::size_t kDefaultMaxBytes = 64u << 20;  // 64 MiB
+
+  /// Drains `is` completely (or until the byte cap / an I/O failure).
+  Lexer(std::istream& is, std::string filename,
+        std::size_t max_bytes = kDefaultMaxBytes);
+
+  /// Ok, or the GCR_E_IO / GCR_E_RESOURCE status that interrupted loading.
+  [[nodiscard]] const Status& load_status() const { return load_status_; }
+  [[nodiscard]] bool ok() const { return load_status_.is_ok(); }
+
+  [[nodiscard]] const std::string& file() const { return file_; }
+  /// Number of payload (non-blank, comment-stripped) lines.
+  [[nodiscard]] std::size_t num_lines() const { return lines_.size(); }
+  /// Original 1-based line number of payload line `i`.
+  [[nodiscard]] int line_number(std::size_t i) const {
+    return lines_[i].number;
+  }
+  [[nodiscard]] std::string_view line_text(std::size_t i) const {
+    return lines_[i].text;
+  }
+  [[nodiscard]] LineCursor cursor(std::size_t i) const {
+    return LineCursor(lines_[i].text, &file_, lines_[i].number);
+  }
+  /// Location pointing at payload line `i` (column 1).
+  [[nodiscard]] SourceLoc line_loc(std::size_t i) const {
+    return SourceLoc{file_, lines_[i].number, 1};
+  }
+  /// Location just past the last line read (where EOF / the failure hit).
+  [[nodiscard]] SourceLoc end_loc() const {
+    return SourceLoc{file_, last_raw_line_ + 1, 1};
+  }
+
+ private:
+  struct Line {
+    std::string_view text;  ///< comment-stripped, arena-backed
+    int number;             ///< 1-based line in the original file
+  };
+
+  std::string file_;
+  Status load_status_{};
+  BoundedArena arena_;
+  std::vector<Line> lines_;
+  int last_raw_line_{0};
+};
+
+}  // namespace gcr::guard

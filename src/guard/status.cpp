@@ -1,0 +1,127 @@
+#include "guard/status.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gcr::guard {
+
+std::string_view code_name(Code c) {
+  switch (c) {
+    case Code::Ok: return "GCR_OK";
+    case Code::Usage: return "GCR_E_USAGE";
+    case Code::Internal: return "GCR_E_INTERNAL";
+    case Code::Io: return "GCR_E_IO";
+    case Code::Header: return "GCR_E_HEADER";
+    case Code::Parse: return "GCR_E_PARSE";
+    case Code::Range: return "GCR_E_RANGE";
+    case Code::Duplicate: return "GCR_E_DUPLICATE";
+    case Code::TreeStructure: return "GCR_E_TREE";
+    case Code::NonFinite: return "GCR_E_NONFINITE";
+    case Code::OutOfDie: return "GCR_E_OUT_OF_DIE";
+    case Code::BadCap: return "GCR_E_CAP";
+    case Code::EmptyDesign: return "GCR_E_EMPTY";
+    case Code::DieArea: return "GCR_E_DIE";
+    case Code::ModuleMismatch: return "GCR_E_MODULE_MISMATCH";
+    case Code::StreamId: return "GCR_E_STREAM_ID";
+    case Code::Resource: return "GCR_E_RESOURCE";
+    case Code::Deadline: return "GCR_E_DEADLINE";
+    case Code::UnusedModules: return "GCR_W_UNUSED_MODULES";
+    case Code::DetachedMerge: return "GCR_W_DETACHED_MERGE";
+    case Code::EmptyStream: return "GCR_W_EMPTY_STREAM";
+  }
+  return "GCR_E_INTERNAL";
+}
+
+std::string Status::to_string() const {
+  std::string out;
+  if (!loc.file.empty()) out += loc.file + ":";
+  if (loc.line > 0) {
+    out += std::to_string(loc.line);
+    if (loc.col > 0) out += ":" + std::to_string(loc.col);
+    out += ":";
+  }
+  if (!out.empty()) out += " ";
+  out += severity == Severity::Warning ? "warning " : "error ";
+  out += code_name(code);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+Status make_error(Code c, std::string message, SourceLoc loc) {
+  return Status{c, Severity::Error, std::move(message), std::move(loc)};
+}
+
+Status make_warning(Code c, std::string message, SourceLoc loc) {
+  return Status{c, Severity::Warning, std::move(message), std::move(loc)};
+}
+
+int exit_code_for(Code c) {
+  switch (c) {
+    case Code::Ok:
+    case Code::UnusedModules:
+    case Code::DetachedMerge:
+    case Code::EmptyStream:
+      return kExitOk;
+    case Code::Usage:
+      return kExitUsage;
+    case Code::Io:
+    case Code::Header:
+    case Code::Parse:
+    case Code::Range:
+    case Code::Duplicate:
+    case Code::TreeStructure:
+    case Code::NonFinite:
+    case Code::OutOfDie:
+    case Code::BadCap:
+    case Code::EmptyDesign:
+    case Code::DieArea:
+    case Code::ModuleMismatch:
+    case Code::StreamId:
+      return kExitInvalidInput;
+    case Code::Resource:
+    case Code::Deadline:
+      return kExitResource;
+    case Code::Internal:
+      return kExitInternal;
+  }
+  return kExitInternal;
+}
+
+void Diag::report(Status s) {
+  if (s.is_ok()) return;
+  if (s.severity != Severity::Warning) ++error_count_;
+  if (entries_.size() >= max_entries_) {
+    ++dropped_;
+    return;
+  }
+  entries_.push_back(std::move(s));
+}
+
+Status Diag::first_error() const {
+  for (const Status& s : entries_)
+    if (s.severity != Severity::Warning) return s;
+  return Status::ok();
+}
+
+bool Diag::has_code(Code c) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [c](const Status& s) { return s.code == c; });
+}
+
+int Diag::exit_code() const {
+  int worst = kExitOk;
+  for (const Status& s : entries_) {
+    if (s.severity == Severity::Warning) continue;
+    worst = std::max(worst, exit_code_for(s.code));
+  }
+  return worst;
+}
+
+void Diag::print(std::ostream& os) const {
+  for (const Status& s : entries_) os << s.to_string() << '\n';
+  if (dropped_ > 0)
+    os << "(" << dropped_ << " further diagnostics dropped)\n";
+}
+
+}  // namespace gcr::guard

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file status.h
+/// gcr::guard -- structured diagnostics for the routing pipeline.
+///
+/// Every failure the tool contract covers maps to a stable `GCR_E_*` code
+/// (docs/robustness.md has the full table), carries a severity and, for
+/// input problems, a file:line:col source location. `Diag` is a sink that
+/// collects *multiple* diagnostics instead of dying on the first, so a
+/// malformed file reports every broken line in one pass.
+///
+/// The exit-code contract shared by all four CLIs
+/// (gcr_route/gcr_check/gcr_bench/gcr_benchdiff):
+///   0  success
+///   1  usage error (bad flags / missing arguments)
+///   2  invalid input (unreadable, unparsable or semantically bad files)
+///   3  resource cap or deadline exceeded
+///   4  internal error (unexpected exception, invariant violation,
+///      perf regression -- the tool ran, what it checked is broken)
+
+namespace gcr::guard {
+
+/// Stable diagnostic codes. Names never change once released; new codes
+/// append. The printable form is code_name() (e.g. "GCR_E_PARSE").
+enum class Code {
+  Ok = 0,
+  // -- usage / internal ---------------------------------------------------
+  Usage,           ///< GCR_E_USAGE       bad command line
+  Internal,        ///< GCR_E_INTERNAL    unexpected exception / numeric guard
+  // -- I/O and parsing ----------------------------------------------------
+  Io,              ///< GCR_E_IO          unreadable file, short read, failbit
+  Header,          ///< GCR_E_HEADER      missing or malformed header line
+  Parse,           ///< GCR_E_PARSE       bad token / trailing garbage
+  Range,           ///< GCR_E_RANGE       id or index out of declared range
+  Duplicate,       ///< GCR_E_DUPLICATE   duplicate sink coordinate / node id
+  TreeStructure,   ///< GCR_E_TREE        cycle, orphan, >2 children, leaves
+  // -- semantic validation ------------------------------------------------
+  NonFinite,       ///< GCR_E_NONFINITE   NaN/Inf/denormal coordinate or cap
+  OutOfDie,        ///< GCR_E_OUT_OF_DIE  sink outside the die area
+  BadCap,          ///< GCR_E_CAP         negative (or strict: zero) load cap
+  EmptyDesign,     ///< GCR_E_EMPTY       no sinks / no content where required
+  DieArea,         ///< GCR_E_DIE         inverted, empty or non-finite die
+  ModuleMismatch,  ///< GCR_E_MODULE_MISMATCH  rtl modules vs sinks/map
+  StreamId,        ///< GCR_E_STREAM_ID   stream instruction id >= K
+  // -- graceful degradation -----------------------------------------------
+  Resource,        ///< GCR_E_RESOURCE    configured cap exceeded (sinks,
+                   ///                    stream length, bytes, wirelength)
+  Deadline,        ///< GCR_E_DEADLINE    cancelled at a phase boundary
+  // -- warnings (never fail a run on their own) ---------------------------
+  UnusedModules,   ///< GCR_W_UNUSED_MODULES  rtl declares more modules
+  DetachedMerge,   ///< GCR_W_DETACHED_MERGE  zero-skew fallback events
+  EmptyStream,     ///< GCR_W_EMPTY_STREAM    stream has no cycles
+};
+
+[[nodiscard]] std::string_view code_name(Code c);
+
+enum class Severity { Warning, Error, Fatal };
+
+/// Where in an input file a diagnostic points. line/col are 1-based;
+/// 0 means "not applicable" (semantic checks on in-memory designs).
+struct SourceLoc {
+  std::string file;
+  int line{0};
+  int col{0};
+
+  [[nodiscard]] bool known() const { return line > 0; }
+};
+
+struct Status {
+  Code code{Code::Ok};
+  Severity severity{Severity::Error};
+  std::string message;
+  SourceLoc loc;
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] bool is_ok() const { return code == Code::Ok; }
+  [[nodiscard]] bool is_error() const {
+    return code != Code::Ok && severity != Severity::Warning;
+  }
+  /// "file:3:7: error GCR_E_PARSE: trailing garbage after sink cap"
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Status make_error(Code c, std::string message,
+                                SourceLoc loc = {});
+[[nodiscard]] Status make_warning(Code c, std::string message,
+                                  SourceLoc loc = {});
+
+/// Exit code the CLI contract assigns to a diagnostic code.
+[[nodiscard]] int exit_code_for(Code c);
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitInvalidInput = 2;
+inline constexpr int kExitResource = 3;
+inline constexpr int kExitInternal = 4;
+
+/// Exception used by the legacy throwing APIs and the cancellation path;
+/// derives std::runtime_error so pre-guard catch sites keep working.
+class GuardError : public std::runtime_error {
+ public:
+  explicit GuardError(Status s)
+      : std::runtime_error(s.to_string()), status_(std::move(s)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Thrown by guard::poll_deadline when the ambient deadline expired; the
+/// router catches it at the outcome boundary and reports a partial run.
+class CancelledError : public GuardError {
+ public:
+  explicit CancelledError(std::string phase)
+      : GuardError(make_error(Code::Deadline,
+                              "deadline expired during phase '" + phase +
+                                  "'")),
+        phase_(std::move(phase)) {}
+
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+
+ private:
+  std::string phase_;
+};
+
+/// Collects diagnostics instead of dying on the first. Bounded: past
+/// `max_entries` further reports are counted but dropped, so a pathological
+/// input cannot turn the diagnostics themselves into a resource problem.
+class Diag {
+ public:
+  explicit Diag(std::size_t max_entries = 64) : max_entries_(max_entries) {}
+
+  void report(Status s);
+  void error(Code c, std::string message, SourceLoc loc = {}) {
+    report(make_error(c, std::move(message), std::move(loc)));
+  }
+  void warning(Code c, std::string message, SourceLoc loc = {}) {
+    report(make_warning(c, std::move(message), std::move(loc)));
+  }
+
+  [[nodiscard]] const std::vector<Status>& entries() const { return entries_; }
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const {
+    return entries_.size() + dropped_ - error_count_;
+  }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// The first error entry; Status::ok() when there are none.
+  [[nodiscard]] Status first_error() const;
+  /// True when some entry (error or warning) carries `c`.
+  [[nodiscard]] bool has_code(Code c) const;
+
+  /// The exit code the worst collected diagnostic maps to (kExitOk when
+  /// only warnings were reported).
+  [[nodiscard]] int exit_code() const;
+
+  /// One diagnostic per line, errors and warnings in report order.
+  void print(std::ostream& os) const;
+
+ private:
+  std::size_t max_entries_;
+  std::size_t error_count_{0};
+  std::size_t dropped_{0};
+  std::vector<Status> entries_;
+};
+
+/// Result<T>: either a value or the Status that prevented one.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status s) : status_(std::move(s)) {}    // NOLINT(google-explicit-*)
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_{};  ///< Ok when value_ engaged
+};
+
+}  // namespace gcr::guard

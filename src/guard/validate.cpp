@@ -1,0 +1,148 @@
+#include "guard/validate.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace gcr::guard {
+
+namespace {
+
+std::string idx(const char* what, std::size_t i) {
+  return std::string(what) + " " + std::to_string(i);
+}
+
+}  // namespace
+
+bool validate_design(const core::Design& design, Diag& diag,
+                     const ValidateOptions& opts) {
+  const std::size_t errors_before = diag.error_count();
+  const auto demote = [&](Code c, std::string msg) {
+    if (opts.strict)
+      diag.error(c, std::move(msg));
+    else
+      diag.warning(c, std::move(msg));
+  };
+
+  // --- die ----------------------------------------------------------------
+  const geom::DieArea& die = design.die;
+  if (!finite_normal(die.xlo) || !finite_normal(die.ylo) ||
+      !finite_normal(die.xhi) || !finite_normal(die.yhi)) {
+    diag.error(Code::DieArea, "die bounds are not finite");
+  } else if (die.width() <= 0.0 || die.height() <= 0.0) {
+    diag.error(Code::DieArea, "die area is empty or inverted");
+  }
+
+  // --- resource caps ------------------------------------------------------
+  const Limits& lim = opts.limits;
+  if (lim.max_sinks > 0 && design.sinks.size() > lim.max_sinks)
+    diag.error(Code::Resource,
+               std::to_string(design.sinks.size()) + " sinks exceed cap of " +
+                   std::to_string(lim.max_sinks));
+  if (lim.max_stream_length > 0 &&
+      design.stream.seq.size() > lim.max_stream_length)
+    diag.error(Code::Resource, "stream length " +
+                                   std::to_string(design.stream.seq.size()) +
+                                   " exceeds cap of " +
+                                   std::to_string(lim.max_stream_length));
+  if (lim.max_instructions > 0 &&
+      static_cast<std::size_t>(design.rtl.num_instructions()) >
+          lim.max_instructions)
+    diag.error(Code::Resource, "instruction count exceeds cap of " +
+                                   std::to_string(lim.max_instructions));
+  if (lim.max_modules > 0 &&
+      static_cast<std::size_t>(design.rtl.num_modules()) > lim.max_modules)
+    diag.error(Code::Resource, "module count exceeds cap of " +
+                                   std::to_string(lim.max_modules));
+  if (diag.error_count() > errors_before) return false;  // caps gate the rest
+
+  // --- sinks --------------------------------------------------------------
+  if (design.sinks.empty()) diag.error(Code::EmptyDesign, "design has no sinks");
+  std::map<std::pair<double, double>, std::size_t> seen;
+  for (std::size_t i = 0; i < design.sinks.size(); ++i) {
+    const ct::Sink& s = design.sinks[i];
+    if (!finite_normal(s.loc.x) || !finite_normal(s.loc.y)) {
+      diag.error(Code::NonFinite,
+                 idx("sink", i) + " has a non-finite or denormal coordinate");
+      continue;  // further checks on this sink would be noise
+    }
+    if (!finite_normal(s.cap)) {
+      diag.error(Code::NonFinite,
+                 idx("sink", i) + " has a non-finite or denormal capacitance");
+    } else if (s.cap < 0.0) {
+      diag.error(Code::BadCap, idx("sink", i) + " has negative capacitance");
+    } else if (s.cap == 0.0) {
+      demote(Code::BadCap, idx("sink", i) + " has zero capacitance");
+    }
+    if (!die.contains(s.loc))
+      demote(Code::OutOfDie, idx("sink", i) + " lies outside the die area");
+    const auto [it, inserted] = seen.emplace(
+        std::make_pair(s.loc.x, s.loc.y), i);
+    if (!inserted)
+      demote(Code::Duplicate, idx("sink", i) + " duplicates the location of " +
+                                  idx("sink", it->second));
+  }
+
+  // --- rtl / sink-module mapping ------------------------------------------
+  const int num_modules = design.rtl.num_modules();
+  if (design.sink_module.empty()) {
+    if (static_cast<std::size_t>(num_modules) < design.sinks.size())
+      diag.error(Code::ModuleMismatch,
+                 "rtl declares " + std::to_string(num_modules) +
+                     " modules but the design has " +
+                     std::to_string(design.sinks.size()) +
+                     " sinks (identity mapping needs one module per sink)");
+    else if (static_cast<std::size_t>(num_modules) > design.sinks.size())
+      diag.warning(Code::UnusedModules,
+                   "rtl declares " + std::to_string(num_modules) +
+                       " modules for " + std::to_string(design.sinks.size()) +
+                       " sinks; the excess modules are never routed");
+  } else {
+    if (design.sink_module.size() != design.sinks.size())
+      diag.error(Code::ModuleMismatch,
+                 "sink_module maps " +
+                     std::to_string(design.sink_module.size()) +
+                     " sinks but the design has " +
+                     std::to_string(design.sinks.size()));
+    for (std::size_t i = 0; i < design.sink_module.size(); ++i) {
+      const int m = design.sink_module[i];
+      if (m < 0 || m >= num_modules) {
+        diag.error(Code::ModuleMismatch,
+                   idx("sink", i) + " maps to module " + std::to_string(m) +
+                       ", outside [0, " + std::to_string(num_modules) + ")");
+      }
+    }
+  }
+
+  // --- stream -------------------------------------------------------------
+  const int num_instr = design.rtl.num_instructions();
+  std::size_t bad_ids = 0;
+  std::size_t first_bad = 0;
+  int first_bad_id = 0;
+  for (std::size_t t = 0; t < design.stream.seq.size(); ++t) {
+    const int id = design.stream.seq[t];
+    if (id < 0 || id >= num_instr) {
+      if (bad_ids == 0) {
+        first_bad = t;
+        first_bad_id = id;
+      }
+      ++bad_ids;
+    }
+  }
+  if (bad_ids > 0)
+    diag.error(Code::StreamId,
+               std::to_string(bad_ids) +
+                   " stream entries reference instructions outside [0, " +
+                   std::to_string(num_instr) + "); first at cycle " +
+                   std::to_string(first_bad) + " (id " +
+                   std::to_string(first_bad_id) + ")");
+  if (design.stream.seq.empty())
+    diag.warning(Code::EmptyStream,
+                 "instruction stream is empty; activity factors fall back "
+                 "to uniform");
+
+  return diag.error_count() == errors_before;
+}
+
+}  // namespace gcr::guard

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/design.h"
+#include "guard/status.h"
+
+/// \file validate.h
+/// Semantic validation of a core::Design -- the single gate every entry
+/// point (route(), all four CLIs, the fuzz harness) runs before touching
+/// the geometry or activity kernels. The checks reject exactly the inputs
+/// that previously produced UB, asserts, or silent nonsense:
+///
+///   GCR_E_NONFINITE        NaN/Inf/denormal coordinate or capacitance
+///   GCR_E_OUT_OF_DIE       sink outside the die area
+///   GCR_E_CAP              negative (strict: also zero) load capacitance
+///   GCR_E_DUPLICATE        two sinks at identical coordinates (strict)
+///   GCR_E_EMPTY            no sinks
+///   GCR_E_DIE              inverted / empty / non-finite die box
+///   GCR_E_MODULE_MISMATCH  rtl module count vs sinks / explicit map
+///   GCR_E_STREAM_ID        stream instruction id outside [0, K)
+///   GCR_E_RESOURCE         a configured Limits cap exceeded
+///
+/// Lenient mode (route()'s default) downgrades out-of-die, duplicate and
+/// zero-cap findings to warnings -- the router can produce a tree for
+/// those -- while strict mode (tools, fuzzing) makes them errors.
+
+namespace gcr::guard {
+
+/// NaN, Inf and denormals are all rejected as input values: denormals
+/// survive arithmetic with silently degraded precision and flush-to-zero
+/// inconsistency across build flags, so they are as untrustworthy in an
+/// input file as a NaN.
+[[nodiscard]] inline bool finite_normal(double v) {
+  const int cls = std::fpclassify(v);
+  return cls == FP_NORMAL || cls == FP_ZERO;
+}
+
+/// Resource caps. Zero disables a cap. Defaults are far above any design
+/// in the test suite but low enough to fail fast on garbage.
+struct Limits {
+  std::size_t max_sinks{1u << 20};
+  std::size_t max_stream_length{1u << 24};
+  std::size_t max_instructions{1u << 20};
+  std::size_t max_modules{1u << 20};
+
+  [[nodiscard]] static Limits unlimited() { return Limits{0, 0, 0, 0}; }
+};
+
+struct ValidateOptions {
+  Limits limits{};
+  /// Strict: out-of-die / duplicate-coordinate / zero-cap sinks are errors.
+  /// Lenient: they are warnings (the router tolerates them).
+  bool strict{true};
+};
+
+/// Reports every finding into `diag`; true when no *errors* were added
+/// (warnings alone do not fail validation).
+bool validate_design(const core::Design& design, Diag& diag,
+                     const ValidateOptions& opts = {});
+
+}  // namespace gcr::guard

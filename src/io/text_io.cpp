@@ -3,26 +3,29 @@
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <map>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
-#include <string>
+#include <utility>
+
+#include "guard/lexer.h"
+#include "guard/validate.h"
 
 namespace gcr::io {
 
 namespace {
 
-/// Strip comments and concatenate payload tokens into one stream.
-std::istringstream payload(std::istream& is) {
-  std::string all;
-  std::string line;
-  while (std::getline(is, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    all += line;
-    all += '\n';
-  }
-  return std::istringstream(all);
+using guard::Code;
+using guard::Diag;
+using guard::Lexer;
+using guard::LineCursor;
+
+/// Shared epilogue for the throwing wrappers: surface the first collected
+/// error as a GuardError (derives std::runtime_error, so pre-guard catch
+/// sites keep working).
+template <typename T>
+T value_or_throw(std::optional<T> v, const Diag& diag) {
+  if (!v) throw guard::GuardError(diag.first_error());
+  return std::move(*v);
 }
 
 }  // namespace
@@ -38,17 +41,102 @@ void write_sinks(std::ostream& os, const geom::DieArea& die,
     os << s.loc.x << ' ' << s.loc.y << ' ' << s.cap << '\n';
 }
 
-SinksFile read_sinks(std::istream& is) {
-  std::istringstream in = payload(is);
-  std::string tag;
-  if (!(in >> tag) || tag != "die")
-    throw std::runtime_error("sinks file: expected 'die' header");
+std::optional<SinksFile> read_sinks(std::istream& is, guard::Diag& diag,
+                                    const std::string& filename) {
+  const std::size_t errors_before = diag.error_count();
+  Lexer lx(is, filename);
+  if (!lx.ok()) {
+    diag.report(lx.load_status());
+    return std::nullopt;
+  }
+  if (lx.num_lines() == 0) {
+    diag.error(Code::Header, "expected 'die' header", lx.end_loc());
+    return std::nullopt;
+  }
+
   SinksFile f;
-  if (!(in >> f.die.xlo >> f.die.ylo >> f.die.xhi >> f.die.yhi))
-    throw std::runtime_error("sinks file: malformed die line");
-  double x = 0, y = 0, cap = 0;
-  while (in >> x >> y >> cap) f.sinks.push_back({{x, y}, cap});
+  {
+    LineCursor c = lx.cursor(0);
+    std::string_view tag;
+    if (!c.next_token(tag) || tag != "die") {
+      diag.error(Code::Header, "expected 'die' header", c.loc());
+      return std::nullopt;
+    }
+    if (!c.next_double(f.die.xlo) || !c.next_double(f.die.ylo) ||
+        !c.next_double(f.die.xhi) || !c.next_double(f.die.yhi)) {
+      diag.error(Code::Header, "malformed die line (need 4 numbers)",
+                 c.loc());
+      return std::nullopt;
+    }
+    if (!c.at_end()) {
+      diag.error(Code::Parse, "trailing garbage after die bounds", c.loc());
+    }
+    if (!guard::finite_normal(f.die.xlo) ||
+        !guard::finite_normal(f.die.ylo) ||
+        !guard::finite_normal(f.die.xhi) ||
+        !guard::finite_normal(f.die.yhi)) {
+      diag.error(Code::DieArea, "die bounds are not finite", lx.line_loc(0));
+    } else if (f.die.width() <= 0.0 || f.die.height() <= 0.0) {
+      diag.error(Code::DieArea, "die area is empty or inverted",
+                 lx.line_loc(0));
+    }
+  }
+
+  std::map<std::pair<double, double>, int> seen;  // coord -> line number
+  for (std::size_t i = 1; i < lx.num_lines(); ++i) {
+    LineCursor c = lx.cursor(i);
+    double x = 0, y = 0, cap = 0;
+    if (!c.next_double(x) || !c.next_double(y) || !c.next_double(cap)) {
+      diag.error(Code::Parse, "malformed sink line (need 'x y cap')",
+                 c.loc());
+      continue;
+    }
+    if (!c.at_end()) {
+      diag.error(Code::Parse, "trailing garbage after sink capacitance",
+                 c.loc());
+      continue;
+    }
+    if (!guard::finite_normal(x) || !guard::finite_normal(y)) {
+      diag.error(Code::NonFinite,
+                 "sink coordinate is NaN, infinite or denormal",
+                 lx.line_loc(i));
+      continue;
+    }
+    if (!guard::finite_normal(cap)) {
+      diag.error(Code::NonFinite,
+                 "sink capacitance is NaN, infinite or denormal",
+                 lx.line_loc(i));
+      continue;
+    }
+    if (cap <= 0.0) {
+      diag.error(Code::BadCap, "sink capacitance must be positive",
+                 lx.line_loc(i));
+      continue;
+    }
+    const bool die_ok = guard::finite_normal(f.die.xlo) &&
+                        f.die.width() > 0.0 && f.die.height() > 0.0;
+    if (die_ok && !f.die.contains({x, y}))
+      diag.error(Code::OutOfDie, "sink lies outside the die area",
+                 lx.line_loc(i));
+    const auto [it, inserted] =
+        seen.emplace(std::make_pair(x, y), lx.line_number(i));
+    if (!inserted)
+      diag.error(Code::Duplicate,
+                 "duplicate sink coordinate (first at line " +
+                     std::to_string(it->second) + ")",
+                 lx.line_loc(i));
+    f.sinks.push_back({{x, y}, cap});
+  }
+  if (f.sinks.empty() && diag.error_count() == errors_before)
+    diag.error(Code::EmptyDesign, "sinks file declares no sinks",
+               lx.end_loc());
+  if (diag.error_count() != errors_before) return std::nullopt;
   return f;
+}
+
+SinksFile read_sinks(std::istream& is) {
+  guard::Diag diag;
+  return value_or_throw(read_sinks(is, diag, "<sinks>"), diag);
 }
 
 void write_stream(std::ostream& os, const activity::InstructionStream& s) {
@@ -58,12 +146,43 @@ void write_stream(std::ostream& os, const activity::InstructionStream& s) {
   os << '\n';
 }
 
-activity::InstructionStream read_stream(std::istream& is) {
-  std::istringstream in = payload(is);
+std::optional<activity::InstructionStream> read_stream(
+    std::istream& is, guard::Diag& diag, const std::string& filename) {
+  const std::size_t errors_before = diag.error_count();
+  Lexer lx(is, filename);
+  if (!lx.ok()) {
+    diag.report(lx.load_status());
+    return std::nullopt;
+  }
   activity::InstructionStream s;
-  int id = 0;
-  while (in >> id) s.seq.push_back(id);
+  for (std::size_t i = 0; i < lx.num_lines(); ++i) {
+    LineCursor c = lx.cursor(i);
+    while (!c.at_end()) {
+      int id = 0;
+      if (!c.next_int(id)) {
+        diag.error(Code::Parse,
+                   "stream entry '" + std::string(c.last_token()) +
+                       "' is not an instruction id",
+                   c.loc());
+        break;  // rest of the line is unreliable
+      }
+      if (id < 0) {
+        diag.error(Code::Range, "negative instruction id", c.loc());
+        continue;
+      }
+      s.seq.push_back(id);
+    }
+  }
+  if (s.seq.empty())
+    diag.warning(Code::EmptyStream, "instruction stream is empty",
+                 lx.end_loc());
+  if (diag.error_count() != errors_before) return std::nullopt;
   return s;
+}
+
+activity::InstructionStream read_stream(std::istream& is) {
+  guard::Diag diag;
+  return value_or_throw(read_stream(is, diag, "<stream>"), diag);
 }
 
 void write_rtl(std::ostream& os, const activity::RtlDescription& rtl) {
@@ -76,31 +195,78 @@ void write_rtl(std::ostream& os, const activity::RtlDescription& rtl) {
   }
 }
 
-activity::RtlDescription read_rtl(std::istream& is) {
-  std::string all;
-  std::string line;
-  std::vector<std::string> lines;
-  while (std::getline(is, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    lines.push_back(line);
+std::optional<activity::RtlDescription> read_rtl(std::istream& is,
+                                                 guard::Diag& diag,
+                                                 const std::string& filename) {
+  const std::size_t errors_before = diag.error_count();
+  Lexer lx(is, filename);
+  if (!lx.ok()) {
+    diag.report(lx.load_status());
+    return std::nullopt;
   }
-  if (lines.empty()) throw std::runtime_error("rtl file: empty");
-  std::istringstream head(lines.front());
-  std::string tag;
+  if (lx.num_lines() == 0) {
+    diag.error(Code::Header, "rtl file is empty (expected 'rtl K N' header)",
+               lx.end_loc());
+    return std::nullopt;
+  }
   int k = 0, n = 0;
-  if (!(head >> tag >> k >> n) || tag != "rtl" || k <= 0 || n <= 0)
-    throw std::runtime_error("rtl file: malformed header");
-  activity::RtlDescription rtl(k, n);
-  for (std::size_t li = 1; li < lines.size(); ++li) {
-    std::istringstream row(lines[li]);
-    int instr = 0;
-    if (!(row >> instr)) continue;
-    int m = 0;
-    while (row >> m) rtl.add_use(instr, m);
+  {
+    LineCursor c = lx.cursor(0);
+    std::string_view tag;
+    if (!c.next_token(tag) || tag != "rtl" || !c.next_int(k) ||
+        !c.next_int(n) || k <= 0 || n <= 0) {
+      diag.error(Code::Header,
+                 "malformed rtl header (expected 'rtl K N', K,N > 0)",
+                 c.loc());
+      return std::nullopt;
+    }
+    if (!c.at_end())
+      diag.error(Code::Parse, "trailing garbage after rtl header", c.loc());
   }
+  activity::RtlDescription rtl(k, n);
+  for (std::size_t i = 1; i < lx.num_lines(); ++i) {
+    LineCursor c = lx.cursor(i);
+    int instr = 0;
+    if (!c.next_int(instr)) {
+      diag.error(Code::Parse,
+                 "rtl row must start with an instruction id, got '" +
+                     std::string(c.last_token()) + "'",
+                 c.loc());
+      continue;
+    }
+    if (instr < 0 || instr >= k) {
+      diag.error(Code::Range,
+                 "instruction id " + std::to_string(instr) +
+                     " outside [0, " + std::to_string(k) + ")",
+                 c.loc());
+      continue;
+    }
+    while (!c.at_end()) {
+      int m = 0;
+      if (!c.next_int(m)) {
+        diag.error(Code::Parse,
+                   "module id '" + std::string(c.last_token()) +
+                       "' is not an integer",
+                   c.loc());
+        break;
+      }
+      if (m < 0 || m >= n) {
+        diag.error(Code::Range,
+                   "module id " + std::to_string(m) + " outside [0, " +
+                       std::to_string(n) + ")",
+                   c.loc());
+        continue;
+      }
+      rtl.add_use(instr, m);
+    }
+  }
+  if (diag.error_count() != errors_before) return std::nullopt;
   return rtl;
+}
+
+activity::RtlDescription read_rtl(std::istream& is) {
+  guard::Diag diag;
+  return value_or_throw(read_rtl(is, diag, "<rtl>"), diag);
 }
 
 }  // namespace gcr::io

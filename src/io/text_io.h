@@ -1,12 +1,14 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "activity/rtl.h"
 #include "activity/stream.h"
 #include "clocktree/sink.h"
 #include "geom/die.h"
+#include "guard/status.h"
 
 /// \file text_io.h
 /// Plain-text persistence for the router's inputs, so benchmark instances
@@ -16,6 +18,14 @@
 ///   sinks : "die <xlo> <ylo> <xhi> <yhi>" then one "x y cap" line per sink
 ///   stream: instruction ids, any whitespace layout
 ///   rtl   : "rtl <K> <N>" then per instruction a line "<instr> m m m ..."
+///
+/// Each reader comes in two flavours: the Diag overload collects every
+/// problem (with file:line:col locations and stable GCR_E_* codes) and
+/// returns nullopt when any *error* was found, and a legacy throwing
+/// overload that raises guard::GuardError (a std::runtime_error) carrying
+/// the first error. The parsers are strict: trailing garbage, short reads,
+/// out-of-range ids, non-finite values and duplicate sink coordinates are
+/// all rejected rather than silently accepted (see docs/robustness.md).
 
 namespace gcr::io {
 
@@ -26,12 +36,21 @@ struct SinksFile {
 
 void write_sinks(std::ostream& os, const geom::DieArea& die,
                  const ct::SinkList& sinks);
+[[nodiscard]] std::optional<SinksFile> read_sinks(
+    std::istream& is, guard::Diag& diag,
+    const std::string& filename = "<sinks>");
 [[nodiscard]] SinksFile read_sinks(std::istream& is);
 
 void write_stream(std::ostream& os, const activity::InstructionStream& s);
+[[nodiscard]] std::optional<activity::InstructionStream> read_stream(
+    std::istream& is, guard::Diag& diag,
+    const std::string& filename = "<stream>");
 [[nodiscard]] activity::InstructionStream read_stream(std::istream& is);
 
 void write_rtl(std::ostream& os, const activity::RtlDescription& rtl);
+[[nodiscard]] std::optional<activity::RtlDescription> read_rtl(
+    std::istream& is, guard::Diag& diag,
+    const std::string& filename = "<rtl>");
 [[nodiscard]] activity::RtlDescription read_rtl(std::istream& is);
 
 }  // namespace gcr::io

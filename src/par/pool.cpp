@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "guard/deadline.h"
+
 namespace gcr::par {
 
 namespace {
@@ -111,6 +113,11 @@ void ThreadPool::run_job(const std::function<void(std::int64_t)>& job,
 void ThreadPool::run_chunks(int width, std::int64_t num_chunks,
                             const std::function<void(std::int64_t)>& job) {
   if (num_chunks <= 0) return;
+  // Cancellation check on the *caller* thread, before any dispatch: a
+  // parallel construct either runs to completion or not at all, and pool
+  // workers never observe the ambient deadline -- so the set of possible
+  // abort points is the same at every thread width (docs/robustness.md).
+  guard::poll_deadline("parallel");
   width = std::min(width, num_threads_);
   if (width <= 1 || num_chunks == 1 || t_in_worker || workers_.empty()) {
     // Serial fallback: same chunks, same order -- the chunking (and thus

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <iterator>
+#include <optional>
 #include <ostream>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "obs/json.h"
@@ -180,6 +184,76 @@ void write_design_artifact(std::ostream& os, const DesignSpec& spec,
   w.end_array();
   w.end_object();
   os << '\n';
+}
+
+guard::Result<DesignSpec> load_design_artifact(std::istream& is,
+                                               const std::string& filename) {
+  const guard::SourceLoc loc{filename, 0, 0};
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  if (is.bad())
+    return guard::make_error(guard::Code::Io,
+                             "could not read replay artifact", loc);
+  const std::optional<obs::json::Value> doc = obs::json::parse(text);
+  if (!doc || !doc->is_object())
+    return guard::make_error(guard::Code::Parse,
+                             "replay artifact is not a JSON object", loc);
+  const obs::json::Value* schema = doc->find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "gcr.verify_artifact")
+    return guard::make_error(
+        guard::Code::Header,
+        "missing or unexpected schema (want \"gcr.verify_artifact\")", loc);
+  const obs::json::Value* spec = doc->find("spec");
+  if (!spec || !spec->is_object())
+    return guard::make_error(guard::Code::Parse,
+                             "artifact has no \"spec\" object", loc);
+
+  DesignSpec out;  // absent fields keep the generator defaults
+  out.seed = static_cast<std::uint64_t>(
+      spec->number_or("seed", static_cast<double>(out.seed)));
+  out.num_sinks =
+      static_cast<int>(spec->number_or("num_sinks", out.num_sinks));
+  out.die_side = spec->number_or("die_side", out.die_side);
+  out.cap_lo = spec->number_or("cap_lo", out.cap_lo);
+  out.cap_hi = spec->number_or("cap_hi", out.cap_hi);
+  out.num_instructions = static_cast<int>(
+      spec->number_or("num_instructions", out.num_instructions));
+  out.stream_length =
+      static_cast<int>(spec->number_or("stream_length", out.stream_length));
+  out.module_fraction =
+      spec->number_or("module_fraction", out.module_fraction);
+  out.locality = spec->number_or("locality", out.locality);
+  out.zipf_s = spec->number_or("zipf_s", out.zipf_s);
+  if (const obs::json::Value* cm = spec->find("constant_modules");
+      cm && cm->is_bool())
+    out.constant_modules = cm->as_bool();
+  if (const obs::json::Value* cloud = spec->find("cloud")) {
+    if (!cloud->is_string())
+      return guard::make_error(guard::Code::Parse,
+                               "spec.cloud must be a string", loc);
+    bool known = false;
+    for (SinkCloud c : {SinkCloud::Uniform, SinkCloud::Clustered,
+                        SinkCloud::Ring, SinkCloud::Diagonal}) {
+      if (cloud->as_string() == sink_cloud_name(c)) {
+        out.cloud = c;
+        known = true;
+        break;
+      }
+    }
+    if (!known)
+      return guard::make_error(
+          guard::Code::Range,
+          "unknown sink cloud \"" + cloud->as_string() + "\"", loc);
+  }
+  if (out.num_sinks <= 0 || out.num_instructions <= 0 ||
+      out.stream_length < 0 || !(out.die_side > 0.0) ||
+      !(out.cap_lo > 0.0) || !(out.cap_hi >= out.cap_lo))
+    return guard::make_error(guard::Code::Range,
+                             "spec fields out of range (sinks/instructions "
+                             "must be positive, caps ordered and positive)",
+                             loc);
+  return out;
 }
 
 }  // namespace gcr::verify

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/design.h"
+#include "guard/status.h"
 
 namespace gcr::verify {
 
@@ -60,5 +61,15 @@ struct DesignSpec {
 void write_design_artifact(std::ostream& os, const DesignSpec& spec,
                            const std::string& stage,
                            const Report* failure = nullptr);
+
+/// Parse an artifact written by write_design_artifact back into the spec it
+/// recorded, so `gcr_check --replay <artifact.json>` works on the file a
+/// failing run dumped. Errors (unreadable stream, malformed JSON, wrong
+/// schema, out-of-range fields) come back as a Status with a stable
+/// GCR_E_* code; nothing throws. Seeds are stored as JSON numbers, so
+/// values above 2^53 lose precision -- the harness only emits seeds well
+/// below that.
+[[nodiscard]] guard::Result<DesignSpec> load_design_artifact(
+    std::istream& is, const std::string& filename = "<artifact>");
 
 }  // namespace gcr::verify

@@ -284,7 +284,8 @@ void register_route_par(Groups& g, bool quick, int threads_override) {
 
 void usage() {
   std::cerr << "usage: gcr_bench [--quick] [--filter SUBSTR] [--out DIR]"
-               " [--list] [--no-mem] [--threads N]\n";
+               " [--list] [--no-mem] [--threads N]\n"
+               "exit codes: 0 ok, 1 usage/empty filter, 2 i/o error\n";
 }
 
 }  // namespace
@@ -311,7 +312,7 @@ int main(int argc, char** argv) {
       threads_override = std::atoi(argv[++i]);
     } else {
       usage();
-      return 2;
+      return 1;
     }
   }
 
@@ -365,7 +366,7 @@ int main(int argc, char** argv) {
   }
   if (written == 0) {
     std::cerr << "no benchmarks matched filter '" << opts.filter << "'\n";
-    return 2;
+    return 1;
   }
   return 0;
 }

@@ -11,8 +11,9 @@
 /// when its median slows by more than the threshold AND by more than K MADs
 /// of either run's repetition scatter -- see perf/diff.h.
 ///
-/// Exit codes: 0 no regression (or --report-only / all files valid),
-/// 1 regression found (or invalid file in --validate mode), 2 usage/io.
+/// Exit codes follow the shared CLI contract (docs/robustness.md):
+/// 0 no regression (or --report-only / all files valid), 1 usage,
+/// 2 unreadable or invalid report files, 4 regression found.
 
 #include <algorithm>
 #include <cstdlib>
@@ -74,7 +75,8 @@ void usage() {
       << "usage: gcr_benchdiff OLD NEW [--threshold P%] [--noise-mads K]"
          " [--min-delta MS] [--report-only]\n"
          "       gcr_benchdiff --validate FILE...\n"
-         "OLD/NEW: directories of BENCH_*.json sidecars, or two files.\n";
+         "OLD/NEW: directories of BENCH_*.json sidecars, or two files.\n"
+         "exit codes: 0 ok, 1 usage, 2 bad report file, 4 regression\n";
 }
 
 int validate_mode(const std::vector<std::string>& files) {
@@ -100,7 +102,7 @@ int validate_mode(const std::vector<std::string>& files) {
       ++bad;
     }
   }
-  return bad > 0 ? 1 : 0;
+  return bad > 0 ? 2 : 0;  // malformed report files are invalid input
 }
 
 std::optional<perf::LoadedReport> load(const fs::path& p) {
@@ -128,7 +130,7 @@ int main(int argc, char** argv) {
       const std::optional<double> t = parse_threshold(argv[++i]);
       if (!t) {
         std::cerr << "bad threshold: " << argv[i] << '\n';
-        return 2;
+        return 1;
       }
       opts.threshold = *t;
     } else if (flag == "--noise-mads" && i + 1 < argc) {
@@ -141,7 +143,7 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (!flag.empty() && flag[0] == '-') {
       usage();
-      return 2;
+      return 1;
     } else {
       positional.push_back(flag);
     }
@@ -150,14 +152,14 @@ int main(int argc, char** argv) {
   if (validate) {
     if (positional.empty()) {
       usage();
-      return 2;
+      return 1;
     }
     return validate_mode(positional);
   }
 
   if (positional.size() != 2) {
     usage();
-    return 2;
+    return 1;
   }
   const fs::path old_path = positional[0];
   const fs::path new_path = positional[1];
@@ -209,7 +211,7 @@ int main(int argc, char** argv) {
     std::cout << (report_only
                       ? "regressions found (report-only: exit 0)\n"
                       : "regressions found\n");
-    return report_only ? 0 : 1;
+    return report_only ? 0 : 4;  // a regression means the checked build broke
   }
   return 0;
 }

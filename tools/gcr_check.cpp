@@ -1,27 +1,42 @@
 /// \file gcr_check.cpp
-/// Verification front end: run the gcr::verify invariant checker and the
-/// differential/metamorphic driver from the command line.
+/// Verification front end: run the gcr::verify invariant checker, the
+/// differential/metamorphic driver and the gcr::guard fault-injection
+/// harness from the command line.
 ///
 /// Modes:
 ///   gcr_check --random N [--seed S] [--dump DIR] [--verbose]
 ///       route N randomized designs through every topology scheme and
 ///       cross-check against the oracles; nonzero exit on any violation.
-///   gcr_check --replay SEED [--dump DIR]
-///       re-run one failing design by the seed a dumped artifact (or a CI
-///       log) recorded.
+///   gcr_check --replay SEED|ARTIFACT.json [--dump DIR]
+///       re-run one failing design, either by the seed a CI log recorded or
+///       straight from the JSON artifact a failing run dumped.
 ///   gcr_check --tree FILE [--skew-bound B]
 ///       structural/geometric/electrical invariants of a routed-tree dump
 ///       (io/tree_io.h format, e.g. from gcr_route --tree).
 ///   gcr_check --sinks F --rtl F --stream F [route options]
 ///       route one design from files and verify the full result.
+///   gcr_check --faults [--seed S] [--verbose]
+///       seeded fault-injection sweep: parse generated designs through
+///       truncated/failing streams and with the arena/lexer fault injector
+///       armed; every injected fault must surface as a structured
+///       diagnostic, never a crash (docs/robustness.md).
+///
+/// Exit codes: 0 ok, 1 usage, 2 invalid input, 3 resource/deadline,
+/// 4 internal error / invariant violation / harness failure.
 
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/router.h"
+#include "guard/fault.h"
+#include "guard/status.h"
+#include "guard/validate.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
 #include "verify/differential.h"
@@ -35,9 +50,10 @@ namespace {
 struct Args {
   int random_designs = 0;
   std::uint64_t seed = 2026;
-  std::optional<std::uint64_t> replay;
+  std::string replay;  // decimal seed or artifact path
   std::string dump_dir;
   bool verbose = false;
+  bool faults = false;
   std::string tree_file;
   double skew_bound = 0.0;
   std::string sinks, rtl, stream;
@@ -51,16 +67,19 @@ struct Args {
 void usage() {
   std::cerr
       << "usage: gcr_check --random N [--seed S] [--dump DIR] [--verbose]\n"
-         "       gcr_check --replay SEED [--dump DIR]\n"
+         "       gcr_check --replay SEED|ARTIFACT.json [--dump DIR]\n"
          "       gcr_check --tree FILE [--skew-bound B]\n"
          "       gcr_check --sinks F --rtl F --stream F [options]\n"
+         "       gcr_check --faults [--seed S] [--verbose]\n"
          "options (file mode):\n"
          "  --style buffered|gated|reduced   tree style (default reduced)\n"
          "  --topology swcap|nn|activity|mmm topology scheme\n"
          "  --partitions K                   distributed controllers\n"
          "  --clustered                      two-level construction\n"
          "  --threads N                      topology-build worker threads\n"
-         "  --skew-bound PS                  skew budget (0 = exact)\n";
+         "  --skew-bound PS                  skew budget (0 = exact)\n"
+         "exit codes: 0 ok, 1 usage, 2 invalid input, 3 resource/deadline,\n"
+         "            4 internal error or invariant violation\n";
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -77,12 +96,14 @@ std::optional<Args> parse(int argc, char** argv) {
       if (const char* v = next()) a.seed = std::strtoull(v, nullptr, 10);
       else return std::nullopt;
     } else if (flag == "--replay") {
-      if (const char* v = next()) a.replay = std::strtoull(v, nullptr, 10);
+      if (const char* v = next()) a.replay = v;
       else return std::nullopt;
     } else if (flag == "--dump") {
       if (const char* v = next()) a.dump_dir = v; else return std::nullopt;
     } else if (flag == "--verbose") {
       a.verbose = true;
+    } else if (flag == "--faults") {
+      a.faults = true;
     } else if (flag == "--tree") {
       if (const char* v = next()) a.tree_file = v; else return std::nullopt;
     } else if (flag == "--skew-bound") {
@@ -126,42 +147,65 @@ int report_diff(const verify::DiffStats& stats, bool replayed) {
       std::cout << "  replay: gcr_check --replay " << f.spec.seed << '\n';
   }
   if (stats.ok()) std::cout << "all invariants hold\n";
-  return stats.ok() ? 0 : 1;
+  // A failed cross-check means what the tool verified is broken: internal.
+  return stats.ok() ? guard::kExitOk : guard::kExitInternal;
 }
 
 int run_tree_mode(const Args& a) {
   std::ifstream is(a.tree_file);
   if (!is) {
     std::cerr << "error: cannot open " << a.tree_file << '\n';
-    return 2;
+    return guard::kExitInvalidInput;
   }
-  const ct::RoutedTree tree = io::read_routed_tree(is);
+  guard::Diag diag;
+  const std::optional<ct::RoutedTree> tree =
+      io::read_routed_tree(is, diag, a.tree_file);
+  diag.print(std::cerr);
+  if (!tree) return diag.exit_code();
   const verify::Report rep =
-      verify::verify_tree(tree, tech::TechParams{}, a.skew_bound);
+      verify::verify_tree(*tree, tech::TechParams{}, a.skew_bound);
   std::cout << rep.summary() << '\n';
-  return rep.ok() ? 0 : 1;
+  return rep.ok() ? guard::kExitOk : guard::kExitInternal;
 }
 
 int run_file_mode(const Args& a) {
+  guard::Diag diag;
   std::ifstream sf(a.sinks);
-  if (!sf) throw std::runtime_error("cannot open " + a.sinks);
-  io::SinksFile sinks = io::read_sinks(sf);
+  if (!sf) diag.error(guard::Code::Io, "cannot open " + a.sinks);
+  std::optional<io::SinksFile> sinks =
+      sf ? io::read_sinks(sf, diag, a.sinks) : std::nullopt;
   std::ifstream rf(a.rtl);
-  if (!rf) throw std::runtime_error("cannot open " + a.rtl);
-  activity::RtlDescription rtl = io::read_rtl(rf);
+  if (!rf) diag.error(guard::Code::Io, "cannot open " + a.rtl);
+  std::optional<activity::RtlDescription> rtl =
+      rf ? io::read_rtl(rf, diag, a.rtl) : std::nullopt;
   std::ifstream tf(a.stream);
-  if (!tf) throw std::runtime_error("cannot open " + a.stream);
-  activity::InstructionStream stream = io::read_stream(tf);
+  if (!tf) diag.error(guard::Code::Io, "cannot open " + a.stream);
+  std::optional<activity::InstructionStream> stream =
+      tf ? io::read_stream(tf, diag, a.stream) : std::nullopt;
+  if (!sinks || !rtl || !stream) {
+    diag.print(std::cerr);
+    return diag.exit_code();
+  }
 
-  core::Design design{sinks.die, std::move(sinks.sinks), std::move(rtl),
-                      std::move(stream), {}};
+  core::Design design{sinks->die, std::move(sinks->sinks), std::move(*rtl),
+                      std::move(*stream), {}};
+  // Strict semantic validation before the router (and its analyzer, which
+  // indexes by raw ids) ever sees the design.
+  if (!guard::validate_design(design, diag)) {
+    diag.print(std::cerr);
+    return diag.exit_code();
+  }
+  diag.print(std::cerr);  // surviving warnings
   const core::GatedClockRouter router(std::move(design));
 
   core::RouterOptions opts;
   if (a.style == "buffered") opts.style = core::TreeStyle::Buffered;
   else if (a.style == "gated") opts.style = core::TreeStyle::Gated;
   else if (a.style == "reduced") opts.style = core::TreeStyle::GatedReduced;
-  else throw std::runtime_error("unknown style: " + a.style);
+  else {
+    std::cerr << "unknown style: " << a.style << '\n';
+    return guard::kExitUsage;
+  }
   if (a.topology == "swcap")
     opts.topology = core::TopologyScheme::MinSwitchedCap;
   else if (a.topology == "nn")
@@ -169,7 +213,10 @@ int run_file_mode(const Args& a) {
   else if (a.topology == "activity")
     opts.topology = core::TopologyScheme::ActivityOnly;
   else if (a.topology == "mmm") opts.topology = core::TopologyScheme::Mmm;
-  else throw std::runtime_error("unknown topology: " + a.topology);
+  else {
+    std::cerr << "unknown topology: " << a.topology << '\n';
+    return guard::kExitUsage;
+  }
   opts.controller_partitions = a.partitions;
   opts.clustered = a.clustered;
   opts.num_threads = a.threads;
@@ -178,7 +225,176 @@ int run_file_mode(const Args& a) {
   const core::RouterResult result = router.route(opts);
   const verify::Report rep = verify::verify_result(router, opts, result);
   std::cout << rep.summary() << '\n';
-  return rep.ok() ? 0 : 1;
+  return rep.ok() ? guard::kExitOk : guard::kExitInternal;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection harness (--faults).
+
+/// One reference payload in a known text format.
+struct Payload {
+  const char* name;
+  std::string text;
+};
+
+/// Parse `text` through the matching reader into `diag`; which parser runs
+/// is picked by the payload name.
+void parse_payload(const Payload& p, std::istream& is, guard::Diag& diag) {
+  if (std::strcmp(p.name, "sinks") == 0) {
+    (void)io::read_sinks(is, diag, p.name);
+  } else if (std::strcmp(p.name, "rtl") == 0) {
+    (void)io::read_rtl(is, diag, p.name);
+  } else if (std::strcmp(p.name, "stream") == 0) {
+    (void)io::read_stream(is, diag, p.name);
+  } else {
+    (void)io::read_routed_tree(is, diag, p.name);
+  }
+}
+
+/// Disarm the global injector on every exit path of the harness.
+struct DisarmOnExit {
+  ~DisarmOnExit() { guard::FaultInjector::global().disarm(); }
+};
+
+int run_faults_mode(std::uint64_t seed, bool verbose) {
+  // Reference payloads: a generated design's three text files plus a small
+  // routed tree, all written by the library's own writers so every byte
+  // offset is a legal cut point of a valid file.
+  verify::DesignSpec spec = verify::random_spec(seed);
+  if (spec.num_sinks < 24) spec.num_sinks = 24;  // keep payloads multi-line
+  const core::Design design = verify::generate_design(spec);
+
+  std::vector<Payload> payloads;
+  {
+    std::ostringstream os;
+    io::write_sinks(os, design.die, design.sinks);
+    payloads.push_back({"sinks", os.str()});
+  }
+  {
+    std::ostringstream os;
+    io::write_rtl(os, design.rtl);
+    payloads.push_back({"rtl", os.str()});
+  }
+  {
+    std::ostringstream os;
+    io::write_stream(os, design.stream);
+    payloads.push_back({"stream", os.str()});
+  }
+  {
+    core::Design copy = design;
+    const core::GatedClockRouter router(std::move(copy));
+    core::RouterOptions opts;
+    opts.style = core::TreeStyle::Gated;
+    const core::RouterResult r = router.route(opts);
+    std::ostringstream os;
+    io::write_routed_tree(os, r.tree);
+    payloads.push_back({"tree", os.str()});
+  }
+
+  std::uint64_t trials = 0;    // parse attempts under an injected fault
+  std::uint64_t points = 0;    // injection points actually exercised
+  std::uint64_t fired = 0;     // faults that fired
+  std::uint64_t crashes = 0;   // exceptions escaping a hardened parser
+  const auto crash = [&](const char* kind, const Payload& p, std::size_t at,
+                         const char* what) {
+    ++crashes;
+    std::cerr << "CRASH [" << kind << "] payload=" << p.name << " at=" << at
+              << ": " << what << '\n';
+  };
+
+  // Sweep 1+2: short reads. Cut each payload at evenly spaced byte offsets;
+  // Truncate models a file that simply ends, Fail models a device error
+  // mid-read (badbit). Both must come back as diagnostics.
+  constexpr int kCuts = 25;
+  for (const Payload& p : payloads) {
+    for (const auto mode : {guard::ShortReadStreambuf::Mode::Truncate,
+                            guard::ShortReadStreambuf::Mode::Fail}) {
+      for (int k = 0; k < kCuts; ++k) {
+        const std::size_t cut = p.text.size() * static_cast<std::size_t>(k) /
+                                static_cast<std::size_t>(kCuts);
+        guard::ShortReadStream is(p.text, cut, mode);
+        guard::Diag diag;
+        ++trials;
+        ++points;
+        try {
+          parse_payload(p, is, diag);
+        } catch (const std::exception& e) {
+          crash(mode == guard::ShortReadStreambuf::Mode::Fail ? "short-read"
+                                                              : "truncate",
+                p, cut, e.what());
+        }
+        if (is.tripped()) {
+          ++fired;
+          if (mode == guard::ShortReadStreambuf::Mode::Fail &&
+              !diag.has_code(guard::Code::Io))
+            crash("short-read", p, cut,
+                  "injected stream failure not reported as GCR_E_IO");
+        }
+      }
+    }
+  }
+
+  // Sweep 3: deterministic nth-visit faults at the arena/lexer fault
+  // points. Every fired fault must surface as GCR_E_RESOURCE or GCR_E_IO.
+  guard::FaultInjector& inj = guard::FaultInjector::global();
+  const DisarmOnExit disarm;
+  constexpr std::uint64_t kNth = 48;
+  for (std::uint64_t nth = 1; nth <= kNth; ++nth) {
+    for (const Payload& p : payloads) {
+      inj.arm({seed + nth, nth, 0.0});
+      std::istringstream is(p.text);
+      guard::Diag diag;
+      ++trials;
+      try {
+        parse_payload(p, is, diag);
+      } catch (const std::exception& e) {
+        crash("inject-nth", p, nth, e.what());
+      }
+      points += inj.points_visited();
+      if (inj.faults_fired() > 0) {
+        ++fired;
+        if (!diag.has_code(guard::Code::Resource) &&
+            !diag.has_code(guard::Code::Io))
+          crash("inject-nth", p, nth,
+                "injected fault produced no resource/io diagnostic");
+      }
+    }
+  }
+
+  // Sweep 4: Bernoulli faults at a few probabilities -- the soak shape the
+  // deterministic sweep cannot produce (multiple faults in one parse).
+  for (const double prob : {0.02, 0.1, 0.5}) {
+    for (const Payload& p : payloads) {
+      inj.arm({seed ^ 0x9e3779b97f4a7c15ULL, 0, prob});
+      std::istringstream is(p.text);
+      guard::Diag diag;
+      ++trials;
+      try {
+        parse_payload(p, is, diag);
+      } catch (const std::exception& e) {
+        crash("inject-prob", p, static_cast<std::size_t>(prob * 100),
+              e.what());
+      }
+      points += inj.points_visited();
+      fired += inj.faults_fired() > 0 ? 1 : 0;
+    }
+  }
+  inj.disarm();
+
+  if (verbose)
+    for (const Payload& p : payloads)
+      std::cerr << "payload " << p.name << ": " << p.text.size()
+                << " bytes\n";
+  std::cout << "fault injection: " << trials << " trials, " << points
+            << " injection points, " << fired << " faults fired, " << crashes
+            << " crashes\n";
+  if (crashes > 0) return guard::kExitInternal;
+  if (points < 200) {
+    std::cerr << "fault harness exercised fewer than 200 injection points\n";
+    return guard::kExitInternal;
+  }
+  std::cout << "all injected faults surfaced as diagnostics\n";
+  return guard::kExitOk;
 }
 
 }  // namespace
@@ -187,21 +403,48 @@ int main(int argc, char** argv) {
   const std::optional<Args> parsed = parse(argc, argv);
   if (!parsed) {
     usage();
-    return 2;
+    return guard::kExitUsage;
   }
   const Args& a = *parsed;
   try {
+    if (a.faults) return run_faults_mode(a.seed, a.verbose);
     if (!a.tree_file.empty()) return run_tree_mode(a);
     if (!a.sinks.empty() || !a.rtl.empty() || !a.stream.empty()) {
       if (a.sinks.empty() || a.rtl.empty() || a.stream.empty()) {
         usage();
-        return 2;
+        return guard::kExitUsage;
       }
       return run_file_mode(a);
     }
-    if (a.replay) {
+    if (!a.replay.empty()) {
+      std::uint64_t seed = 0;
+      bool is_seed = !a.replay.empty();
+      for (const char c : a.replay)
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+          is_seed = false;
+          break;
+        }
+      if (is_seed) {
+        seed = std::strtoull(a.replay.c_str(), nullptr, 10);
+      } else {
+        std::ifstream is(a.replay);
+        if (!is) {
+          std::cerr << "error: cannot open replay artifact " << a.replay
+                    << '\n';
+          return guard::kExitInvalidInput;
+        }
+        const guard::Result<verify::DesignSpec> spec =
+            verify::load_design_artifact(is, a.replay);
+        if (!spec) {
+          std::cerr << spec.status().to_string() << '\n';
+          return guard::exit_code_for(spec.status().code);
+        }
+        seed = spec.value().seed;
+        std::cerr << "replaying artifact " << a.replay << " (seed " << seed
+                  << ")\n";
+      }
       verify::DiffOptions opts;
-      opts.explicit_seeds = {*a.replay};
+      opts.explicit_seeds = {seed};
       opts.dump_dir = a.dump_dir;
       opts.log = &std::cerr;
       return report_diff(verify::run_differential(opts), true);
@@ -214,10 +457,13 @@ int main(int argc, char** argv) {
       if (a.verbose) opts.log = &std::cerr;
       return report_diff(verify::run_differential(opts), false);
     }
+  } catch (const guard::GuardError& e) {
+    std::cerr << e.status().to_string() << '\n';
+    return guard::exit_code_for(e.status().code);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 2;
+    std::cerr << "internal error: " << e.what() << '\n';
+    return guard::kExitInternal;
   }
   usage();
-  return 2;
+  return guard::kExitUsage;
 }

@@ -11,6 +11,9 @@
 ///
 /// Input formats are the library's text formats (see io/text_io.h); use
 /// `gcr_route --demo <dir>` to emit a ready-to-route example design.
+///
+/// Exit codes (docs/robustness.md): 0 success, 1 usage, 2 invalid input,
+/// 3 deadline/resource exhausted, 4 internal error or selftest violation.
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +26,9 @@
 #include "benchdata/workload.h"
 #include "core/router.h"
 #include "eval/table.h"
+#include "guard/deadline.h"
+#include "guard/status.h"
+#include "guard/validate.h"
 #include "io/svg.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
@@ -54,6 +60,7 @@ struct Args {
   bool verbose = false;
   bool mem_stats = false;
   bool selftest = false;
+  long deadline_ms = -1;  // < 0 = unlimited; 0 = expire immediately
 };
 
 void usage() {
@@ -83,8 +90,13 @@ void usage() {
          "  --mem-stats                      heap bytes per phase + peak RSS\n"
          "                                   to stderr (implies the phase\n"
          "                                   summary; counts every new/delete)\n"
+         "  --deadline-ms MS                 abort the route when the wall-clock\n"
+         "                                   budget expires: prints the phases\n"
+         "                                   that completed and exits 3\n"
          "  --selftest                       re-derive all paper invariants on\n"
-         "                                   the result; exit 3 on violation\n";
+         "                                   the result; exit 4 on violation\n"
+         "exit codes: 0 ok, 1 usage, 2 invalid input, 3 deadline/resource,\n"
+         "            4 internal error or selftest violation\n";
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -136,6 +148,8 @@ std::optional<Args> parse(int argc, char** argv) {
       a.mem_stats = true;
     } else if (flag == "--selftest") {
       a.selftest = true;
+    } else if (flag == "--deadline-ms") {
+      if (const char* v = next()) a.deadline_ms = std::atol(v); else return std::nullopt;
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -173,31 +187,44 @@ int main(int argc, char** argv) {
   const std::optional<Args> parsed = parse(argc, argv);
   if (!parsed) {
     usage();
-    return 2;
+    return guard::kExitUsage;
   }
   const Args& a = *parsed;
   if (!a.demo_dir.empty()) return write_demo(a.demo_dir);
   if (a.sinks.empty() || a.rtl.empty() || a.stream.empty()) {
     usage();
-    return 2;
+    return guard::kExitUsage;
   }
 
   try {
+    guard::Diag diag;
     std::ifstream sf(a.sinks);
-    if (!sf) throw std::runtime_error("cannot open " + a.sinks);
-    io::SinksFile sinks = io::read_sinks(sf);
+    if (!sf) diag.error(guard::Code::Io, "cannot open " + a.sinks);
+    std::optional<io::SinksFile> sinks =
+        sf ? io::read_sinks(sf, diag, a.sinks) : std::nullopt;
     std::ifstream rf(a.rtl);
-    if (!rf) throw std::runtime_error("cannot open " + a.rtl);
-    activity::RtlDescription rtl = io::read_rtl(rf);
+    if (!rf) diag.error(guard::Code::Io, "cannot open " + a.rtl);
+    std::optional<activity::RtlDescription> rtl =
+        rf ? io::read_rtl(rf, diag, a.rtl) : std::nullopt;
     std::ifstream tf(a.stream);
-    if (!tf) throw std::runtime_error("cannot open " + a.stream);
-    activity::InstructionStream stream = io::read_stream(tf);
+    if (!tf) diag.error(guard::Code::Io, "cannot open " + a.stream);
+    std::optional<activity::InstructionStream> stream =
+        tf ? io::read_stream(tf, diag, a.stream) : std::nullopt;
+    if (!sinks || !rtl || !stream) {
+      diag.print(std::cerr);
+      return diag.exit_code();
+    }
 
-    if (rtl.num_modules() < static_cast<int>(sinks.sinks.size()))
-      throw std::runtime_error("rtl has fewer modules than sinks");
-    for (const int i : stream.seq)
-      if (i < 0 || i >= rtl.num_instructions())
-        throw std::runtime_error("stream instruction id out of range");
+    core::Design design{sinks->die, std::move(sinks->sinks), std::move(*rtl),
+                        std::move(*stream), {}};
+    // Semantic validation must run before the router is constructed: the
+    // activity analyzer indexes by raw stream/module ids, so a bad design
+    // cannot be caught after the fact.
+    if (!guard::validate_design(design, diag)) {
+      diag.print(std::cerr);
+      return diag.exit_code();
+    }
+    diag.print(std::cerr);  // surviving warnings only
 
     // Observability: bind a session before the router is constructed so
     // the activity-analysis phase inside the constructor is captured.
@@ -220,20 +247,24 @@ int main(int argc, char** argv) {
       bind.emplace(&session);
     }
 
-    core::Design design{sinks.die, std::move(sinks.sinks), std::move(rtl),
-                        std::move(stream), {}};
     const core::GatedClockRouter router(std::move(design));
 
     core::RouterOptions opts;
     if (a.style == "buffered") opts.style = core::TreeStyle::Buffered;
     else if (a.style == "gated") opts.style = core::TreeStyle::Gated;
     else if (a.style == "reduced") opts.style = core::TreeStyle::GatedReduced;
-    else throw std::runtime_error("unknown style: " + a.style);
+    else {
+      std::cerr << "unknown style: " << a.style << '\n';
+      return guard::kExitUsage;
+    }
     if (a.topology == "swcap") opts.topology = core::TopologyScheme::MinSwitchedCap;
     else if (a.topology == "nn") opts.topology = core::TopologyScheme::NearestNeighbor;
     else if (a.topology == "activity") opts.topology = core::TopologyScheme::ActivityOnly;
     else if (a.topology == "mmm") opts.topology = core::TopologyScheme::Mmm;
-    else throw std::runtime_error("unknown topology: " + a.topology);
+    else {
+      std::cerr << "unknown topology: " << a.topology << '\n';
+      return guard::kExitUsage;
+    }
     opts.controller_partitions = a.partitions;
     opts.auto_tune_reduction = a.auto_tune;
     opts.clustered = a.clustered;
@@ -243,22 +274,41 @@ int main(int argc, char** argv) {
     if (a.strength)
       opts.reduction = gating::GateReductionParams::from_strength(*a.strength);
 
-    const core::RouterResult r = router.route(opts);
+    const guard::Deadline deadline =
+        a.deadline_ms >= 0
+            ? guard::Deadline::after_ms(static_cast<double>(a.deadline_ms))
+            : guard::Deadline();
+    core::RouteOutcome out = router.route_guarded(opts, deadline);
+    if (!out.ok()) {
+      out.diag.print(std::cerr);
+      if (out.cancelled) {
+        std::cerr << "partial report: phases completed [";
+        for (std::size_t i = 0; i < out.phases_completed.size(); ++i)
+          std::cerr << (i ? " " : "") << out.phases_completed[i];
+        std::cerr << "]; aborted in " << out.aborted_phase << '\n';
+      }
+      return out.exit_code();
+    }
+    const core::RouterResult& r = *out.result;
 
     if (a.selftest) {
       const verify::Report rep = verify::verify_result(router, opts, r);
       std::cerr << "selftest: " << rep.summary() << '\n';
-      if (!rep.ok()) return 3;
+      if (!rep.ok()) return guard::kExitInternal;
     }
 
     if (!a.report.empty()) {
       std::ofstream os(a.report);
-      if (!os) throw std::runtime_error("cannot open " + a.report);
+      if (!os)
+        throw guard::GuardError(
+            guard::make_error(guard::Code::Io, "cannot open " + a.report));
       obs::write_run_report(os, opts, r, session);
     }
     if (!a.trace.empty()) {
       std::ofstream os(a.trace);
-      if (!os) throw std::runtime_error("cannot open " + a.trace);
+      if (!os)
+        throw guard::GuardError(
+            guard::make_error(guard::Code::Io, "cannot open " + a.trace));
       trace_sink.write_chrome_json(os);
     }
     if (a.verbose || a.mem_stats) obs::print_run_summary(std::cerr, session);
@@ -306,9 +356,12 @@ int main(int argc, char** argv) {
       std::ofstream os(a.tree_out);
       io::write_routed_tree(os, r.tree);
     }
+  } catch (const guard::GuardError& e) {
+    std::cerr << e.status().to_string() << '\n';
+    return guard::exit_code_for(e.status().code);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    std::cerr << "internal error: " << e.what() << '\n';
+    return guard::kExitInternal;
   }
-  return 0;
+  return guard::kExitOk;
 }
