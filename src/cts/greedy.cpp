@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "par/pool.h"
+#include "prof/flightrec.h"
 
 namespace gcr::cts {
 
@@ -231,6 +232,8 @@ class GreedyEngine {
       const Pick pick = pick_min_pair();
       if (trace) trace_merge_decision(*trace, pick);
       merge(pick.a, pick.b);
+      if (prof::recorder_enabled())
+        prof::record(prof::Ev::Merge, "merge", pick.a, pick.b, pick.cost);
       if (obs::metrics_enabled()) [[unlikely]] {
         static obs::Counter& c = obs::Registry::global().counter("cts.merges");
         c.inc();
@@ -350,6 +353,26 @@ class GreedyEngine {
     }
     bp.stale = false;
     best_[static_cast<std::size_t>(i)] = bp;
+    // The worker-side half of a merge decision: recomputes run inside pool
+    // chunks, so this event lands on the worker's own trace track. It only
+    // reaches the sink because workers carry the session binding
+    // (Session::WorkerViewTag in par::ThreadPool) -- without it,
+    // active_trace() is null on a pool thread and the decision is lost.
+    if (obs::TraceSink* trace = obs::active_trace()) {
+      obs::Session* s = obs::current();
+      obs::TraceEvent e;
+      e.name = "recompute";
+      e.cat = "cts";
+      e.ph = 'i';
+      e.ts_us = s != nullptr ? s->now_us() : 0.0;
+      e.args.push_back(obs::TraceArg::num("node", static_cast<long long>(i)));
+      e.args.push_back(
+          obs::TraceArg::num("partner", static_cast<long long>(bp.partner)));
+      e.args.push_back(obs::TraceArg::num("cost", bp.cost));
+      e.args.push_back(obs::TraceArg::num(
+          "evaluated", static_cast<long long>(evaluated)));
+      trace->event(std::move(e));
+    }
     if (obs::metrics_enabled()) [[unlikely]] {
       static obs::Counter& recomputes =
           obs::Registry::global().counter("cts.best_partner_recomputes");

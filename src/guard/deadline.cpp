@@ -1,5 +1,7 @@
 #include "guard/deadline.h"
 
+#include "prof/flightrec.h"
+
 namespace gcr::guard {
 
 namespace {
@@ -15,8 +17,15 @@ DeadlineScope::~DeadlineScope() { t_deadline = prev_; }
 const Deadline* current_deadline() { return t_deadline; }
 
 void poll_deadline(const char* phase) {
-  if (t_deadline != nullptr && t_deadline->expired())
+  if (t_deadline == nullptr || t_deadline->unlimited()) return;
+  // Only *limited* polls are flight-recorded: they are the deterministic
+  // abort points a post-mortem needs, and unlimited runs stay quiet.
+  if (t_deadline->expired()) {
+    if (prof::recorder_enabled())
+      prof::record(prof::Ev::DeadlineExpired, phase);
     throw CancelledError(phase);
+  }
+  if (prof::recorder_enabled()) prof::record(prof::Ev::DeadlinePoll, phase);
 }
 
 }  // namespace gcr::guard

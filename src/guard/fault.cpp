@@ -4,6 +4,8 @@
 #include <ios>
 #include <utility>
 
+#include "prof/flightrec.h"
+
 namespace gcr::guard {
 
 namespace {
@@ -54,6 +56,9 @@ bool FaultInjector::should_inject(const char* site) {
   if (fire) {
     fired_.fetch_add(1, std::memory_order_relaxed);
     last_site_.store(site, std::memory_order_relaxed);
+    if (prof::recorder_enabled())
+      prof::record(prof::Ev::FaultHit, site,
+                   static_cast<std::int64_t>(visit));
   }
   return fire;
 }

@@ -28,6 +28,7 @@ std::string_view code_name(Code c) {
     case Code::UnusedModules: return "GCR_W_UNUSED_MODULES";
     case Code::DetachedMerge: return "GCR_W_DETACHED_MERGE";
     case Code::EmptyStream: return "GCR_W_EMPTY_STREAM";
+    case Code::FlightRecorder: return "GCR_W_FLIGHTREC";
   }
   return "GCR_E_INTERNAL";
 }
@@ -62,6 +63,7 @@ int exit_code_for(Code c) {
     case Code::UnusedModules:
     case Code::DetachedMerge:
     case Code::EmptyStream:
+    case Code::FlightRecorder:
       return kExitOk;
     case Code::Usage:
       return kExitUsage;

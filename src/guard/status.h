@@ -59,6 +59,7 @@ enum class Code {
   UnusedModules,   ///< GCR_W_UNUSED_MODULES  rtl declares more modules
   DetachedMerge,   ///< GCR_W_DETACHED_MERGE  zero-skew fallback events
   EmptyStream,     ///< GCR_W_EMPTY_STREAM    stream has no cycles
+  FlightRecorder,  ///< GCR_W_FLIGHTREC       flight-recorder dump written
 };
 
 [[nodiscard]] std::string_view code_name(Code c);

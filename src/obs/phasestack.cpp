@@ -1,0 +1,96 @@
+#include "obs/phasestack.h"
+
+#include <mutex>
+
+namespace gcr::obs {
+
+namespace {
+
+bool g_shadow_enabled = false;
+
+std::mutex g_shadow_mu;
+std::vector<const PhaseShadow*>& shadow_registry() {
+  static std::vector<const PhaseShadow*>* v =
+      new std::vector<const PhaseShadow*>();
+  return *v;
+}
+
+PhaseShadow* register_shadow() {
+  PhaseShadow* s = new PhaseShadow();  // leaked: registry keeps raw pointers
+  const std::lock_guard<std::mutex> lk(g_shadow_mu);
+  shadow_registry().push_back(s);
+  return s;
+}
+
+struct ShadowTls {
+  PhaseShadow* shadow = register_shadow();
+  ~ShadowTls() { shadow->retired.store(true, std::memory_order_release); }
+};
+
+PhaseShadow& thread_shadow() {
+  thread_local ShadowTls tls;
+  return *tls.shadow;
+}
+
+}  // namespace
+
+std::vector<const PhaseShadow*> shadow_threads() {
+  const std::lock_guard<std::mutex> lk(g_shadow_mu);
+  return shadow_registry();  // copy: sampler iterates without the lock
+}
+
+bool shadow_enabled() { return g_shadow_enabled; }
+
+void set_shadow_enabled(bool on) { g_shadow_enabled = on; }
+
+void shadow_push(const char* name) {
+  PhaseShadow& s = thread_shadow();
+  const std::uint32_t s0 = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(s0 + 1, std::memory_order_relaxed);  // odd: mutating
+  std::atomic_thread_fence(std::memory_order_release);
+  const std::int32_t d = s.depth.load(std::memory_order_relaxed);
+  if (d < PhaseShadow::kMaxDepth) {
+    std::atomic<char>* frame = s.names[d];
+    int i = 0;
+    if (name != nullptr)
+      for (; i + 1 < PhaseShadow::kMaxName && name[i] != '\0'; ++i)
+        frame[i].store(name[i], std::memory_order_relaxed);
+    frame[i].store('\0', std::memory_order_relaxed);
+  }
+  s.depth.store(d + 1, std::memory_order_relaxed);
+  s.seq.store(s0 + 2, std::memory_order_release);  // even: stable
+}
+
+void shadow_pop() {
+  PhaseShadow& s = thread_shadow();
+  const std::uint32_t s0 = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(s0 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  const std::int32_t d = s.depth.load(std::memory_order_relaxed);
+  if (d > 0) s.depth.store(d - 1, std::memory_order_relaxed);
+  s.seq.store(s0 + 2, std::memory_order_release);
+}
+
+bool PhaseShadow::snapshot(std::vector<std::string>& out,
+                           int max_retries) const {
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    const std::uint32_t s0 = seq.load(std::memory_order_acquire);
+    if (s0 & 1u) continue;  // writer mid-update
+    out.clear();
+    std::int32_t d = depth.load(std::memory_order_relaxed);
+    if (d > kMaxDepth) d = kMaxDepth;
+    for (std::int32_t f = 0; f < d; ++f) {
+      char buf[kMaxName];
+      for (int i = 0; i < kMaxName; ++i)
+        buf[i] = names[f][i].load(std::memory_order_relaxed);
+      buf[kMaxName - 1] = '\0';
+      out.emplace_back(buf);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq.load(std::memory_order_relaxed) == s0) return true;
+  }
+  out.clear();
+  return false;
+}
+
+}  // namespace gcr::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file phasestack.h
+/// Per-thread lock-free shadow of the ScopedTimer phase stack, read by the
+/// gcr::prof sampling profiler.
+///
+/// The real phase stack (`PhaseTimers`) is a vector of tree nodes and can
+/// never be read from another thread. When shadow publishing is enabled
+/// (`set_shadow_enabled`, off by default), every ScopedTimer additionally
+/// maintains a fixed-size seqlock-protected copy of the open phase *names*
+/// on this thread. The sampler thread walks all registered shadows at each
+/// tick and discards any snapshot whose sequence number moved mid-read, so
+/// a torn read costs one sample, never a crash.
+///
+/// Names are copied into inline byte arrays (not stored as pointers):
+/// bench phase names are built dynamically and may be freed right after
+/// the phase pops, and the sampler must never chase a dangling pointer.
+
+namespace gcr::obs {
+
+class PhaseShadow {
+ public:
+  static constexpr int kMaxDepth = 16;
+  static constexpr int kMaxName = 40;  ///< bytes per frame, incl. NUL
+
+  /// Seqlock: odd while the owner is mutating, bumped to even when stable.
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::int32_t> depth{0};
+  std::atomic<char> names[kMaxDepth][kMaxName];
+  std::atomic<bool> retired{false};  ///< owning thread has exited
+
+  /// Copy a stable snapshot of the open phase names (outermost first).
+  /// False when the owner kept mutating across `max_retries` attempts.
+  [[nodiscard]] bool snapshot(std::vector<std::string>& out,
+                              int max_retries = 3) const;
+};
+
+/// Global publish switch (plain-bool load on the hot path, like
+/// metrics_enabled). Toggle only from quiescent points.
+[[nodiscard]] bool shadow_enabled();
+void set_shadow_enabled(bool on);
+
+/// Called by ScopedTimer on the owning thread when publishing is enabled.
+/// Frames beyond kMaxDepth are counted in depth but not named.
+void shadow_push(const char* name);
+void shadow_pop();
+
+/// Every shadow ever registered (never unregistered; retired threads keep
+/// their flag set). Pointers stay valid for the process lifetime.
+[[nodiscard]] std::vector<const PhaseShadow*> shadow_threads();
+
+}  // namespace gcr::obs

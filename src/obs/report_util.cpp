@@ -1,10 +1,13 @@
 #include "obs/report_util.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/session.h"
@@ -22,6 +25,14 @@ void write_phases(json::Writer& w, const PhaseStats& node) {
   if (node.alloc_count > 0 || node.alloc_bytes > 0) {
     w.field("alloc_count", node.alloc_count);
     w.field("alloc_bytes", node.alloc_bytes);
+  }
+  if (node.has_hw) {
+    const std::array<const char*, kHwSlots>& names = hw_counter_names();
+    w.key("hw").begin_object();
+    for (int i = 0; i < kHwSlots; ++i)
+      w.field(names[static_cast<std::size_t>(i)],
+              node.hw[static_cast<std::size_t>(i)]);
+    w.end_object();
   }
   w.key("children").begin_array();
   for (const auto& c : node.children) write_phases(w, *c);
@@ -97,10 +108,34 @@ void print_session_summary(std::ostream& os, const Session& session) {
   for (const auto& c : session.timers().root().children)
     print_phase(os, *c, 1);
   os << "-- counters --\n";
-  for (const auto& [name, value] : Registry::global().counters())
+  // Counters print largest first: the interesting number in a diagnosis
+  // ("why is this slow") is almost always near the top of that order.
+  std::vector<Registry::CounterEntry> counters = Registry::global().counters();
+  std::stable_sort(counters.begin(), counters.end(),
+                   [](const Registry::CounterEntry& a,
+                      const Registry::CounterEntry& b) {
+                     return a.value > b.value;
+                   });
+  for (const auto& [name, value] : counters)
     if (value != 0) os << "  " << name << " = " << value << '\n';
   for (const auto& [name, value] : Registry::global().gauges())
     if (value != 0.0) os << "  " << name << " = " << value << '\n';
+  bool wrote_histo_header = false;
+  for (const auto& [name, snap] : Registry::global().histograms()) {
+    if (snap.count == 0) continue;
+    if (!wrote_histo_header) {
+      os << "-- histograms --\n";
+      wrote_histo_header = true;
+    }
+    os << "  " << name << ": n=" << snap.count << " mean=" << snap.mean()
+       << " min=" << snap.min << " max=" << snap.max << '\n';
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = snap.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;  // non-zero buckets only
+      os << "    >= " << std::ldexp(1.0, i - Histogram::kExpBias) << ": " << n
+         << '\n';
+    }
+  }
 }
 
 }  // namespace gcr::obs

@@ -36,6 +36,19 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
+  /// Pool-worker view of `parent`: shares its time epoch and trace sink
+  /// (sinks are thread-safe; see trace.h) but owns an independent phase
+  /// tree, because PhaseTimers is single-threaded by construction.
+  /// `par::ThreadPool` binds one of these on each worker for the duration
+  /// of a job, so trace events emitted inside worker chunks land in the
+  /// run's sink with timestamps on the parent's axis instead of being
+  /// silently dropped. Worker-side ScopedTimers aggregate into the view
+  /// and are discarded with it -- per-worker *time* attribution is the
+  /// pool telemetry's job (par::PoolTelemetry), not the phase tree's.
+  struct WorkerViewTag {};
+  Session(WorkerViewTag, const Session& parent)
+      : epoch_(parent.epoch_), trace_(parent.trace_) {}
+
   [[nodiscard]] PhaseTimers& timers() { return timers_; }
   [[nodiscard]] const PhaseTimers& timers() const { return timers_; }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,6 +51,28 @@ using AllocSamplerFn = AllocSample (*)();
 void set_alloc_sampler(AllocSamplerFn fn);
 [[nodiscard]] AllocSamplerFn alloc_sampler();
 
+/// Cumulative hardware-counter readings for the *calling thread* at one
+/// instant. The four slots' meaning is defined by whoever installs the
+/// sampler (gcr::prof: cycles/instructions/cache_misses/branch_misses via
+/// perf_event_open, or rusage-based deltas when the PMU is unavailable);
+/// obs only deltas them across each phase and reports them under the
+/// registered slot names.
+struct HwSample {
+  std::array<std::uint64_t, 4> v{};
+};
+inline constexpr int kHwSlots = 4;
+
+/// Installed by prof::enable_hw_counters; nullptr (the default) keeps
+/// ScopedTimer free of any counter reads. `names` must be static-duration
+/// strings; they stick after the sampler is removed so late report writers
+/// can still label already-collected per-phase values. Install/remove only
+/// from quiescent points.
+using HwSamplerFn = HwSample (*)();
+void set_hw_sampler(HwSamplerFn fn,
+                    const std::array<const char*, kHwSlots>& names);
+[[nodiscard]] HwSamplerFn hw_sampler();
+[[nodiscard]] const std::array<const char*, kHwSlots>& hw_counter_names();
+
 struct PhaseStats {
   std::string name;
   int calls{0};
@@ -60,6 +83,11 @@ struct PhaseStats {
   /// total_ms). Zero unless an alloc sampler was installed.
   std::uint64_t alloc_count{0};
   std::uint64_t alloc_bytes{0};
+  /// Hardware-counter deltas for this phase's subtree (inclusive of
+  /// children, like total_ms). Populated only while an hw sampler is
+  /// installed; see `hw_counter_names()` for the slot labels.
+  bool has_hw{false};
+  std::array<std::uint64_t, kHwSlots> hw{};
   std::vector<std::unique_ptr<PhaseStats>> children;
 
   /// Find-or-create the child with this name (aggregation point).
@@ -79,7 +107,7 @@ class PhaseTimers {
   /// Close the innermost phase, crediting `elapsed_ms` (and, when an alloc
   /// sampler is installed, the allocation deltas) to it.
   void pop(double elapsed_ms, std::uint64_t alloc_count = 0,
-           std::uint64_t alloc_bytes = 0);
+           std::uint64_t alloc_bytes = 0, const HwSample* hw_delta = nullptr);
   /// Stack depth excluding the synthetic root (0 = nothing open).
   [[nodiscard]] int depth() const {
     return static_cast<int>(stack_.size()) - 1;
@@ -104,6 +132,9 @@ class ScopedTimer {
   const char* name_;
   double t0_us_{0.0};
   AllocSample a0_;  ///< sampler snapshot at phase entry (if installed)
+  HwSample h0_;     ///< hw-counter snapshot at phase entry (if installed)
+  bool hw_{false};
+  bool shadowed_{false};  ///< pushed onto this thread's PhaseShadow
 };
 
 }  // namespace gcr::obs

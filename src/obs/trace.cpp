@@ -1,11 +1,18 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <ostream>
 #include <utility>
 
 #include "obs/json.h"
 
 namespace gcr::obs {
+
+int trace_tid() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 TraceArg TraceArg::num(std::string key, double v) {
   return {std::move(key), json::number(v)};
@@ -52,9 +59,10 @@ void MemoryTraceSink::write_chrome_json(std::ostream& os) const {
     w.field("name", e.name);
     w.field("cat", e.cat);
     w.field("ph", std::string_view(&e.ph, 1));
-    // Single-process, single-thread timeline; the viewers require both ids.
+    // Single-process timeline; tid is the emitting thread's ordinal so
+    // worker-side events land on their own viewer tracks.
     w.field("pid", 1);
-    w.field("tid", 1);
+    w.field("tid", e.tid);
     w.field("ts", e.ts_us);
     if (e.ph == 'X') w.field("dur", e.dur_us);
     if (e.ph == 'i') w.field("s", "t");  // instant scope: thread

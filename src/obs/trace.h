@@ -33,10 +33,17 @@ struct TraceArg {
   static TraceArg boolean(std::string key, bool b);
 };
 
+/// Dense per-thread ordinal for trace events: the first emitting thread
+/// (the coordinator, in practice) gets 1, pool workers take successive
+/// ids. Stable for the life of the thread, so a trace viewer lays each
+/// worker out on its own track.
+[[nodiscard]] int trace_tid();
+
 struct TraceEvent {
   std::string name;
   std::string cat;      ///< subsystem: "phase", "cts", "reduction", ...
   char ph{'X'};         ///< 'X' complete (has dur), 'i' instant
+  int tid{trace_tid()}; ///< emitting thread's ordinal
   double ts_us{0.0};    ///< microseconds since session start
   double dur_us{0.0};   ///< 'X' only
   std::vector<TraceArg> args;

@@ -5,9 +5,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 /// \file pool.h
 /// gcr::par -- a small deterministic parallel-execution subsystem.
@@ -32,7 +36,41 @@
 /// `width <= 1`, a single chunk, or a nested call from inside a worker all
 /// fall back to running the same chunks inline on the calling thread.
 
+namespace gcr::obs {
+class Session;
+}  // namespace gcr::obs
+
 namespace gcr::par {
+
+/// Cumulative pool telemetry since process start (the global pool lives for
+/// the process). All times are monotonic-clock nanoseconds.
+///
+///   * worker `busy_ns`   -- time spent inside run_job (chunk execution);
+///   * worker `idle_ns`   -- time parked on the work condition variable;
+///   * `dispatch_overhead_ns` -- per job, the caller's wall time for the
+///     whole construct minus the caller lane's own busy time: wakeup
+///     latency, lock traffic and straggler wait. This is the number that
+///     makes the route_par t>1 regression explainable -- when it rivals
+///     the busy time, the shards are too small for the dispatch cost.
+///
+/// The same overhead also feeds the `par.dispatch_overhead_ns` counter
+/// (plus `par.jobs` and a `par.chunks_per_job` histogram) when metrics are
+/// enabled, so bench and profile reports capture it per run.
+struct PoolTelemetry {
+  struct Worker {
+    std::uint64_t busy_ns{0};
+    std::uint64_t idle_ns{0};
+    std::uint64_t chunks{0};
+  };
+  std::vector<Worker> workers;
+  std::uint64_t jobs{0};  ///< parallel dispatches (serial fallbacks excluded)
+  std::uint64_t dispatch_overhead_ns{0};
+};
+
+/// One-line human summary: "pool: 7 workers, busy 12.3%, dispatch overhead
+/// 4.2 ms over 812 jobs". The --verbose CLI path appends this when running
+/// with more than one thread.
+void write_pool_summary(std::ostream& os, const PoolTelemetry& t);
 
 /// std::thread::hardware_concurrency() clamped to >= 1, cached.
 [[nodiscard]] int hardware_threads();
@@ -70,13 +108,27 @@ class ThreadPool {
   void run_chunks(int width, std::int64_t num_chunks,
                   const std::function<void(std::int64_t)>& job);
 
+  /// Snapshot of the cumulative telemetry (workers sized num_threads - 1).
+  [[nodiscard]] PoolTelemetry telemetry() const;
+
  private:
-  void worker_loop();
-  void run_job(const std::function<void(std::int64_t)>& job,
-               std::int64_t total);
+  /// Per-worker telemetry slots, cache-line separated so hot-loop bumps on
+  /// one worker never false-share with another.
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> chunks{0};
+  };
+
+  void worker_loop(std::size_t index);
+  void run_job(const std::function<void(std::int64_t)>& job, std::int64_t total,
+               WorkerStats* stats);
 
   int num_threads_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> dispatch_ns_{0};
 
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers park here between jobs
@@ -84,6 +136,10 @@ class ThreadPool {
   std::uint64_t generation_{0};
   bool stop_{false};
   const std::function<void(std::int64_t)>* job_{nullptr};
+  /// The dispatching caller's bound obs session (nullptr when unobserved);
+  /// workers bind a Session worker view of it around run_job so their trace
+  /// events reach the run's sink instead of vanishing (obs/session.h).
+  obs::Session* job_session_{nullptr};
   std::int64_t total_chunks_{0};
   std::atomic<std::int64_t> next_chunk_{0};
   std::atomic<std::int64_t> done_chunks_{0};
@@ -97,6 +153,21 @@ namespace detail {
                                               std::int64_t grain) {
   return n <= 0 ? 0 : (n + grain - 1) / grain;
 }
+
+/// Shard-shape metrics, two observations per construct (never per chunk --
+/// all shards in one job share a size except the tail, so the job-level
+/// numbers are the distribution).
+inline void observe_shards(std::int64_t n, std::int64_t grain,
+                           std::int64_t chunks) {
+  if (obs::metrics_enabled()) [[unlikely]] {
+    static obs::Histogram& items =
+        obs::Registry::global().histogram("par.shard_items");
+    items.observe(static_cast<double>(std::min(n, grain)));
+    static obs::Histogram& per_job =
+        obs::Registry::global().histogram("par.chunks_per_job");
+    per_job.observe(static_cast<double>(chunks));
+  }
+}
 }  // namespace detail
 
 /// body(b, e) over deterministic grain-sized subranges of [begin, end).
@@ -108,6 +179,7 @@ void parallel_for(int width, std::int64_t begin, std::int64_t end,
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t chunks = detail::chunk_count(end - begin, grain);
   if (chunks == 0) return;
+  detail::observe_shards(end - begin, grain, chunks);
   const std::function<void(std::int64_t)> job = [&](std::int64_t c) {
     const std::int64_t b = begin + c * grain;
     body(b, std::min(end, b + grain));
@@ -127,6 +199,7 @@ template <typename T, typename MapChunk, typename Combine>
   grain = std::max<std::int64_t>(1, grain);
   const std::int64_t chunks = detail::chunk_count(end - begin, grain);
   if (chunks == 0) return init;
+  detail::observe_shards(end - begin, grain, chunks);
   std::vector<T> partial(static_cast<std::size_t>(chunks), init);
   const std::function<void(std::int64_t)> job = [&](std::int64_t c) {
     const std::int64_t b = begin + c * grain;

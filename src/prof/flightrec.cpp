@@ -1,0 +1,246 @@
+#include "prof/flightrec.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace gcr::prof {
+
+namespace {
+
+std::uint64_t mono_ns() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+/// One per thread, leaked on purpose: a retired thread's tail must survive
+/// until the post-mortem dump, and the registry holds raw pointers.
+struct Ring {
+  std::uint64_t thread_ordinal{0};
+  std::atomic<std::uint64_t> head{0};  ///< events ever recorded
+  std::atomic<bool> retired{false};
+  Event slots[kRingCapacity];
+};
+
+std::mutex g_registry_mu;
+std::vector<Ring*>& registry() {
+  static std::vector<Ring*>* v = new std::vector<Ring*>();
+  return *v;
+}
+
+Ring* register_ring() {
+  Ring* r = new Ring();
+  const std::lock_guard<std::mutex> lk(g_registry_mu);
+  r->thread_ordinal = registry().size();
+  registry().push_back(r);
+  return r;
+}
+
+/// Thread-local handle; marks the ring retired when the thread exits.
+struct RingTls {
+  Ring* ring = register_ring();
+  ~RingTls() { ring->retired.store(true, std::memory_order_release); }
+};
+
+Ring& thread_ring() {
+  thread_local RingTls tls;
+  return *tls.ring;
+}
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("GCR_FLIGHTREC");
+  return !(env && env[0] == '0' && env[1] == '\0');
+}()};
+
+}  // namespace
+
+const char* ev_name(Ev kind) {
+  switch (kind) {
+    case Ev::PhaseEnter: return "phase_enter";
+    case Ev::PhaseExit: return "phase_exit";
+    case Ev::Merge: return "merge";
+    case Ev::DeadlinePoll: return "deadline_poll";
+    case Ev::DeadlineExpired: return "deadline_expired";
+    case Ev::FaultHit: return "fault_hit";
+    case Ev::Mark: return "mark";
+  }
+  return "unknown";
+}
+
+bool recorder_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_recorder_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void record(Ev kind, const char* what, std::int64_t a, std::int64_t b,
+            double x) {
+  if (!recorder_enabled()) return;
+  Ring& r = thread_ring();
+  const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+  Event& e = r.slots[h % kRingCapacity];
+  e.id = h + 1;
+  e.ts_ns = mono_ns();
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.x = x;
+  std::size_t i = 0;
+  if (what != nullptr)
+    for (; i + 1 < sizeof e.what && what[i] != '\0'; ++i) e.what[i] = what[i];
+  e.what[i] = '\0';
+  // Release-publish so a cross-thread snapshot that observes the new head
+  // also observes the slot contents (same-thread dumps need no ordering).
+  r.head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<ThreadTail> snapshot_rings() {
+  std::vector<Ring*> rings;
+  {
+    const std::lock_guard<std::mutex> lk(g_registry_mu);
+    rings = registry();
+  }
+  std::vector<ThreadTail> out;
+  out.reserve(rings.size());
+  for (Ring* r : rings) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    ThreadTail t;
+    t.thread_ordinal = r->thread_ordinal;
+    t.retired = r->retired.load(std::memory_order_acquire);
+    t.recorded = head;
+    const std::uint64_t n = head < kRingCapacity ? head : kRingCapacity;
+    t.dropped = head - n;
+    t.events.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = head - n; i < head; ++i)
+      t.events.push_back(r->slots[i % kRingCapacity]);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::uint64_t total_recorded() {
+  const std::lock_guard<std::mutex> lk(g_registry_mu);
+  std::uint64_t sum = 0;
+  for (const Ring* r : registry())
+    sum += r->head.load(std::memory_order_relaxed);
+  return sum;
+}
+
+namespace {
+
+/// `what` holds identifier-ish names, but escape defensively anyway.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+}
+
+void format_event(std::string& out, const Event& e) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"id\":%llu,\"ts_ns\":%llu,\"kind\":\"%s\",\"what\":\"",
+                static_cast<unsigned long long>(e.id),
+                static_cast<unsigned long long>(e.ts_ns), ev_name(e.kind));
+  out += buf;
+  append_escaped(out, e.what);
+  std::snprintf(buf, sizeof buf, "\",\"a\":%lld,\"b\":%lld,\"x\":%.17g}",
+                static_cast<long long>(e.a), static_cast<long long>(e.b), e.x);
+  out += buf;
+}
+
+}  // namespace
+
+void write_flight_record(std::ostream& os) {
+  const std::vector<ThreadTail> tails = snapshot_rings();
+  std::string out;
+  out += "{\"schema\":\"gcr.flight_record\",\"version\":1";
+  char buf[96];
+  std::uint64_t recorded = 0;
+  for (const ThreadTail& t : tails) recorded += t.recorded;
+  std::snprintf(buf, sizeof buf, ",\"events_recorded\":%llu,\"threads\":[",
+                static_cast<unsigned long long>(recorded));
+  out += buf;
+  bool first_thread = true;
+  for (const ThreadTail& t : tails) {
+    if (t.recorded == 0) continue;  // never-recording threads add no signal
+    if (!first_thread) out += ',';
+    first_thread = false;
+    std::snprintf(buf, sizeof buf,
+                  "{\"thread\":%llu,\"retired\":%s,\"dropped\":%llu,"
+                  "\"events\":[",
+                  static_cast<unsigned long long>(t.thread_ordinal),
+                  t.retired ? "true" : "false",
+                  static_cast<unsigned long long>(t.dropped));
+    out += buf;
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      if (i > 0) out += ',';
+      format_event(out, t.events[i]);
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  os << out;
+}
+
+void write_flight_record_fd(int fd) {
+  // Crash path: no allocation, no locks beyond the atomics. Walks the
+  // registry without its mutex -- the vector only ever grows, and a torn
+  // tail entry merely truncates the dump.
+  char buf[512];
+  int n = std::snprintf(buf, sizeof buf,
+                        "{\"schema\":\"gcr.flight_record\",\"version\":1,"
+                        "\"crash\":true,\"threads\":[");
+  (void)!write(fd, buf, static_cast<std::size_t>(n));
+  // Registry pointer is stable (leaked heap vector); size read racily.
+  std::vector<Ring*>& regs = registry();
+  const std::size_t count = regs.size();
+  bool first_thread = true;
+  for (std::size_t ri = 0; ri < count; ++ri) {
+    Ring* r = regs[ri];
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    if (head == 0) continue;
+    const std::uint64_t tail_n = head < kRingCapacity ? head : kRingCapacity;
+    n = std::snprintf(buf, sizeof buf, "%s{\"thread\":%llu,\"events\":[",
+                      first_thread ? "" : ",",
+                      static_cast<unsigned long long>(r->thread_ordinal));
+    (void)!write(fd, buf, static_cast<std::size_t>(n));
+    first_thread = false;
+    for (std::uint64_t i = head - tail_n; i < head; ++i) {
+      const Event& e = r->slots[i % kRingCapacity];
+      n = std::snprintf(buf, sizeof buf,
+                        "%s{\"id\":%llu,\"ts_ns\":%llu,\"kind\":\"%s\","
+                        "\"what\":\"%.22s\",\"a\":%lld,\"b\":%lld,\"x\":%.17g}",
+                        i == head - tail_n ? "" : ",",
+                        static_cast<unsigned long long>(e.id),
+                        static_cast<unsigned long long>(e.ts_ns),
+                        ev_name(e.kind), e.what, static_cast<long long>(e.a),
+                        static_cast<long long>(e.b), e.x);
+      (void)!write(fd, buf, static_cast<std::size_t>(n));
+    }
+    (void)!write(fd, "]}", 2);
+  }
+  (void)!write(fd, "]}\n", 3);
+}
+
+}  // namespace gcr::prof

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+/// \file flightrec.h
+/// gcr::prof -- lock-free per-thread flight recorder.
+///
+/// Every thread that emits an event owns a bounded ring buffer holding the
+/// *last N* events it recorded (older events are overwritten, never
+/// blocked on). Recording is a handful of relaxed stores plus one steady
+/// clock read, cheap enough to stay **default-on**: phase transitions,
+/// greedy merges, deadline polls and fault-injector hits are always being
+/// written, so when a run crashes, blows its deadline or exits non-zero,
+/// `gcr::guard` can dump a replayable tail of what each thread was doing
+/// (see guard/postmortem.h). `GCR_FLIGHTREC=0` disables recording.
+///
+/// This translation unit is dependency-free on purpose -- it sits *below*
+/// `obs` and `guard` in the link graph so both layers (and `cts`) can
+/// record into it without cycles. The JSON dump is hand-rolled for the
+/// same reason, and `write_flight_record_fd` avoids the C++ iostream /
+/// allocation machinery so a crashing signal handler can call it.
+
+namespace gcr::prof {
+
+enum class Ev : std::uint8_t {
+  PhaseEnter,       ///< ScopedTimer opened a phase (what = phase name)
+  PhaseExit,        ///< ScopedTimer closed a phase
+  Merge,            ///< greedy merge committed (a, b = node ids, x = cost)
+  DeadlinePoll,     ///< poll_deadline under a limited deadline (what = site)
+  DeadlineExpired,  ///< the poll that threw CancelledError
+  FaultHit,         ///< fault injector fired (what = site)
+  Mark,             ///< free-form marker
+};
+
+[[nodiscard]] const char* ev_name(Ev kind);
+
+/// One recorded event. `what` is a truncated copy, not a pointer, so the
+/// recorder never dangles into dynamically built phase names.
+struct Event {
+  std::uint64_t id{0};     ///< per-thread monotonic sequence number, from 1
+  std::uint64_t ts_ns{0};  ///< steady-clock nanoseconds since process start
+  std::int64_t a{0};
+  std::int64_t b{0};
+  double x{0.0};
+  Ev kind{Ev::Mark};
+  char what[23]{};
+};
+
+/// Ring capacity per thread (power of two; last-N semantics).
+inline constexpr std::uint32_t kRingCapacity = 256;
+
+/// Default-on; `GCR_FLIGHTREC=0` in the environment starts it disabled.
+[[nodiscard]] bool recorder_enabled();
+void set_recorder_enabled(bool on);
+
+/// Record one event into the calling thread's ring (no-op when disabled).
+void record(Ev kind, const char* what, std::int64_t a = 0, std::int64_t b = 0,
+            double x = 0.0);
+
+/// The tail retained for one thread, oldest event first.
+struct ThreadTail {
+  std::uint64_t thread_ordinal{0};  ///< registration order, from 0
+  bool retired{false};              ///< the owning thread has exited
+  std::uint64_t recorded{0};        ///< events ever recorded by the thread
+  std::uint64_t dropped{0};         ///< overwritten (recorded - retained)
+  std::vector<Event> events;
+};
+
+/// Snapshot every registered ring. Safe and exact for threads that are
+/// quiescent or joined; best-effort for threads still recording (a slot
+/// being overwritten during the copy may read torn -- acceptable for a
+/// post-mortem artifact).
+[[nodiscard]] std::vector<ThreadTail> snapshot_rings();
+
+/// Total events recorded process-wide (sum over rings, including retired).
+[[nodiscard]] std::uint64_t total_recorded();
+
+/// Dump all rings as a `gcr.flight_record` v1 JSON document.
+void write_flight_record(std::ostream& os);
+
+/// Signal-safe variant: formats with snprintf onto the stack and write(2)s
+/// straight to `fd`. Used by the guard crash handler.
+void write_flight_record_fd(int fd);
+
+}  // namespace gcr::prof

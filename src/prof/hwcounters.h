@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+
+/// \file hwcounters.h
+/// Per-phase hardware counters for gcr::prof.
+///
+/// `enable_hw_counters()` installs an `obs::HwSamplerFn`, after which every
+/// ScopedTimer deltas four cumulative per-thread counters across its phase
+/// and credits them to the `PhaseStats` node (reports label them with the
+/// names below). Two sources, chosen once at enable time:
+///
+///   * `perf_event` -- a perf_event_open counter group per sampling thread
+///     (cycles, instructions, cache misses, branch misses). Requires a
+///     Linux kernel that permits the syscall for unprivileged processes;
+///     typical CI containers do not (seccomp / perf_event_paranoid), which
+///     is why the fallback exists rather than being an error.
+///   * `rusage` -- getrusage(RUSAGE_THREAD) deltas (user/system cpu time,
+///     minor faults, context switches). Always available; reports mark the
+///     run `"hw": "unavailable"` so consumers know these are not PMU
+///     counts.
+///
+/// `GCR_PROF_NO_HW=1` forces the rusage path (tested in prof_test, and
+/// useful for comparing runs across machines with different PMUs).
+
+namespace gcr::prof {
+
+struct HwInfo {
+  bool perf_event{false};  ///< true when real PMU counters are live
+  const char* source{"none"};  ///< "perf_event" | "rusage" | "none"
+  std::array<const char*, 4> names{{"", "", "", ""}};
+};
+
+/// Probe the best available source on the calling thread, install the obs
+/// hw sampler accordingly, and return the active configuration.
+/// Idempotent; toggle only from quiescent points (see obs/timer.h).
+HwInfo enable_hw_counters();
+
+/// Uninstall the sampler and close any per-thread perf fds owned by the
+/// calling thread (other threads' fds close lazily on their next use or at
+/// thread exit).
+void disable_hw_counters();
+
+/// The configuration from the last enable_hw_counters() call.
+[[nodiscard]] HwInfo hw_info();
+
+}  // namespace gcr::prof

@@ -9,7 +9,7 @@
 ///
 /// Usage:
 ///   gcr_bench [--quick] [--filter SUBSTR] [--out DIR] [--list] [--no-mem]
-///             [--threads N]
+///             [--threads N] [--profile]
 ///
 ///   --quick      small sizes + relaxed stabilization (also via
 ///                GCR_BENCH_QUICK=1); the CI perf-smoke tier
@@ -18,6 +18,10 @@
 ///   --list       print registered benchmark names and exit
 ///   --no-mem     leave the allocation hook off (timings only)
 ///   --threads N  route_par sweeps widths {1, N} instead of the default set
+///   --profile    also write a `PROF_<group>.json` gcr.profile_report per
+///                group (sampling profiler + hw counters + pool telemetry);
+///                the PROF_ prefix keeps the sidecars out of gcr_benchdiff's
+///                BENCH_*.json directory glob
 
 #include <cmath>
 #include <cstring>
@@ -43,6 +47,9 @@
 #include "perf/memhook.h"
 #include "perf/report.h"
 #include "perf/runner.h"
+#include "prof/hwcounters.h"
+#include "prof/report.h"
+#include "prof/sampler.h"
 #include "tech/params.h"
 
 using namespace gcr;
@@ -284,7 +291,7 @@ void register_route_par(Groups& g, bool quick, int threads_override) {
 
 void usage() {
   std::cerr << "usage: gcr_bench [--quick] [--filter SUBSTR] [--out DIR]"
-               " [--list] [--no-mem] [--threads N]\n"
+               " [--list] [--no-mem] [--threads N] [--profile]\n"
                "exit codes: 0 ok, 1 usage/empty filter, 2 i/o error\n";
 }
 
@@ -295,6 +302,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool list = false;
   bool mem = true;
+  bool profile = false;
   int threads_override = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -310,6 +318,8 @@ int main(int argc, char** argv) {
       mem = false;
     } else if (flag == "--threads" && i + 1 < argc) {
       threads_override = std::atoi(argv[++i]);
+    } else if (flag == "--profile") {
+      profile = true;
     } else {
       usage();
       return 1;
@@ -349,9 +359,22 @@ int main(int argc, char** argv) {
     obs::Session session;
     obs::Bind bind(&session);
 
+    prof::Sampler sampler;
+    prof::HwInfo hw;
+    if (profile) {
+      hw = prof::enable_hw_counters();
+      sampler.start();
+    }
+
     std::cerr << "== " << group << " ==\n";
     const std::vector<perf::BenchResult> results = runner.run(opts, &std::cerr);
-    if (results.empty()) continue;  // filter matched nothing in this group
+    if (results.empty()) {
+      if (profile) {
+        (void)sampler.stop();
+        prof::disable_hw_counters();
+      }
+      continue;  // filter matched nothing in this group
+    }
     perf::print_results(std::cout, results);
 
     const std::string path = out_dir + "/BENCH_" + group + ".json";
@@ -363,6 +386,24 @@ int main(int argc, char** argv) {
     perf::write_bench_report(os, group, results, opts, &session);
     std::cout << "wrote " << path << '\n';
     ++written;
+
+    if (profile) {
+      const prof::Sampler::Profile p = sampler.stop();
+      const std::string ppath = out_dir + "/PROF_" + group + ".json";
+      std::ofstream pos(ppath);
+      if (!pos) {
+        std::cerr << "error: cannot open " << ppath << '\n';
+        return 2;
+      }
+      prof::ProfileReportOptions po;
+      po.tool = "gcr_bench/" + group;
+      po.profile = &p;
+      po.session = &session;
+      po.hw = hw;
+      prof::write_profile_report(pos, po);
+      prof::disable_hw_counters();
+      std::cout << "wrote " << ppath << '\n';
+    }
   }
   if (written == 0) {
     std::cerr << "no benchmarks matched filter '" << opts.filter << "'\n";

@@ -27,6 +27,7 @@
 
 #include "obs/json.h"
 #include "perf/diff.h"
+#include "prof/report.h"
 
 namespace fs = std::filesystem;
 using namespace gcr;
@@ -94,7 +95,17 @@ int validate_mode(const std::vector<std::string>& files) {
       ++bad;
       continue;
     }
-    const std::vector<std::string> problems = perf::validate_bench_report(*doc);
+    // Dispatch on the document's own "schema" field so bench reports and
+    // gcr.profile_report sidecars ride the same --validate invocation; an
+    // unknown or missing schema falls through to the bench validator, whose
+    // first problem names the schema mismatch.
+    const obs::json::Value* schema =
+        doc->is_object() ? doc->find("schema") : nullptr;
+    const bool is_profile = schema && schema->is_string() &&
+                            schema->as_string() == "gcr.profile_report";
+    const std::vector<std::string> problems =
+        is_profile ? prof::validate_profile_report(*doc)
+                   : perf::validate_bench_report(*doc);
     if (problems.empty()) {
       std::cout << f << ": ok\n";
     } else {

@@ -35,6 +35,7 @@
 
 #include "core/router.h"
 #include "guard/fault.h"
+#include "guard/postmortem.h"
 #include "guard/status.h"
 #include "guard/validate.h"
 #include "io/text_io.h"
@@ -385,6 +386,19 @@ int run_faults_mode(std::uint64_t seed, bool verbose) {
     for (const Payload& p : payloads)
       std::cerr << "payload " << p.name << ": " << p.text.size()
                 << " bytes\n";
+
+  // Every injected fault left a FaultHit event in the flight recorder;
+  // dump the tail so a CI failure in this harness comes with the exact
+  // fault sequence that led up to it (and CI asserts the file exists).
+  {
+    const std::string fr = "gcr_check_faults.flightrec.json";
+    if (guard::postmortem_dump(fr)) {
+      guard::Diag diag;
+      diag.warning(guard::Code::FlightRecorder,
+                   "flight record written to " + fr);
+      diag.print(std::cerr);
+    }
+  }
   std::cout << "fault injection: " << trials << " trials, " << points
             << " injection points, " << fired << " faults fired, " << crashes
             << " crashes\n";

@@ -27,6 +27,7 @@
 #include "core/router.h"
 #include "eval/table.h"
 #include "guard/deadline.h"
+#include "guard/postmortem.h"
 #include "guard/status.h"
 #include "guard/validate.h"
 #include "io/svg.h"
@@ -36,7 +37,11 @@
 #include "obs/report.h"
 #include "obs/session.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "perf/memhook.h"
+#include "prof/hwcounters.h"
+#include "prof/report.h"
+#include "prof/sampler.h"
 #include "verify/invariants.h"
 
 using namespace gcr;
@@ -56,7 +61,7 @@ struct Args {
   double skew_bound = 0.0;
   std::string svg, tree_out, demo_dir;
   bool csv = false;
-  std::string report, trace;
+  std::string report, trace, profile;
   bool verbose = false;
   bool mem_stats = false;
   bool selftest = false;
@@ -86,6 +91,10 @@ void usage() {
          "                                   timings, counters, results)\n"
          "  --trace FILE                     Chrome trace-event JSON (open in\n"
          "                                   chrome://tracing or Perfetto)\n"
+         "  --profile FILE                   gcr.profile_report JSON: sampled\n"
+         "                                   self/total phase profile, per-phase\n"
+         "                                   hw counters, pool telemetry; on\n"
+         "                                   failure dumps FILE.flightrec.json\n"
          "  --verbose                        phase/counter summary to stderr\n"
          "  --mem-stats                      heap bytes per phase + peak RSS\n"
          "                                   to stderr (implies the phase\n"
@@ -142,6 +151,8 @@ std::optional<Args> parse(int argc, char** argv) {
       if (const char* v = next()) a.report = v; else return std::nullopt;
     } else if (flag == "--trace") {
       if (const char* v = next()) a.trace = v; else return std::nullopt;
+    } else if (flag == "--profile") {
+      if (const char* v = next()) a.profile = v; else return std::nullopt;
     } else if (flag == "--verbose") {
       a.verbose = true;
     } else if (flag == "--mem-stats") {
@@ -228,8 +239,8 @@ int main(int argc, char** argv) {
 
     // Observability: bind a session before the router is constructed so
     // the activity-analysis phase inside the constructor is captured.
-    const bool observed =
-        !a.report.empty() || !a.trace.empty() || a.verbose || a.mem_stats;
+    const bool observed = !a.report.empty() || !a.trace.empty() ||
+                          !a.profile.empty() || a.verbose || a.mem_stats;
     if (a.mem_stats) {
       if (perf::memhook::available())
         perf::memhook::enable();  // before any phase runs
@@ -245,6 +256,15 @@ int main(int argc, char** argv) {
       obs::set_metrics_enabled(true);
       obs::Registry::global().reset();
       bind.emplace(&session);
+    }
+    // Profiling starts before the router is constructed for the same reason
+    // the session does: the constructor's activity-analysis phase counts.
+    prof::Sampler sampler;
+    prof::HwInfo hw;
+    if (!a.profile.empty()) {
+      hw = prof::enable_hw_counters();
+      sampler.start();
+      guard::install_postmortem(a.profile + ".flightrec.json");
     }
 
     const core::GatedClockRouter router(std::move(design));
@@ -280,6 +300,13 @@ int main(int argc, char** argv) {
             : guard::Deadline();
     core::RouteOutcome out = router.route_guarded(opts, deadline);
     if (!out.ok()) {
+      if (!a.profile.empty()) {
+        (void)sampler.stop();
+        const std::string fr = a.profile + ".flightrec.json";
+        if (guard::postmortem_dump(fr))
+          out.diag.warning(guard::Code::FlightRecorder,
+                           "flight record written to " + fr);
+      }
       out.diag.print(std::cerr);
       if (out.cancelled) {
         std::cerr << "partial report: phases completed [";
@@ -311,7 +338,27 @@ int main(int argc, char** argv) {
             guard::make_error(guard::Code::Io, "cannot open " + a.trace));
       trace_sink.write_chrome_json(os);
     }
-    if (a.verbose || a.mem_stats) obs::print_run_summary(std::cerr, session);
+    if (!a.profile.empty()) {
+      const prof::Sampler::Profile p = sampler.stop();
+      std::ofstream os(a.profile);
+      if (!os)
+        throw guard::GuardError(
+            guard::make_error(guard::Code::Io, "cannot open " + a.profile));
+      prof::ProfileReportOptions po;
+      po.tool = "gcr_route";
+      po.profile = &p;
+      po.session = &session;
+      po.hw = hw;
+      prof::write_profile_report(os, po);
+      prof::disable_hw_counters();
+    }
+    if (a.verbose || a.mem_stats) {
+      obs::print_run_summary(std::cerr, session);
+      const int width = a.threads > 0 ? a.threads : par::default_threads();
+      if (width > 1)
+        par::write_pool_summary(std::cerr,
+                                par::ThreadPool::global().telemetry());
+    }
     if (a.mem_stats) {
       const perf::memhook::Stats m = perf::memhook::stats();
       char line[160];
