@@ -50,21 +50,6 @@ double branch_cap(const SubtreeTap& sub, bool gated, double len,
   return gated ? gate_size * t.gate_input_cap : t.wire_cap(len) + sub.cap;
 }
 
-namespace {
-
-/// Positive root of (rc/2) x^2 + b x - d = 0 with d >= 0 (snaking length).
-double snake_length(double rc, double b, double d) {
-  assert(d >= 0.0);
-  if (d == 0.0) return 0.0;
-  if (rc <= 0.0) {
-    // No distributed wire parasitics: linear equation.
-    return b > 0.0 ? d / b : 0.0;
-  }
-  return (-b + std::sqrt(b * b + 2.0 * rc * d)) / rc;
-}
-
-}  // namespace
-
 MergeResult zero_skew_merge(const SubtreeTap& a, bool gate_a,
                             const SubtreeTap& b, bool gate_b,
                             const tech::TechParams& t, double size_a,
@@ -75,18 +60,14 @@ MergeResult zero_skew_merge(const SubtreeTap& a, bool gate_a,
   const BranchCoeffs cb = branch_coeffs(b, gate_b, t, size_b);
 
   MergeResult r;
-  // Balance point: x = length of the edge to a, dist - x to b.
-  const double denom = ca.b + cb.b + rc * dist;
-  double x;
-  if (denom <= 0.0) {
-    x = 0.5 * dist;  // both branches electrically weightless: split evenly
-  } else {
-    x = (cb.a - ca.a + dist * (cb.b + 0.5 * rc * dist)) / denom;
-  }
-
-  if (x >= 0.0 && x <= dist) {
-    r.len_a = x;
-    r.len_b = dist - x;
+  // The edge lengths come from the shared balance formula -- the same one
+  // the greedy's pair pricing evaluates -- so a priced pair and the
+  // committed merge always agree bit-for-bit. Only the merged-segment
+  // geometry is computed here.
+  const BalanceSplit s = balance_lengths(ca, cb, dist, rc);
+  r.len_a = s.len_a;
+  r.len_b = s.len_b;
+  if (s.balanced) {
     const auto isect =
         a.ms.inflated(r.len_a).intersect(b.ms.inflated(r.len_b), 1e-6);
     if (isect.has_value()) {
@@ -99,16 +80,12 @@ MergeResult zero_skew_merge(const SubtreeTap& a, bool gate_a,
       note_detached_merge();
       r.ms = a.ms.nearest_region_to(b.ms);
     }
-  } else if (x < 0.0) {
-    // Subtree a is too slow: merge point sits on ms(a); snake the wire to b.
-    r.len_a = 0.0;
-    r.len_b = snake_length(rc, cb.b, ca.a - cb.a);
+  } else if (r.len_a == 0.0) {
+    // Subtree a was too slow: merge point sits on ms(a), wire to b snaked.
     assert(r.len_b >= dist - 1e-6);
     r.ms = a.ms.nearest_region_to(b.ms);
   } else {
-    // Subtree b is too slow: symmetric case.
-    r.len_b = 0.0;
-    r.len_a = snake_length(rc, ca.b, cb.a - ca.a);
+    // Subtree b was too slow: symmetric case.
     assert(r.len_a >= dist - 1e-6);
     r.ms = b.ms.nearest_region_to(a.ms);
   }

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 
 #include "geom/tilted_rect.h"
@@ -59,6 +62,90 @@ struct BranchCoeffs {
 [[nodiscard]] BranchCoeffs branch_coeffs(const SubtreeTap& sub, bool gated,
                                          const tech::TechParams& t,
                                          double gate_size = 1.0);
+
+/// Snaking length: the positive root of (rc/2) x^2 + b x - d = 0 with
+/// d >= 0 -- the wire length whose added branch delay equals `d` against
+/// linear coefficient `b`. Monotone increasing in d, decreasing in b.
+[[nodiscard]] inline double snake_length(double rc, double b, double d) {
+  assert(d >= 0.0);
+  if (d == 0.0) return 0.0;
+  if (rc <= 0.0) {
+    // No distributed wire parasitics: linear equation.
+    return b > 0.0 ? d / b : 0.0;
+  }
+  return (-b + std::sqrt(b * b + 2.0 * rc * d)) / rc;
+}
+
+/// The two edge lengths a zero-skew merge buys, split by delay balance.
+struct BalanceSplit {
+  double len_a{0.0};
+  double len_b{0.0};
+  bool balanced{true};  ///< balance point landed in [0, dist] (no snaking)
+};
+
+/// The exact edge lengths zero_skew_merge assigns for branches with
+/// coefficients `x` (side a) and `y` (side b) whose merging segments are
+/// `dist` apart: the balance point splits `dist` when both lengths land
+/// in [0, dist], otherwise the slow side gets 0 and the fast side's wire
+/// is snaked. This is the *whole* cost-relevant output of a merge -- the
+/// expensive merged-segment geometry is only needed when the merge is
+/// actually committed -- so pair pricing calls this directly. It is the
+/// single source of truth: zero_skew_merge uses the same function, which
+/// is what keeps cheaply-priced and committed merges bit-identical.
+/// The raw (unclamped) balance point: the length of side a's edge that
+/// equalizes the two branch delays across `dist` of wire, before the
+/// [0, dist] range check. Negative means side a is too slow (its edge
+/// collapses to 0 and side b snakes); above `dist` is the symmetric case.
+/// For fixed coefficients the clamped per-side lengths are nondecreasing
+/// in `dist`, and at fixed `dist` the point is monotone in each
+/// coefficient (increasing in y.a - x.a; a Mobius function of each b), so
+/// envelope bounds on the coefficients turn into bounds on the split by
+/// evaluating the corners -- which is how the partner index prices a
+/// subtree's cheapest possible split.
+[[nodiscard]] inline double balance_point(const BranchCoeffs& x,
+                                          const BranchCoeffs& y, double dist,
+                                          double rc) {
+  const double denom = x.b + y.b + rc * dist;
+  if (denom <= 0.0)
+    return 0.5 * dist;  // both branches electrically weightless: split evenly
+  return (y.a - x.a + dist * (y.b + 0.5 * rc * dist)) / denom;
+}
+
+[[nodiscard]] inline BalanceSplit balance_lengths(const BranchCoeffs& x,
+                                                  const BranchCoeffs& y,
+                                                  double dist, double rc) {
+  // Balance point: L = length of the edge to a, dist - L to b.
+  const double l = balance_point(x, y, dist, rc);
+  if (l >= 0.0 && l <= dist) return {l, dist - l, true};
+  if (l < 0.0) {
+    // Subtree a is too slow: merge point sits on ms(a); snake the wire to b.
+    return {0.0, snake_length(rc, y.b, x.a - y.a), false};
+  }
+  // Subtree b is too slow: symmetric case.
+  return {snake_length(rc, x.b, y.a - x.a), 0.0, false};
+}
+
+/// The total wirelength (len_a + len_b) zero_skew_merge buys for branches
+/// with coefficients `x` and `y` whose merging segments are `dist` apart.
+/// The balance point either splits `dist` exactly (total = dist, when the
+/// slower subtree can be caught up within the span) or slides off the
+/// slower side's end and the faster side's wire snakes: total =
+/// snake_length of the delay gap, which then exceeds dist. The expression
+/// is nondecreasing in `dist` and in |x.a - y.a| and nonincreasing in the
+/// faster side's `b`, so feeding lower bounds on the former and an upper
+/// bound on the latter yields a valid lower bound on the wire any
+/// zero-skew merge of the pair must buy.
+[[nodiscard]] inline double merge_wire_total(const BranchCoeffs& x,
+                                             const BranchCoeffs& y,
+                                             double dist, double rc) {
+  const double gap = y.a - x.a;
+  const double bf = gap >= 0.0 ? x.b : y.b;  // the faster (smaller-A) side
+  const double ad = std::abs(gap);
+  // In-range balance point iff the faster side can absorb the whole delay
+  // gap over `dist` of wire; the cheap test dodges snake_length's sqrt.
+  if (ad <= dist * (bf + 0.5 * rc * dist)) return dist;
+  return snake_length(rc, bf, ad);
+}
 
 /// Delay through a branch of edge length `len`.
 [[nodiscard]] double branch_delay(const SubtreeTap& sub, bool gated,

@@ -104,6 +104,7 @@ RouterResult GatedClockRouter::route_impl(const RouterOptions& opts,
     bopts.gated_edges = true;  // buffers balance like gates (buffered_view)
     bopts.control_point = cp;
     bopts.num_threads = opts.num_threads;
+    bopts.partner_index = opts.partner_index;
     bopts.tech = build_tech;
     if (!buffered && opts.clustered) {
       cts::ClusterOptions copts;

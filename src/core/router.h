@@ -72,6 +72,12 @@ struct RouterOptions {
   /// 1 runs serially. Results are bit-identical at every setting -- see
   /// docs/parallelism.md.
   int num_threads{0};
+  /// Serve the greedy's best-partner queries from the maintained dynamic
+  /// bucket index (cts::BuildOptions::partner_index): near-linear topology
+  /// construction, bit-identical trees. `false` falls back to the
+  /// exhaustive rescan engine -- the reference `gcr_check --index-diff`
+  /// differential-checks against.
+  bool partner_index{true};
   tech::TechParams tech{};
 };
 

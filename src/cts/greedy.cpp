@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <queue>
 
+#include "cts/partner_index.h"
 #include "guard/deadline.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
@@ -43,6 +45,11 @@ struct Candidate {
   /// subtree cap re-switched through the new edge plus the enable-star
   /// terms. Everything in pair_cost except the new wire itself.
   double self_cost{0.0};
+  /// Elmore branch-delay coefficients of an edge down to this subtree
+  /// (delay(L) = a + b*L + (rc/2) L^2, gating per BuildOptions): what a
+  /// zero-skew merge must balance, cached so lower_bound can price the
+  /// snaked wire a delay-mismatched pair is forced to buy.
+  ct::BranchCoeffs coeffs;
   bool alive{false};
 };
 
@@ -71,6 +78,29 @@ bool pair_less(double cost_x, int x1, int x2, double cost_y, int y1, int y2) {
   if (xlo != ylo) return xlo < ylo;
   return xhi < yhi;
 }
+
+/// A lazy-deletion heap entry for the indexed engine: `owner`'s cached best
+/// partner at the time best_[owner] was last written. Entries are never
+/// removed eagerly; pop-time validation discards the ones whose owner has
+/// since died or been recomputed, and *repairs* (recomputes on the spot)
+/// the ones whose partner has died -- a stale cost is a lower bound on the
+/// owner's true current best, so it surfaces no later than the entry that
+/// replaces it and the pop order stays exact.
+struct HeapEntry {
+  double cost{kInf};
+  int owner{-1};
+  int partner{-1};
+};
+
+/// Orders a max-heap (std::priority_queue) so its top is the *minimum*
+/// under the strict (cost, lower-id, higher-id) pair order. The mirror
+/// entries (i best-of j, j best-of i) compare equal on purpose: they name
+/// the same merge, and either one validates into the same Pick.
+struct HeapEntryAfter {
+  bool operator()(const HeapEntry& x, const HeapEntry& y) const {
+    return pair_less(y.cost, y.owner, y.partner, x.cost, x.owner, x.partner);
+  }
+};
 
 /// Uniform grid over candidate merging-segment centers. Its only job is to
 /// hand recompute_best a *nearby* partner to seed the incumbent cost with,
@@ -177,7 +207,9 @@ class GreedyEngine {
         analyzer_(analyzer),
         topo_(static_cast<int>(seeds.size())),
         width_(par::resolve_threads(opts.num_threads)),
-        prune_(opts.spatial_prune &&
+        indexed_(opts.partner_index && opts.spatial_prune &&
+                 opts.cost != MergeCost::ActivityOnly),
+        prune_(!indexed_ && opts.spatial_prune &&
                opts.cost == MergeCost::SwitchedCapacitance) {
     assert(!seeds.empty());
     assert(opts.cost == MergeCost::NearestNeighbor || analyzer != nullptr);
@@ -200,6 +232,12 @@ class GreedyEngine {
     const double diag = (xhi - xlo) + (yhi - ylo);
     tie_eps_ = 1e-9 / std::max(diag, 1.0);
     if (prune_) grid_.init(n, 2 * n - 1, xlo, ylo, xhi - xlo, yhi - ylo);
+    if (indexed_) {
+      index_.init(opts_.cost == MergeCost::NearestNeighbor
+                      ? PartnerIndex::Metric::Distance
+                      : PartnerIndex::Metric::SwitchedCap,
+                  &opts_.tech, 2 * n - 1, n, xlo, ylo, xhi - xlo, yhi - ylo);
+    }
 
     for (int i = 0; i < n; ++i) {
       const SeedSink& seed = seeds[static_cast<std::size_t>(i)];
@@ -227,9 +265,10 @@ class GreedyEngine {
     // per-merge poll sits on the serial coordinating thread -- a merge
     // either happens completely or not at all at every thread width.
     const guard::Deadline* dl = guard::current_deadline();
+    if (indexed_) init_index_bests();
     for (int step = 0; step + 1 < n; ++step) {
       if (dl != nullptr && dl->expired()) throw guard::CancelledError("topology");
-      const Pick pick = pick_min_pair();
+      const Pick pick = indexed_ ? pick_min_pair_indexed() : pick_min_pair();
       if (trace) trace_merge_decision(*trace, pick);
       merge(pick.a, pick.b);
       if (prof::recorder_enabled())
@@ -261,6 +300,22 @@ class GreedyEngine {
     c.p_floor = std::max(c.p_en, opts_.min_prob_weight);
     c.self_cost = c.tap.cap * c.p_floor +
                   (t.wire_cap(c.cp_dist) + t.gate_enable_cap) * c.p_tr;
+    c.coeffs = ct::branch_coeffs(c.tap, opts_.gated_edges, t);
+  }
+
+  /// The index's view of a candidate: merging-segment center, reach (max
+  /// Manhattan distance from center to the segment -- Chebyshev half-extent
+  /// in the rotated frame), and the Eq. 3 bound ingredients.
+  [[nodiscard]] PartnerIndex::Item index_item(const Candidate& c) const {
+    const geom::TiltedRect& ms = c.tap.ms;
+    PartnerIndex::Item it;
+    it.center = ms.center();
+    it.reach = 0.5 * std::max(ms.uhi() - ms.ulo(), ms.whi() - ms.wlo());
+    it.self_cost = c.self_cost;
+    it.p_floor = c.p_floor;
+    it.a_coef = c.coeffs.a;
+    it.b_coef = c.coeffs.b;
+    return it;
   }
 
   void activate(int id) {
@@ -268,6 +323,8 @@ class GreedyEngine {
     active_.push_back(id);
     if (prune_)
       grid_.insert(id, cands_[static_cast<std::size_t>(id)].tap.ms.center());
+    if (indexed_)
+      index_.insert(id, index_item(cands_[static_cast<std::size_t>(id)]));
   }
 
   /// O(1) swap-remove from the active front (the old std::erase pair was an
@@ -280,6 +337,7 @@ class GreedyEngine {
     active_.pop_back();
     pos_[static_cast<std::size_t>(id)] = -1;
     if (prune_) grid_.remove(id);
+    if (indexed_) index_.remove(id);
   }
 
   /// Cost of merging two live candidates. Deliberately uninstrumented --
@@ -297,24 +355,37 @@ class GreedyEngine {
       return p_union + tie_eps_ * x.tap.ms.distance_to(y.tap.ms);
     }
     // Eq. 3: switched capacitance added by this merge (probability weights
-    // floored; see BuildOptions::min_prob_weight).
-    const ct::MergeResult m = ct::zero_skew_merge(
-        x.tap, opts_.gated_edges, y.tap, opts_.gated_edges, opts_.tech);
+    // floored; see BuildOptions::min_prob_weight). The edge lengths come
+    // straight from the closed-form balance split -- the merged-segment
+    // geometry zero_skew_merge would also compute is irrelevant to the
+    // cost, and skipping it makes an evaluation ~10x cheaper. Committed
+    // merges call the same ct::balance_lengths, so priced and built trees
+    // agree bit-for-bit.
     const tech::TechParams& t = opts_.tech;
+    const ct::BalanceSplit m =
+        ct::balance_lengths(x.coeffs, y.coeffs,
+                            x.tap.ms.distance_to(y.tap.ms),
+                            t.unit_res * t.unit_cap);
     return (t.wire_cap(m.len_a) + x.tap.cap) * x.p_floor +
            (t.wire_cap(m.len_b) + y.tap.cap) * y.p_floor +
            (t.wire_cap(x.cp_dist) + t.gate_enable_cap) * x.p_tr +
            (t.wire_cap(y.cp_dist) + t.gate_enable_cap) * y.p_tr;
   }
 
-  /// Cheap Eq. 3 lower bound: the two new edges jointly span at least the
-  /// merging-segment distance (snaking only adds wire), each lambda of it
-  /// weighted by at least min(p_floor) -- plus both sides' merge-invariant
-  /// terms. kLbSlack absorbs cross-expression rounding.
+  /// Cheap Eq. 3 lower bound: the two new edges jointly span at least
+  /// merge_wire_total -- the larger of the merging-segment distance and
+  /// the snaked length a delay-mismatched pair is forced to buy (that
+  /// total is what zero_skew_merge's len_a + len_b works out to, so the
+  /// bound is near-tight) -- each lambda of it weighted by at least
+  /// min(p_floor), plus both sides' merge-invariant terms. kLbSlack
+  /// absorbs cross-expression rounding.
   double lower_bound(const Candidate& x, const Candidate& y) const {
+    const tech::TechParams& t = opts_.tech;
     const double d = x.tap.ms.distance_to(y.tap.ms);
+    const double len = ct::merge_wire_total(x.coeffs, y.coeffs, d,
+                                            t.unit_res * t.unit_cap);
     return (x.self_cost + y.self_cost +
-            opts_.tech.wire_cap(d) * std::min(x.p_floor, y.p_floor)) *
+            t.wire_cap(len) * std::min(x.p_floor, y.p_floor)) *
            kLbSlack;
   }
 
@@ -353,11 +424,27 @@ class GreedyEngine {
     }
     bp.stale = false;
     best_[static_cast<std::size_t>(i)] = bp;
-    // The worker-side half of a merge decision: recomputes run inside pool
-    // chunks, so this event lands on the worker's own trace track. It only
-    // reaches the sink because workers carry the session binding
-    // (Session::WorkerViewTag in par::ThreadPool) -- without it,
-    // active_trace() is null on a pool thread and the decision is lost.
+    trace_recompute(i, bp, evaluated);
+    if (obs::metrics_enabled()) [[unlikely]] {
+      static obs::Counter& recomputes =
+          obs::Registry::global().counter("cts.best_partner_recomputes");
+      static obs::Counter& evals =
+          obs::Registry::global().counter("cts.candidate_evals");
+      static obs::Counter& pruned_pairs =
+          obs::Registry::global().counter("cts.pruned_pairs");
+      recomputes.inc();
+      evals.inc(evaluated);
+      if (pruned > 0) pruned_pairs.inc(pruned);
+    }
+  }
+
+  /// The worker-side half of a merge decision: recomputes run inside pool
+  /// chunks, so this event lands on the worker's own trace track. It only
+  /// reaches the sink because workers carry the session binding
+  /// (Session::WorkerViewTag in par::ThreadPool) -- without it,
+  /// active_trace() is null on a pool thread and the decision is lost.
+  static void trace_recompute(int i, const BestPartner& bp,
+                              std::uint64_t evaluated) {
     if (obs::TraceSink* trace = obs::active_trace()) {
       obs::Session* s = obs::current();
       obs::TraceEvent e;
@@ -373,6 +460,28 @@ class GreedyEngine {
           "evaluated", static_cast<long long>(evaluated)));
       trace->event(std::move(e));
     }
+  }
+
+  /// Recompute best_[i] through the partner index: the exact (cost,
+  /// smallest-partner-id) argmin over every live candidate, with the index
+  /// bounds skipping strictly-dominated buckets/pairs. Survivors pay the
+  /// exact pair cost directly: since pair_cost prices through the
+  /// closed-form balance split it now costs about the same as the Eq. 3
+  /// lower bound itself, so a second engine-side bound check before it
+  /// would only double the work. Writes only best_[i]; safe to run for
+  /// disjoint i from pool workers.
+  void index_recompute(int i) {
+    const Candidate& ci = cands_[static_cast<std::size_t>(i)];
+    PartnerIndex::QueryStats qs;
+    const PartnerIndex::Best fb = index_.find_best(
+        i,
+        [&](int j, double, bool) {
+          return pair_cost(ci, cands_[static_cast<std::size_t>(j)]);
+        },
+        &qs);
+    BestPartner bp{fb.cost, fb.partner, false};
+    best_[static_cast<std::size_t>(i)] = bp;
+    trace_recompute(i, bp, qs.evaluated);
     if (obs::metrics_enabled()) [[unlikely]] {
       static obs::Counter& recomputes =
           obs::Registry::global().counter("cts.best_partner_recomputes");
@@ -380,10 +489,112 @@ class GreedyEngine {
           obs::Registry::global().counter("cts.candidate_evals");
       static obs::Counter& pruned_pairs =
           obs::Registry::global().counter("cts.pruned_pairs");
+      static obs::Counter& queries =
+          obs::Registry::global().counter("cts.index_queries");
+      static obs::Counter& bucket_skips =
+          obs::Registry::global().counter("cts.index_bucket_skips");
       recomputes.inc();
-      evals.inc(evaluated);
-      if (pruned > 0) pruned_pairs.inc(pruned);
+      queries.inc();
+      evals.inc(qs.evaluated);
+      if (qs.pruned > 0) pruned_pairs.inc(qs.pruned);
+      if (qs.bucket_skips > 0) bucket_skips.inc(qs.bucket_skips);
     }
+  }
+
+  /// Push best_[i]'s heap entry. Call once per best_ write, on the
+  /// coordinating thread.
+  void link(int i) {
+    const BestPartner& bp = best_[static_cast<std::size_t>(i)];
+    if (bp.partner < 0) return;
+    heap_.push(HeapEntry{bp.cost, i, bp.partner});
+  }
+
+  /// Initial pass of the indexed engine: every leaf's exact best partner
+  /// over all leaves, sharded across the pool (disjoint best_ writes),
+  /// then serially linked in id order.
+  void init_index_bests() {
+    const auto n = static_cast<std::int64_t>(active_.size());
+    par::parallel_for(width_, 0, n, kRecomputeGrain,
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t p = b; p < e; ++p)
+                          index_recompute(active_[static_cast<std::size_t>(p)]);
+                      });
+    for (const int i : active_) link(i);
+  }
+
+  /// Pop the heap down to the first entry that still describes a live
+  /// cached best, repairing stale entries (dead partner) as they surface.
+  /// By the lazy invariant (docs/ALGORITHMS.md) the first live entry is
+  /// exactly the (cost, lower-id, higher-id) argmin over all live pairs,
+  /// the same pick the exhaustive rescan would make. Repair-at-the-top is
+  /// what keeps the query count near-linear: a candidate whose partner
+  /// died k times since its last recompute is repaired once, and only if
+  /// its (lower-bound) cached cost ever reaches the top at all.
+  Pick pick_min_pair_indexed() {
+    assert(active_.size() >= 2);
+    while (!heap_.empty()) {
+      const HeapEntry e = heap_.top();
+      heap_.pop();
+      const BestPartner& bp = best_[static_cast<std::size_t>(e.owner)];
+      if (!cands_[static_cast<std::size_t>(e.owner)].alive || bp.stale ||
+          bp.partner != e.partner || bp.cost != e.cost)
+        continue;  // owner dead, or a superseded duplicate entry
+      if (!cands_[static_cast<std::size_t>(e.partner)].alive) {
+        // Deferred repair. Pair costs are immutable, so this entry's cost
+        // can only underbid or tie the owner's true current best -- the
+        // entry surfaces no later than the one that replaces it, and the
+        // exactness argument (docs/ALGORITHMS.md) survives the deferral.
+        index_recompute(e.owner);
+        link(e.owner);
+        continue;
+      }
+      Pick pick;
+      pick.a = std::min(e.owner, e.partner);
+      pick.b = std::max(e.owner, e.partner);
+      pick.cost = e.cost;
+      return pick;
+    }
+    // Unreachable while the lazy invariant holds; degrade gracefully by
+    // refreshing the whole front and re-linking, rather than crashing.
+    assert(false && "partner-index heap exhausted");
+    for (const int i : active_) index_recompute(i);
+    for (const int i : active_) link(i);
+    int besti = -1;
+    for (const int i : active_) {
+      const BestPartner& bp = best_[static_cast<std::size_t>(i)];
+      if (besti < 0 ||
+          pair_less(bp.cost, i, bp.partner,
+                    best_[static_cast<std::size_t>(besti)].cost, besti,
+                    best_[static_cast<std::size_t>(besti)].partner))
+        besti = i;
+    }
+    const int partner = best_[static_cast<std::size_t>(besti)].partner;
+    Pick pick;
+    pick.a = std::min(besti, partner);
+    pick.b = std::max(besti, partner);
+    pick.cost = best_[static_cast<std::size_t>(besti)].cost;
+    return pick;
+  }
+
+  /// Index maintenance after a merge (a, b already deactivated): insert
+  /// the new node and compute its best partner. Candidates whose cached
+  /// best was a or b are NOT recomputed here -- their heap entries repair
+  /// lazily if and when they surface in pick_min_pair_indexed. Deferral
+  /// coalesces the fan-in: a popular partner's death costs one repair per
+  /// *surfacing* dependent, not one recompute per dependent per death.
+  void index_post_merge(int a, int b, int id) {
+    (void)a;
+    (void)b;
+    activate(id);
+    if (index_.maybe_rebuild()) {
+      if (obs::metrics_enabled()) [[unlikely]] {
+        static obs::Counter& rebuilds =
+            obs::Registry::global().counter("cts.index_rebuilds");
+        rebuilds.inc();
+      }
+    }
+    index_recompute(id);
+    link(id);
   }
 
   Pick pick_min_pair() {
@@ -426,8 +637,9 @@ class GreedyEngine {
   /// One instant event per Eq. 3 decision: the chosen pair, its
   /// switched-cap delta, the runner-up (cheapest alternative merge, i.e.
   /// the best pair that is not the chosen one or its mirror), and the
-  /// current front size. Every best_ entry is fresh here: pick_min_pair
-  /// just revalidated them.
+  /// current front size. The indexed engine defers repairs, so entries
+  /// whose partner has died are skipped -- the runner-up is best-effort
+  /// there, never a dead pair.
   void trace_merge_decision(obs::TraceSink& trace, const Pick& pick) const {
     int ru = -1;
     double ru_cost = std::numeric_limits<double>::infinity();
@@ -435,6 +647,9 @@ class GreedyEngine {
       if (i == pick.a) continue;
       const BestPartner& bp = best_[static_cast<std::size_t>(i)];
       if (i == pick.b && bp.partner == pick.a) continue;
+      if (bp.partner < 0 ||
+          !cands_[static_cast<std::size_t>(bp.partner)].alive)
+        continue;
       if (bp.cost < ru_cost) {
         ru_cost = bp.cost;
         ru = i;
@@ -487,6 +702,11 @@ class GreedyEngine {
     cb.alive = false;
     deactivate(a);
     deactivate(b);
+
+    if (indexed_) {
+      index_post_merge(a, b, id);
+      return;
+    }
 
     // The new candidate may beat existing best partners; refresh every
     // front member and find the new node's own best in one sharded pass.
@@ -566,13 +786,18 @@ class GreedyEngine {
   const activity::ActivityAnalyzer* analyzer_;
   ct::Topology topo_;
   int width_;        ///< effective worker width (par::resolve_threads)
-  bool prune_;       ///< spatial prune armed (SwitchedCapacitance only)
+  bool indexed_;     ///< partner index armed (geometric costs + prune on)
+  bool prune_;       ///< rescan-path spatial prune (SwitchedCapacitance only)
   double tie_eps_;   ///< ActivityOnly distance tie epsilon (bbox-scaled)
   SeedGrid grid_;
   std::vector<Candidate> cands_;
   std::vector<BestPartner> best_;
   std::vector<int> active_;  ///< live node ids (order mutates via swap-remove)
   std::vector<int> pos_;     ///< node id -> index in active_ (-1 when dead)
+  // Indexed engine state (unused by the rescan path).
+  PartnerIndex index_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryAfter>
+      heap_;
 };
 
 }  // namespace

@@ -45,6 +45,16 @@
 ///     terms) already exceeds the incumbent best. Only strictly-dominated
 ///     pairs are pruned, so the argmin (ties included) is untouched; the
 ///     `cts.pruned_pairs` counter records the skip rate.
+///
+/// With BuildOptions::partner_index (the default for the geometric costs)
+/// the rescans disappear entirely: a maintained dynamic bucket index
+/// (cts/partner_index.h) holds every live candidate's best partner under
+/// lazy invalidation, a lazy-deletion heap keyed by the same strict
+/// (cost, lower-id, higher-id) order yields the next merge, and each merge
+/// recomputes only the new node plus the candidates whose cached partner
+/// just died -- near-linear construction, still bit-identical to the
+/// exhaustive engine (see docs/ALGORITHMS.md for the invariant and its
+/// proof sketch).
 
 namespace gcr::cts {
 
@@ -83,6 +93,16 @@ struct BuildOptions {
   /// changes the result; `false` forces exhaustive evaluation and is the
   /// reference the prune tests compare against.
   bool spatial_prune{true};
+  /// Serve best-partner queries from a maintained dynamic bucket index
+  /// (cts/partner_index.h) instead of rescanning the whole front per
+  /// merge: near-linear construction instead of ~O(N^2). Applies to the
+  /// geometric costs (NearestNeighbor, SwitchedCapacitance) and requires
+  /// `spatial_prune` (the shared lower-bound machinery); ActivityOnly has
+  /// no geometric bound and always uses the rescan engine. Never changes
+  /// the result -- the topology is bit-identical to the exhaustive path at
+  /// any thread count; `false` falls back to the rescan engine and is the
+  /// reference `gcr_check --index-diff` compares against.
+  bool partner_index{true};
   tech::TechParams tech{};
 };
 

@@ -116,6 +116,25 @@ std::vector<std::string> validate_bench_report(const Value& doc) {
   return problems;
 }
 
+std::vector<std::string> report_fingerprint_warnings(const Value& doc) {
+  std::vector<std::string> warnings;
+  if (!doc.is_object()) return warnings;
+  const Value* fp = doc.find("fingerprint");
+  if (!fp || !fp->is_object()) return warnings;
+  const Value* sha = fp->find("git_sha");
+  if (!sha || !sha->is_string()) return warnings;
+  const std::string& s = sha->as_string();
+  constexpr std::string_view kDirty = "-dirty";
+  if (s.size() >= kDirty.size() &&
+      s.compare(s.size() - kDirty.size(), kDirty.size(), kDirty) == 0) {
+    warnings.push_back("fingerprint.git_sha \"" + s +
+                       "\" is from an uncommitted tree; regenerate the "
+                       "report from a clean checkout before committing it "
+                       "as a baseline");
+  }
+  return warnings;
+}
+
 std::optional<LoadedReport> load_bench_report(std::string_view text,
                                               std::string* error) {
   const std::optional<Value> doc = obs::json::parse(text);

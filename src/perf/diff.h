@@ -47,6 +47,15 @@ struct LoadedReport {
 [[nodiscard]] std::vector<std::string> validate_bench_report(
     const obs::json::Value& doc);
 
+/// Non-fatal hygiene warnings for a (structurally valid) report document.
+/// Currently flags a fingerprint whose git_sha carries the "-dirty"
+/// suffix: the numbers came from an uncommitted tree, so no commit
+/// reproduces them and the report must not be committed as a baseline
+/// (docs/benchmarking.md). Works on any document with a fingerprint
+/// object, so profile-report sidecars get the same check.
+[[nodiscard]] std::vector<std::string> report_fingerprint_warnings(
+    const obs::json::Value& doc);
+
 /// Parse + validate + extract. On failure returns nullopt and, when
 /// `error` is non-null, stores a one-line reason.
 [[nodiscard]] std::optional<LoadedReport> load_bench_report(

@@ -22,9 +22,8 @@ std::uint64_t mix(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-/// Exact (bit-level) equality of two routed trees: same shape, same
-/// embedding, same gating, same electrical annotation. Any divergence in
-/// the greedy's merge order shows up here.
+}  // namespace
+
 bool trees_identical(const ct::RoutedTree& a, const ct::RoutedTree& b) {
   if (a.root != b.root || a.num_leaves != b.num_leaves ||
       a.nodes.size() != b.nodes.size())
@@ -41,6 +40,8 @@ bool trees_identical(const ct::RoutedTree& a, const ct::RoutedTree& b) {
   }
   return true;
 }
+
+namespace {
 
 struct Driver {
   const DiffOptions& opts;
@@ -134,6 +135,7 @@ struct Driver {
     // Every topology scheme must yield an invariant-clean gated tree.
     using Scheme = core::TopologyScheme;
     double flat_swcap_wl = -1.0;
+    std::optional<ct::RoutedTree> flat_swcap_tree;
     for (const auto& [scheme, name] :
          {std::pair{Scheme::MinSwitchedCap, "swcap"},
           std::pair{Scheme::NearestNeighbor, "nn"},
@@ -146,6 +148,7 @@ struct Driver {
                                      std::string("route:gated:") + name);
       if (res && scheme == Scheme::MinSwitchedCap) {
         flat_swcap_wl = res->tree.total_wirelength();
+        flat_swcap_tree = res->tree;
         // Metamorphic: gating every edge never beats the ungated reference
         // of the same tree (masking only removes switching).
         if (res->swcap.clock_swcap >
@@ -198,6 +201,23 @@ struct Driver {
       }
     }
 
+    // Indexed vs exhaustive partner selection: disabling the dynamic
+    // partner index must reproduce the default (indexed) Eq. 3 tree
+    // bit-for-bit (cts::BuildOptions::partner_index contract).
+    if (opts.index_check && flat_swcap_tree) {
+      core::RouterOptions ropts;
+      ropts.style = core::TreeStyle::Gated;
+      ropts.topology = Scheme::MinSwitchedCap;
+      ropts.partner_index = false;
+      const auto exhaustive =
+          route_checked(router, spec, ropts, "index-determinism");
+      if (exhaustive && !trees_identical(*flat_swcap_tree, exhaustive->tree)) {
+        fail(spec, "index-determinism",
+             "indexed and exhaustive partner selection routed different "
+             "trees");
+      }
+    }
+
     // Flat vs clustered greedy: same zero-skew guarantee (enforced by the
     // invariant check), wirelength within the documented factor.
     if (opts.clustered_check && flat_swcap_wl > 0.0) {
@@ -238,6 +258,54 @@ DiffStats run_differential(const DiffOptions& opts) {
   } else {
     for (int i = 0; i < opts.num_designs; ++i) {
       driver.run_design(design_seed(opts.seed, i));
+    }
+  }
+  return std::move(driver.stats);
+}
+
+DiffStats run_index_differential(const IndexDiffOptions& opts) {
+  DiffOptions dopts;
+  dopts.dump_dir = opts.dump_dir;
+  dopts.log = opts.log;
+  Driver driver{dopts, {}};
+  using Scheme = core::TopologyScheme;
+  for (int i = 0; i < opts.num_designs; ++i) {
+    const std::uint64_t dseed = design_seed(opts.seed, i);
+    const DesignSpec spec = random_spec(dseed);
+    if (opts.log) {
+      *opts.log << "index-diff design " << i << " seed " << spec.seed << ": "
+                << spec.num_sinks << " sinks ("
+                << sink_cloud_name(spec.cloud) << ")\n";
+    }
+    const core::GatedClockRouter router(generate_design(spec));
+    ++driver.stats.designs;
+    for (const auto& [scheme, name] :
+         {std::pair{Scheme::MinSwitchedCap, "swcap"},
+          std::pair{Scheme::NearestNeighbor, "nn"},
+          std::pair{Scheme::ActivityOnly, "activity"},
+          std::pair{Scheme::Mmm, "mmm"}}) {
+      for (const bool clustered : {false, true}) {
+        for (const int threads : {1, 4}) {
+          core::RouterOptions ropts;
+          ropts.style = core::TreeStyle::Gated;
+          ropts.topology = scheme;
+          ropts.clustered = clustered;
+          ropts.num_threads = threads;
+          ropts.partner_index = true;
+          const core::RouterResult indexed = router.route(ropts);
+          ropts.partner_index = false;
+          const core::RouterResult exhaustive = router.route(ropts);
+          driver.stats.routes += 2;
+          if (!trees_identical(indexed.tree, exhaustive.tree)) {
+            driver.fail(spec,
+                        std::string("index-diff:") + name +
+                            (clustered ? ":clustered" : ":flat") + ":t" +
+                            std::to_string(threads),
+                        "indexed and exhaustive partner selection routed "
+                        "different trees");
+          }
+        }
+      }
     }
   }
   return std::move(driver.stats);

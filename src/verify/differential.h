@@ -51,6 +51,12 @@ struct DiffOptions {
   /// require bit-identical routed trees (the gcr::par determinism
   /// contract, docs/parallelism.md).
   bool thread_check{true};
+  /// Route the Eq. 3 gated tree with the dynamic partner index disabled
+  /// and require a tree bit-identical to the indexed default -- the
+  /// index-vs-exhaustive contract of cts::BuildOptions::partner_index.
+  /// (gcr_check --index-diff runs the full scheme/clustered/thread matrix;
+  /// this leg keeps one always-on cross-check in every sweep.)
+  bool index_check{true};
   std::string dump_dir;        ///< write failing artifacts here ("" = off)
   std::ostream* log{nullptr};  ///< per-design progress ("" = silent)
   /// When non-empty, these exact seeds are replayed instead of the
@@ -78,6 +84,26 @@ struct DiffStats {
 /// with `--replay <seed>` independently of the base seed and index).
 [[nodiscard]] std::uint64_t design_seed(std::uint64_t base, int index);
 
+/// Exact (bit-level) equality of two routed trees: same shape, same
+/// embedding, same gating, same electrical annotation. Any divergence in
+/// the greedy's merge order shows up here.
+[[nodiscard]] bool trees_identical(const ct::RoutedTree& a,
+                                   const ct::RoutedTree& b);
+
 [[nodiscard]] DiffStats run_differential(const DiffOptions& opts);
+
+/// Options for the dedicated partner-index differential
+/// (gcr_check --index-diff): for each random design, every greedy
+/// TopologyScheme x {flat, clustered} x {1, 4 worker threads} is routed
+/// with the dynamic partner index on and off, and the two routed trees
+/// must be bit-identical (trees_identical).
+struct IndexDiffOptions {
+  int num_designs{25};
+  std::uint64_t seed{2026};
+  std::string dump_dir;        ///< write failing artifacts here ("" = off)
+  std::ostream* log{nullptr};
+};
+
+[[nodiscard]] DiffStats run_index_differential(const IndexDiffOptions& opts);
 
 }  // namespace gcr::verify

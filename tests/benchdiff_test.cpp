@@ -159,6 +159,49 @@ TEST(BenchDiff, ValidatorFlagsMissingSections) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(BenchDiff, DirtyFingerprintWarnsButStaysValid) {
+  // Swap whatever sha the writer embedded for a "-dirty" one: the report
+  // is still schema-valid, but the hygiene check must flag it so stale
+  // uncommitted-tree baselines (the failure mode --validate guards CI
+  // against) cannot land silently.
+  std::string text = valid_report_text();
+  const auto pos = text.find("\"git_sha\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto colon = text.find(':', pos);
+  const auto q1 = text.find('"', colon);
+  const auto q2 = text.find('"', q1 + 1);
+  ASSERT_NE(q2, std::string::npos);
+  text.replace(q1, q2 - q1 + 1, "\"abc123-dirty\"");
+  const auto doc = obs::json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(perf::validate_bench_report(*doc).empty());
+  const auto warnings = perf::report_fingerprint_warnings(*doc);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings.front().find("abc123-dirty"), std::string::npos);
+  EXPECT_NE(warnings.front().find("uncommitted"), std::string::npos);
+}
+
+TEST(BenchDiff, CleanFingerprintHasNoWarnings) {
+  const auto doc = obs::json::parse(valid_report_text());
+  ASSERT_TRUE(doc.has_value());
+  // The test binary's own fingerprint may or may not be dirty depending on
+  // the build tree, so pin a clean sha explicitly.
+  std::string text = valid_report_text();
+  const auto pos = text.find("\"git_sha\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto colon = text.find(':', pos);
+  const auto q1 = text.find('"', colon);
+  const auto q2 = text.find('"', q1 + 1);
+  text.replace(q1, q2 - q1 + 1, "\"abc123\"");
+  const auto clean = obs::json::parse(text);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_TRUE(perf::report_fingerprint_warnings(*clean).empty());
+  // Documents without a fingerprint (e.g. arbitrary JSON) never warn.
+  const auto none = obs::json::parse(R"({"schema":"gcr.bench_report"})");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(perf::report_fingerprint_warnings(*none).empty());
+}
+
 TEST(BenchDiff, ValidatorFlagsBadBenchmarkEntries) {
   // Tamper with the writer's own output: drop time_ms from the entry.
   std::string text = valid_report_text();

@@ -193,6 +193,105 @@ TEST(Greedy, NearestNeighborPrefersShortWirelength) {
   EXPECT_LE(tree.total_wirelength(), 60.0 * 6000.0);  // gross upper sanity
 }
 
+/// Builds the same instance with the partner index on and off and asserts
+/// the trees are bit-identical node by node -- the indexed engine's core
+/// contract on inputs that stress the index's degenerate paths.
+void expect_index_matches_exhaustive(const ct::SinkList& sinks,
+                                     const activity::ActivityAnalyzer* an,
+                                     MergeCost cost) {
+  BuildOptions opts;
+  opts.cost = cost;
+  opts.control_point = {50.0, 50.0};
+  const auto mods = identity_modules(static_cast<int>(sinks.size()));
+  opts.partner_index = true;
+  const BuildResult on = build_topology(sinks, an, mods, opts);
+  opts.partner_index = false;
+  const BuildResult off = build_topology(sinks, an, mods, opts);
+  ASSERT_TRUE(on.topo.valid());
+  ASSERT_EQ(on.topo.num_nodes(), off.topo.num_nodes());
+  for (int id = 0; id < on.topo.num_nodes(); ++id) {
+    EXPECT_EQ(on.topo.node(id).left, off.topo.node(id).left) << "node " << id;
+    EXPECT_EQ(on.topo.node(id).right, off.topo.node(id).right)
+        << "node " << id;
+  }
+}
+
+/// A tiny uniform workload so the SwitchedCapacitance cost is defined;
+/// every module is used by the single instruction, so all probabilities
+/// coincide and cost ties come purely from geometry.
+activity::ActivityAnalyzer uniform_analyzer(int num_modules) {
+  activity::RtlDescription rtl(1, num_modules);
+  for (int m = 0; m < num_modules; ++m) rtl.add_use(0, m);
+  activity::InstructionStream stream;
+  for (int t = 0; t < 100; ++t) stream.seq.push_back(0);
+  return activity::ActivityAnalyzer(rtl, stream);
+}
+
+TEST(Greedy, AllCoincidentSinksMatchExhaustiveAndTieById) {
+  // Every candidate occupies the same point: the index's die bbox is a
+  // single point (zero-width buckets), every pair ties on geometry, and
+  // the self-cost order is one long tie chain. The (cost, lower-id,
+  // higher-id) order must fully determine the tree.
+  ct::SinkList sinks(9, ct::Sink{{42.0, 17.0}, 0.02});
+  const auto an = uniform_analyzer(9);
+  expect_index_matches_exhaustive(sinks, &an, MergeCost::SwitchedCapacitance);
+  expect_index_matches_exhaustive(sinks, nullptr, MergeCost::NearestNeighbor);
+
+  BuildOptions opts;
+  opts.cost = MergeCost::NearestNeighbor;
+  const BuildResult r = build_topology(sinks, nullptr, {}, opts);
+  // All pair costs tie at 0, so merges proceed in strict id order:
+  // (0,1)->9, (2,3)->10, ..., then the same again over the new nodes.
+  EXPECT_EQ(std::min(r.topo.node(9).left, r.topo.node(9).right), 0);
+  EXPECT_EQ(std::max(r.topo.node(9).left, r.topo.node(9).right), 1);
+  EXPECT_EQ(std::min(r.topo.node(10).left, r.topo.node(10).right), 2);
+  EXPECT_EQ(std::max(r.topo.node(10).left, r.topo.node(10).right), 3);
+}
+
+TEST(Greedy, AllCollinearSinksMatchExhaustive) {
+  // Zero-height die: the index grid degenerates to a 1-D strip and every
+  // merging segment stays collinear. Uneven spacing keeps costs distinct.
+  ct::SinkList sinks;
+  for (int i = 0; i < 14; ++i)
+    sinks.push_back({{10.0 * i * i, 25.0}, 0.02});
+  const auto an = uniform_analyzer(14);
+  expect_index_matches_exhaustive(sinks, &an, MergeCost::SwitchedCapacitance);
+  expect_index_matches_exhaustive(sinks, nullptr, MergeCost::NearestNeighbor);
+}
+
+TEST(Greedy, CostTiesAcrossBucketBoundariesMatchExhaustive) {
+  // A uniform lattice: every nearest-neighbor pair ties at the lattice
+  // pitch, and with 36 sinks the index grid is 4x4, so many tied pairs
+  // straddle bucket (and pyramid-quadrant) boundaries. The tie-break must
+  // reach across them identically on both paths.
+  ct::SinkList sinks;
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 6; ++x)
+      sinks.push_back({{100.0 * x, 100.0 * y}, 0.02});
+  const auto an = uniform_analyzer(36);
+  expect_index_matches_exhaustive(sinks, &an, MergeCost::SwitchedCapacitance);
+  expect_index_matches_exhaustive(sinks, nullptr, MergeCost::NearestNeighbor);
+
+  BuildOptions opts;
+  opts.cost = MergeCost::NearestNeighbor;
+  const BuildResult r = build_topology(sinks, nullptr, {}, opts);
+  // The first merge is the lowest-id tied pair: sinks 0 and 1.
+  const ct::TreeNode& first = r.topo.node(36);
+  EXPECT_EQ(std::min(first.left, first.right), 0);
+  EXPECT_EQ(std::max(first.left, first.right), 1);
+}
+
+TEST(Greedy, SingleSinkIgnoresPartnerIndexSetting) {
+  ct::SinkList sinks = {{{100, 100}, 0.02}};
+  for (const bool idx : {true, false}) {
+    BuildOptions opts;
+    opts.partner_index = idx;
+    const BuildResult r = build_topology(sinks, nullptr, {}, opts);
+    EXPECT_EQ(r.topo.num_nodes(), 1);
+    EXPECT_TRUE(r.topo.valid());
+  }
+}
+
 TEST(Greedy, ActivityAwareOrderGroupsCoactiveSinks) {
   // Two spatial clusters with perfectly anti-correlated activity. The
   // switched-capacitance greedy must not mix clusters at the bottom level

@@ -299,8 +299,9 @@ TEST(Differential, HundredRandomDesignsAllSchemesZeroViolations) {
                         .count();
   EXPECT_EQ(stats.designs, 100);
   // 4 gated schemes + reduced + buffered + 2 thread-determinism routes
-  // + clustered per design.
-  EXPECT_EQ(stats.routes, 900);
+  // + 1 index-determinism (exhaustive partner selection) + clustered per
+  // design.
+  EXPECT_EQ(stats.routes, 1000);
   EXPECT_GE(stats.activity_checks, 100 * 26);
   for (const DiffFailure& f : stats.failures) {
     ADD_FAILURE() << "seed " << f.spec.seed << " [" << f.stage << "] "
@@ -308,6 +309,20 @@ TEST(Differential, HundredRandomDesignsAllSchemesZeroViolations) {
                   << f.report.summary();
   }
   EXPECT_LT(secs, 60) << "differential run too slow for CI";
+}
+
+TEST(Differential, IndexedPartnerSelectionMatchesExhaustive) {
+  IndexDiffOptions opts;
+  opts.num_designs = 6;
+  opts.seed = test::fuzz_seeds({424242}).front();
+  const DiffStats stats = run_index_differential(opts);
+  EXPECT_EQ(stats.designs, 6);
+  // 4 schemes x {flat, clustered} x {1, 4 threads} x {index on, off}.
+  EXPECT_EQ(stats.routes, 6 * 32);
+  for (const DiffFailure& f : stats.failures) {
+    ADD_FAILURE() << "seed " << f.spec.seed << " [" << f.stage << "] "
+                  << f.message;
+  }
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 ///                BENCH_*.json directory glob
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -169,6 +170,45 @@ void register_topology(Groups& g, bool quick) {
       return [rb, wl, an, mods, copts] {
         auto r = cts::build_topology_clustered(rb->sinks, an.get(), *mods,
                                                copts);
+        perf::do_not_optimize(r.topo.root());
+      };
+    });
+  }
+}
+
+// --- scale: the Eq. 3 greedy on die sizes past the published r1..r5 --------
+//
+// The topology group pins the small-n regime; this group pins the *growth
+// rate* of the partner-indexed build (docs/ALGORITHMS.md): synthetic dies
+// at 3101 (r5-class), 10k and 100k sinks, one build per rep, timed with
+// the default (indexed) engine. The committed baselines carry three
+// n=<size> family members, so gcr_benchdiff and print_results' complexity
+// fit can hold the near-linear slope, not just the absolute times. A
+// 1M-sink member exists behind GCR_BENCH_SCALE_1M=1: at the runner's
+// minimum rep count it costs minutes of single-core time, too much for
+// the default full tier or CI's scale-smoke leg (docs/benchmarking.md).
+
+void register_scale(Groups& g, bool quick) {
+  std::vector<int> sizes =
+      quick ? std::vector<int>{3101, 10000}
+            : std::vector<int>{3101, 10000, 100000};
+  if (const char* big = std::getenv("GCR_BENCH_SCALE_1M");
+      big && *big && std::string_view(big) != "0") {
+    sizes.push_back(1000000);
+  }
+  for (const int n : sizes) {
+    g["scale"].add("scale/build/n=" + std::to_string(n), [n] {
+      auto rb = std::make_shared<benchdata::RBench>(synthetic_rbench(n, 21));
+      auto wl = std::make_shared<benchdata::Workload>(
+          make_workload(*rb, 32, 4000, 21));
+      auto an =
+          std::make_shared<activity::ActivityAnalyzer>(wl->rtl, wl->stream);
+      auto mods = std::make_shared<std::vector<int>>(cts::identity_modules(n));
+      cts::BuildOptions opts;
+      opts.cost = cts::MergeCost::SwitchedCapacitance;
+      opts.control_point = rb->die.center();
+      return [rb, wl, an, mods, opts] {
+        auto r = cts::build_topology(rb->sinks, an.get(), *mods, opts);
         perf::do_not_optimize(r.topo.root());
       };
     });
@@ -333,6 +373,7 @@ int main(int argc, char** argv) {
   register_reduction(groups, opts.quick);
   register_route(groups, opts.quick);
   register_route_par(groups, opts.quick, threads_override);
+  register_scale(groups, opts.quick);
 
   if (list) {
     for (const auto& [group, runner] : groups)

@@ -107,7 +107,12 @@ int validate_mode(const std::vector<std::string>& files) {
         is_profile ? prof::validate_profile_report(*doc)
                    : perf::validate_bench_report(*doc);
     if (problems.empty()) {
+      // Valid shape; still surface hygiene warnings (a "-dirty" fingerprint
+      // means no commit reproduces the numbers -- fine for a local run, a
+      // bug in a committed baseline).
       std::cout << f << ": ok\n";
+      for (const std::string& w : perf::report_fingerprint_warnings(*doc))
+        std::cerr << f << ": warning: " << w << '\n';
     } else {
       for (const std::string& p : problems) std::cerr << f << ": " << p << '\n';
       ++bad;

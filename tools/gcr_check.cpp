@@ -20,6 +20,11 @@
 ///       truncated/failing streams and with the arena/lexer fault injector
 ///       armed; every injected fault must surface as a structured
 ///       diagnostic, never a crash (docs/robustness.md).
+///   gcr_check --index-diff N [--seed S] [--dump DIR] [--verbose]
+///       partner-index differential: N random designs, every greedy
+///       TopologyScheme x {flat, clustered} x {1, 4 threads} routed with
+///       the dynamic partner index on and off; the trees must be
+///       bit-identical (docs/ALGORITHMS.md).
 ///
 /// Exit codes: 0 ok, 1 usage, 2 invalid input, 3 resource/deadline,
 /// 4 internal error / invariant violation / harness failure.
@@ -50,6 +55,7 @@ namespace {
 
 struct Args {
   int random_designs = 0;
+  int index_diff_designs = 0;
   std::uint64_t seed = 2026;
   std::string replay;  // decimal seed or artifact path
   std::string dump_dir;
@@ -68,6 +74,7 @@ struct Args {
 void usage() {
   std::cerr
       << "usage: gcr_check --random N [--seed S] [--dump DIR] [--verbose]\n"
+         "       gcr_check --index-diff N [--seed S] [--dump DIR] [--verbose]\n"
          "       gcr_check --replay SEED|ARTIFACT.json [--dump DIR]\n"
          "       gcr_check --tree FILE [--skew-bound B]\n"
          "       gcr_check --sinks F --rtl F --stream F [options]\n"
@@ -92,6 +99,9 @@ std::optional<Args> parse(int argc, char** argv) {
     };
     if (flag == "--random") {
       if (const char* v = next()) a.random_designs = std::atoi(v);
+      else return std::nullopt;
+    } else if (flag == "--index-diff") {
+      if (const char* v = next()) a.index_diff_designs = std::atoi(v);
       else return std::nullopt;
     } else if (flag == "--seed") {
       if (const char* v = next()) a.seed = std::strtoull(v, nullptr, 10);
@@ -462,6 +472,14 @@ int main(int argc, char** argv) {
       opts.dump_dir = a.dump_dir;
       opts.log = &std::cerr;
       return report_diff(verify::run_differential(opts), true);
+    }
+    if (a.index_diff_designs > 0) {
+      verify::IndexDiffOptions opts;
+      opts.num_designs = a.index_diff_designs;
+      opts.seed = a.seed;
+      opts.dump_dir = a.dump_dir;
+      if (a.verbose) opts.log = &std::cerr;
+      return report_diff(verify::run_index_differential(opts), false);
     }
     if (a.random_designs > 0) {
       verify::DiffOptions opts;
