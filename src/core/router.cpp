@@ -8,10 +8,34 @@
 #include "cts/clustered.h"
 #include "cts/mmm.h"
 #include "guard/validate.h"
+#include "log/logger.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
 namespace gcr::core {
+
+namespace {
+
+const char* log_style_name(TreeStyle s) {
+  switch (s) {
+    case TreeStyle::Buffered: return "buffered";
+    case TreeStyle::Gated: return "gated";
+    case TreeStyle::GatedReduced: return "reduced";
+  }
+  return "?";
+}
+
+const char* log_topology_name(TopologyScheme t) {
+  switch (t) {
+    case TopologyScheme::MinSwitchedCap: return "swcap";
+    case TopologyScheme::NearestNeighbor: return "nn";
+    case TopologyScheme::ActivityOnly: return "activity";
+    case TopologyScheme::Mmm: return "mmm";
+  }
+  return "?";
+}
+
+}  // namespace
 
 GatedClockRouter::GatedClockRouter(Design design)
     : design_(std::move(design)),
@@ -37,6 +61,12 @@ RouteOutcome GatedClockRouter::route_guarded(const RouterOptions& opts,
   vopts.strict = false;  // the router tolerates what it can route
   if (!guard::validate_design(design_, out.diag, vopts)) return out;
 
+  GCR_LOG_INFO("route.start")
+      .kv("sinks", design_.num_sinks())
+      .kv("style", log_style_name(opts.style))
+      .kv("topology", log_topology_name(opts.topology))
+      .kv("clustered", opts.clustered)
+      .kv("threads", opts.num_threads);
   const std::uint64_t detached_before = ct::detached_merge_count();
   const guard::DeadlineScope scope(deadline);
   try {
@@ -45,6 +75,7 @@ RouteOutcome GatedClockRouter::route_guarded(const RouterOptions& opts,
     out.cancelled = true;
     out.aborted_phase = e.phase();
     out.diag.report(e.status());
+    GCR_LOG_WARN("route.cancelled").kv("phase", e.phase());
   } catch (const guard::GuardError& e) {
     out.diag.report(e.status());
   }
@@ -54,6 +85,17 @@ RouteOutcome GatedClockRouter::route_guarded(const RouterOptions& opts,
                      std::to_string(detached) +
                          " zero-skew merges fell back to the detached "
                          "nearest-region merge");
+  if (out.result) {
+    GCR_LOG_INFO("route.done")
+        .kv("sinks", out.result->tree.num_leaves)
+        .kv("gates", out.result->tree.num_gates())
+        .kv("total_swcap", out.result->swcap.total_swcap())
+        .kv("skew", out.result->delays.skew());
+  } else {
+    GCR_LOG_ERROR("route.failed")
+        .kv("cancelled", out.cancelled)
+        .msg(out.diag.first_error().message);
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "guard/status.h"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
 
 namespace gcr::guard {
@@ -90,8 +91,18 @@ int exit_code_for(Code c) {
   return kExitInternal;
 }
 
+namespace {
+std::atomic<DiagHook> g_diag_hook{nullptr};
+}  // namespace
+
+DiagHook set_diag_hook(DiagHook hook) {
+  return g_diag_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
 void Diag::report(Status s) {
   if (s.is_ok()) return;
+  if (const DiagHook hook = g_diag_hook.load(std::memory_order_acquire))
+    hook(s);
   if (s.severity != Severity::Warning) ++error_count_;
   if (entries_.size() >= max_entries_) {
     ++dropped_;

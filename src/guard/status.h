@@ -99,6 +99,17 @@ struct Status {
 /// Exit code the CLI contract assigns to a diagnostic code.
 [[nodiscard]] int exit_code_for(Code c);
 
+/// Process-wide observer invoked for every non-ok Status a Diag collects
+/// (including reports past the entry cap -- the observer sees what the
+/// bounded buffer drops). gcr::log installs its event bridge here so each
+/// diagnostic doubles as a structured `guard.diag` event; nullptr (the
+/// default) keeps Diag's behavior byte-identical. Returns the previous
+/// hook so installers can chain or restore it. Function pointer rather
+/// than std::function: guard sits below log in the link graph, and the
+/// hook must be callable with no allocation from any thread.
+using DiagHook = void (*)(const Status&);
+DiagHook set_diag_hook(DiagHook hook);
+
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitUsage = 1;
 inline constexpr int kExitInvalidInput = 2;

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+/// \file ring.h
+/// Bounded lock-free multi-producer queue (Vyukov layout) used as the
+/// event channel between logging call sites and the drain thread.
+///
+/// Every slot carries its own sequence number; a producer claims a slot
+/// with one fetch_add on the head and publishes it by bumping the slot's
+/// sequence, so producers never block each other and never block on the
+/// consumer. When the ring is full, push() fails immediately -- the logger
+/// counts the drop instead of stalling the routing thread that tried to
+/// log (docs/observability.md: logging must never add a synchronization
+/// edge to the code it observes).
+///
+/// The consumer side is written for the logger's single drain thread, but
+/// the slot-sequence protocol is the full MPMC one, so a future
+/// multi-sink drain does not need a new queue.
+
+namespace gcr::log {
+
+template <typename T, std::size_t N>
+class BoundedMpscRing {
+  static_assert((N & (N - 1)) == 0, "capacity must be a power of two");
+
+ public:
+  BoundedMpscRing() {
+    for (std::size_t i = 0; i < N; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+  BoundedMpscRing(const BoundedMpscRing&) = delete;
+  BoundedMpscRing& operator=(const BoundedMpscRing&) = delete;
+
+  /// Enqueue by move; false (item untouched beyond the failed attempt)
+  /// when the ring is full. Safe from any number of threads.
+  bool push(T&& item) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & (N - 1)];
+      const std::size_t seq = c.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          c.item = std::move(item);
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full: the slot still holds an undrained item
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeue into `out`; false when empty. Single consumer.
+  bool pop(T& out) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell& c = cells_[pos & (N - 1)];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                static_cast<std::ptrdiff_t>(pos + 1);
+    if (diff < 0) return false;  // slot not yet published
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    out = std::move(c.item);
+    c.seq.store(pos + N, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    T item{};
+  };
+
+  Cell cells_[N];
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace gcr::log

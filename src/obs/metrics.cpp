@@ -22,10 +22,14 @@ void update_extreme(std::atomic<double>& slot, double v, Better better) {
   }
 }
 
+/// kBuckets means "past the top bound": the caller routes it to the
+/// overflow slot. Non-finite values also overflow -- they have no finite
+/// power-of-two range to belong to.
 int bucket_of(double v) {
-  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  if (!(v > 0.0)) return 0;
+  if (!std::isfinite(v)) return Histogram::kBuckets;
   const int e = std::ilogb(v) + Histogram::kExpBias;
-  return e < 0 ? 0 : (e >= Histogram::kBuckets ? Histogram::kBuckets - 1 : e);
+  return e < 0 ? 0 : (e > Histogram::kBuckets ? Histogram::kBuckets : e);
 }
 
 }  // namespace
@@ -38,8 +42,12 @@ void Histogram::observe(double v) {
   }
   update_extreme(min_, v, [](double a, double b) { return a < b; });
   update_extreme(max_, v, [](double a, double b) { return a > b; });
-  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
-      1, std::memory_order_relaxed);
+  const int b = bucket_of(v);
+  if (b >= kBuckets)
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  else
+    buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                    std::memory_order_relaxed);
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -53,6 +61,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   for (int i = 0; i < kBuckets; ++i)
     s.buckets[static_cast<std::size_t>(i)] =
         buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  s.overflow = overflow_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -64,6 +73,7 @@ void Histogram::reset() {
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
 }
 
 Registry& Registry::global() {

@@ -82,6 +82,10 @@ class Histogram {
  public:
   static constexpr int kBuckets = 64;
   /// Bucket i covers [2^(i-32), 2^(i-31)); i=0 also absorbs 0 and below.
+  /// Values at or past the top bound (2^kBuckets - kExpBias, i.e. 2^32)
+  /// land in a dedicated overflow slot rather than silently folding into
+  /// bucket kBuckets-1, so the JSON bucket map never misattributes a
+  /// runaway value to a finite range (docs/observability.md).
   static constexpr int kExpBias = 32;
 
   void observe(double v);
@@ -92,6 +96,7 @@ class Histogram {
     double min{0.0};  ///< 0 when count == 0
     double max{0.0};
     std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t overflow{0};  ///< observations >= 2^(kBuckets - kExpBias)
     [[nodiscard]] double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
@@ -105,6 +110,7 @@ class Histogram {
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> overflow_{0};
 };
 
 class Registry {

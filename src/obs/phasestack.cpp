@@ -71,6 +71,25 @@ void shadow_pop() {
   s.seq.store(s0 + 2, std::memory_order_release);
 }
 
+std::string current_phase_path() {
+  if (!g_shadow_enabled) return {};
+  const PhaseShadow& s = thread_shadow();
+  std::int32_t d = s.depth.load(std::memory_order_relaxed);
+  if (d <= 0) return {};
+  if (d > PhaseShadow::kMaxDepth) d = PhaseShadow::kMaxDepth;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(d) * 12);
+  for (std::int32_t f = 0; f < d; ++f) {
+    if (f > 0) out += '/';
+    for (int i = 0; i < PhaseShadow::kMaxName; ++i) {
+      const char c = s.names[f][i].load(std::memory_order_relaxed);
+      if (c == '\0') break;
+      out += c;
+    }
+  }
+  return out;
+}
+
 bool PhaseShadow::snapshot(std::vector<std::string>& out,
                            int max_retries) const {
   for (int attempt = 0; attempt <= max_retries; ++attempt) {

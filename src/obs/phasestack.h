@@ -54,4 +54,10 @@ void shadow_pop();
 /// their flag set). Pointers stay valid for the process lifetime.
 [[nodiscard]] std::vector<const PhaseShadow*> shadow_threads();
 
+/// The calling thread's own open phase path, slash-joined outermost first
+/// ("route/topology"). Owner-side reads need no seqlock retry: only this
+/// thread mutates its shadow. Empty when publishing is disabled or no
+/// phase is open. Used by gcr::log to stamp events with phase context.
+[[nodiscard]] std::string current_phase_path();
+
 }  // namespace gcr::obs

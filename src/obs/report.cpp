@@ -97,6 +97,10 @@ void write_run_report(std::ostream& os, const core::RouterOptions& opts,
   w.begin_object();
   w.field("schema", "gcr.run_report");
   w.field("version", kReportVersion);
+  w.key("generated").begin_object();
+  w.field("timestamp_utc", utc_timestamp());
+  w.field("hostname", host_name());
+  w.end_object();
   write_options(w, opts);
   write_phase_forest(w, session);
   write_metrics(w);

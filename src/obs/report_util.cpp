@@ -4,9 +4,11 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <iomanip>
 #include <ostream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -64,13 +66,17 @@ void write_metrics(json::Writer& w) {
     w.field("min", snap.min);
     w.field("max", snap.max);
     w.field("mean", snap.mean());
-    // Sparse bucket map keyed by the bucket's lower bound (power of two).
+    // The bucket layout is part of the schema: pow2 = sparse map keyed by
+    // each bucket's lower bound, plus an explicit "overflow" entry for
+    // observations past the top bound (never folded into the last bucket).
+    w.field("bucket_scheme", "pow2");
     w.key("buckets").begin_object();
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t n = snap.buckets[static_cast<std::size_t>(i)];
       if (n == 0) continue;
       w.field(json::number(std::ldexp(1.0, i - Histogram::kExpBias)), n);
     }
+    if (snap.overflow > 0) w.field("overflow", snap.overflow);
     w.end_object();
     w.end_object();
   }
@@ -135,7 +141,29 @@ void print_session_summary(std::ostream& os, const Session& session) {
       os << "    >= " << std::ldexp(1.0, i - Histogram::kExpBias) << ": " << n
          << '\n';
     }
+    if (snap.overflow > 0)
+      os << "    overflow (>= "
+         << std::ldexp(1.0, Histogram::kBuckets - Histogram::kExpBias)
+         << "): " << snap.overflow << '\n';
   }
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+std::string host_name() {
+  char buf[256];
+  if (gethostname(buf, sizeof buf) != 0) return "unknown";
+  buf[sizeof buf - 1] = '\0';
+  return buf[0] != '\0' ? buf : "unknown";
 }
 
 }  // namespace gcr::obs

@@ -29,4 +29,11 @@ void write_metrics(json::Writer& w);
 /// get an `allocs / bytes` column.
 void print_session_summary(std::ostream& os, const Session& session);
 
+/// Current UTC wall-clock as "2026-08-09T12:34:56Z" -- the provenance
+/// stamp every report fingerprint carries for longitudinal tracking.
+[[nodiscard]] std::string utc_timestamp();
+
+/// gethostname(), "unknown" when unavailable.
+[[nodiscard]] std::string host_name();
+
 }  // namespace gcr::obs

@@ -14,6 +14,7 @@ namespace gcr::par {
 namespace {
 
 thread_local bool t_in_worker = false;
+thread_local int t_worker_ordinal = 0;  ///< 1-based pool lane, 0 = caller
 
 int clamp_threads(long v) {
   if (v < 1) return 1;
@@ -53,6 +54,8 @@ int resolve_threads(int requested) {
 }
 
 bool in_worker() { return t_in_worker; }
+
+int worker_ordinal() { return t_worker_ordinal; }
 
 void write_pool_summary(std::ostream& os, const PoolTelemetry& t) {
   std::uint64_t busy = 0;
@@ -116,6 +119,7 @@ PoolTelemetry ThreadPool::telemetry() const {
 
 void ThreadPool::worker_loop(std::size_t index) {
   t_in_worker = true;
+  t_worker_ordinal = static_cast<int>(index) + 1;
   WorkerStats& stats = *worker_stats_[index];
   std::uint64_t seen = 0;
   for (;;) {

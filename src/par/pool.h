@@ -87,6 +87,12 @@ void write_pool_summary(std::ostream& os, const PoolTelemetry& t);
 /// caller participating in its own job). Nested constructs run serially.
 [[nodiscard]] bool in_worker();
 
+/// Dense 1-based ordinal of the pool lane owning the current thread;
+/// 0 for every non-pool thread (including a caller participating in its
+/// own job). Stable for the thread's lifetime -- gcr::log stamps it on
+/// events so a worker's emissions sort onto its own track.
+[[nodiscard]] int worker_ordinal();
+
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers; the caller is the remaining lane.

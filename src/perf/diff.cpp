@@ -54,6 +54,14 @@ std::vector<std::string> validate_bench_report(const Value& doc) {
         problems.push_back(std::string("fingerprint.") + key +
                            " missing or not a string");
     }
+    // Emission-time stamps arrived after the first baselines were committed:
+    // optional, but type-checked when present.
+    for (const char* key : {"timestamp_utc", "hostname"}) {
+      const Value* f = fp->find(key);
+      if (f && !f->is_string())
+        problems.push_back(std::string("fingerprint.") + key +
+                           " is not a string");
+    }
   } else {
     problems.emplace_back("missing fingerprint object");
   }
@@ -73,6 +81,23 @@ std::vector<std::string> validate_bench_report(const Value& doc) {
   const Value* counters = doc.find("counters");
   require(problems, counters && counters->is_object(),
           "missing counters object");
+  const Value* histograms = doc.find("histograms");
+  if (histograms && histograms->is_object()) {
+    for (const auto& [hname, h] : histograms->as_object()) {
+      if (!h.is_object()) {
+        problems.push_back("histograms." + hname + " is not an object");
+        continue;
+      }
+      for (const char* key : {"count", "sum"})
+        if (!is_number_field(h, key))
+          problems.push_back("histograms." + hname + "." + key + " missing");
+      // bucket_scheme is optional (older reports), a string when present.
+      const Value* scheme = h.find("bucket_scheme");
+      if (scheme && !scheme->is_string())
+        problems.push_back("histograms." + hname +
+                           ".bucket_scheme is not a string");
+    }
+  }
 
   const Value* benchmarks = doc.find("benchmarks");
   if (!benchmarks || !benchmarks->is_array()) {

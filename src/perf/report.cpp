@@ -38,6 +38,8 @@ Fingerprint Fingerprint::current() {
 #else
   f.os = "unknown";
 #endif
+  f.timestamp_utc = obs::utc_timestamp();
+  f.hostname = obs::host_name();
   return f;
 }
 
@@ -51,6 +53,8 @@ void write_fingerprint(obs::json::Writer& w) {
   w.field("flags", f.flags);
   w.field("build_type", f.build_type);
   w.field("os", f.os);
+  w.field("timestamp_utc", f.timestamp_utc);
+  w.field("hostname", f.hostname);
   w.end_object();
 }
 

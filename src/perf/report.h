@@ -38,12 +38,16 @@ inline constexpr int kBenchReportVersion = 2;
 /// time. `git_sha` is the configure-time HEAD (suffixed "-dirty" when the
 /// tree had local changes) -- good enough to name a baseline, not a
 /// substitute for committing the report next to the code it measured.
+/// `timestamp_utc`/`hostname` are captured at emission time; validators
+/// accept fingerprints without them (pre-stamp baselines stay loadable).
 struct Fingerprint {
   std::string git_sha;
   std::string compiler;
   std::string flags;
   std::string build_type;
   std::string os;
+  std::string timestamp_utc;  ///< "2026-08-09T12:34:56Z"
+  std::string hostname;
 
   [[nodiscard]] static Fingerprint current();
 };

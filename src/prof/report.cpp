@@ -30,6 +30,10 @@ void write_profile_report(std::ostream& os, const ProfileReportOptions& opts) {
   w.field("schema", "gcr.profile_report");
   w.field("version", kProfileReportVersion);
   w.field("tool", opts.tool);
+  w.key("generated").begin_object();
+  w.field("timestamp_utc", obs::utc_timestamp());
+  w.field("hostname", obs::host_name());
+  w.end_object();
 
   w.key("sampler").begin_object();
   if (opts.profile != nullptr) {
@@ -100,6 +104,21 @@ std::vector<std::string> validate_profile_report(const Value& doc) {
   const Value* tool = doc.find("tool");
   require(problems, tool && tool->is_string() && !tool->as_string().empty(),
           "missing tool name");
+  // Provenance stamp arrived in a later revision: optional, type-checked
+  // when present so old reports stay valid.
+  const Value* generated = doc.find("generated");
+  if (generated) {
+    if (generated->is_object()) {
+      for (const char* key : {"timestamp_utc", "hostname"}) {
+        const Value* g = generated->find(key);
+        if (g && !g->is_string())
+          problems.push_back(std::string("generated.") + key +
+                             " is not a string");
+      }
+    } else {
+      problems.emplace_back("generated is not an object");
+    }
+  }
 
   const Value* sampler = doc.find("sampler");
   if (sampler && sampler->is_object()) {

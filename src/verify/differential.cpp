@@ -3,11 +3,11 @@
 #include <cmath>
 #include <fstream>
 #include <optional>
-#include <ostream>
 #include <random>
 
 #include "activity/brute_force.h"
 #include "core/router.h"
+#include "log/logger.h"
 #include "obs/metrics.h"
 
 namespace gcr::verify {
@@ -119,13 +119,13 @@ struct Driver {
 
   void run_design(std::uint64_t dseed) {
     const DesignSpec spec = random_spec(dseed);
-    if (opts.log) {
-      *opts.log << "design " << stats.designs << " seed " << spec.seed
-                << ": " << spec.num_sinks << " sinks ("
-                << sink_cloud_name(spec.cloud) << "), K="
-                << spec.num_instructions << ", B=" << spec.stream_length
-                << '\n';
-    }
+    GCR_LOG_DEBUG("verify.design")
+        .kv("index", stats.designs)
+        .kv("seed", spec.seed)
+        .kv("sinks", spec.num_sinks)
+        .kv("cloud", sink_cloud_name(spec.cloud))
+        .kv("instructions", spec.num_instructions)
+        .kv("stream_length", spec.stream_length);
     const core::GatedClockRouter router(generate_design(spec));
     ++stats.designs;
 
@@ -229,10 +229,9 @@ struct Driver {
           route_checked(router, spec, ropts, "route:gated:clustered");
       if (res && spec.num_sinks >= opts.clustered_min_sinks) {
         const double wl = res->tree.total_wirelength();
-        if (opts.log) {
-          *opts.log << "  clustered/flat wirelength ratio "
-                    << wl / flat_swcap_wl << '\n';
-        }
+        GCR_LOG_DEBUG("verify.clustered_ratio")
+            .kv("seed", spec.seed)
+            .kv("ratio", wl / flat_swcap_wl);
         if (wl > opts.clustered_wl_factor * flat_swcap_wl + 1e-6) {
           fail(spec, "clustered-wirelength",
                "clustered wirelength " + std::to_string(wl) +
@@ -266,17 +265,16 @@ DiffStats run_differential(const DiffOptions& opts) {
 DiffStats run_index_differential(const IndexDiffOptions& opts) {
   DiffOptions dopts;
   dopts.dump_dir = opts.dump_dir;
-  dopts.log = opts.log;
   Driver driver{dopts, {}};
   using Scheme = core::TopologyScheme;
   for (int i = 0; i < opts.num_designs; ++i) {
     const std::uint64_t dseed = design_seed(opts.seed, i);
     const DesignSpec spec = random_spec(dseed);
-    if (opts.log) {
-      *opts.log << "index-diff design " << i << " seed " << spec.seed << ": "
-                << spec.num_sinks << " sinks ("
-                << sink_cloud_name(spec.cloud) << ")\n";
-    }
+    GCR_LOG_DEBUG("verify.index_diff_design")
+        .kv("index", i)
+        .kv("seed", spec.seed)
+        .kv("sinks", spec.num_sinks)
+        .kv("cloud", sink_cloud_name(spec.cloud));
     const core::GatedClockRouter router(generate_design(spec));
     ++driver.stats.designs;
     for (const auto& [scheme, name] :

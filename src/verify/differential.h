@@ -26,6 +26,10 @@
 ///   * the buffered baseline stays invariant-clean with buffer parameters.
 ///
 /// Failing designs are dumped as replayable JSON artifacts (generator.h).
+/// Per-design progress is emitted as Debug-level structured events
+/// (`verify.design`, `verify.clustered_ratio`, `verify.index_diff_design`)
+/// through gcr::log -- run with the logger at Debug (gcr_check --verbose)
+/// to see it; there is no raw-ostream side channel.
 
 namespace gcr::verify {
 
@@ -57,8 +61,7 @@ struct DiffOptions {
   /// (gcr_check --index-diff runs the full scheme/clustered/thread matrix;
   /// this leg keeps one always-on cross-check in every sweep.)
   bool index_check{true};
-  std::string dump_dir;        ///< write failing artifacts here ("" = off)
-  std::ostream* log{nullptr};  ///< per-design progress ("" = silent)
+  std::string dump_dir;  ///< write failing artifacts here ("" = off)
   /// When non-empty, these exact seeds are replayed instead of the
   /// `num_designs` derived ones (gcr_check --replay).
   std::vector<std::uint64_t> explicit_seeds;
@@ -100,8 +103,7 @@ struct DiffStats {
 struct IndexDiffOptions {
   int num_designs{25};
   std::uint64_t seed{2026};
-  std::string dump_dir;        ///< write failing artifacts here ("" = off)
-  std::ostream* log{nullptr};
+  std::string dump_dir;  ///< write failing artifacts here ("" = off)
 };
 
 [[nodiscard]] DiffStats run_index_differential(const IndexDiffOptions& opts);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -107,6 +109,26 @@ TEST_F(ObsTest, GaugeAndHistogram) {
   EXPECT_EQ(empty.count, 0u);
   EXPECT_DOUBLE_EQ(empty.min, 0.0);
   EXPECT_DOUBLE_EQ(empty.max, 0.0);
+}
+
+TEST_F(ObsTest, HistogramOverflowSlotIsExplicit) {
+  obs::Histogram& h = obs::Registry::global().histogram("test.overflow");
+  const double top = std::ldexp(1.0, obs::Histogram::kBuckets -
+                                         obs::Histogram::kExpBias);  // 2^32
+  h.observe(top - 1.0);  // just under the bound: last finite bucket
+  h.observe(top);        // at the bound: overflow, not bucket kBuckets-1
+  h.observe(std::ldexp(1.0, 40));
+  h.observe(std::numeric_limits<double>::infinity());
+
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.overflow, 3u);
+  EXPECT_EQ(snap.buckets[obs::Histogram::kBuckets - 1], 1u)
+      << "in-range observations must not leak into the overflow slot";
+
+  // The overflow slot resets with everything else.
+  h.reset();
+  EXPECT_EQ(h.snapshot().overflow, 0u);
 }
 
 TEST_F(ObsTest, TimerNestingBuildsAggregatedTree) {

@@ -43,6 +43,7 @@
 #include "cts/clustered.h"
 #include "cts/greedy.h"
 #include "gating/gate_reduction.h"
+#include "log/logger.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "perf/memhook.h"
@@ -335,9 +336,31 @@ void usage() {
                "exit codes: 0 ok, 1 usage/empty filter, 2 i/o error\n";
 }
 
+/// The bench driver runs the logger at a Warn floor by default: the
+/// route benchmarks fire route.start/route.done per repetition, and
+/// admitting them would put event construction inside the timed section.
+/// GCR_LOG_LEVEL / GCR_LOG still opt a debugging run in.
+struct LogScope {
+  LogScope() {
+    gcr::log::Options lopts;
+    lopts.level = gcr::log::Level::Warn;
+    if (const char* env = std::getenv("GCR_LOG_LEVEL"))
+      if (const auto l = gcr::log::parse_level(env)) lopts.level = *l;
+    lopts.stderr_level = gcr::log::Level::Warn;
+    if (const char* env = std::getenv("GCR_LOG")) lopts.json_path = env;
+    (void)gcr::log::Logger::instance().init(std::move(lopts));
+    gcr::log::install_guard_bridge();
+  }
+  ~LogScope() {
+    gcr::log::remove_guard_bridge();
+    gcr::log::Logger::instance().shutdown();
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  LogScope log_scope;
   perf::RunnerOptions opts = perf::RunnerOptions::from_env();
   std::string out_dir = ".";
   bool list = false;
@@ -384,8 +407,8 @@ int main(int argc, char** argv) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
-    std::cerr << "error: cannot create " << out_dir << ": " << ec.message()
-              << '\n';
+    GCR_LOG_ERROR("bench.io").msg("cannot create " + out_dir + ": " +
+                                  ec.message());
     return 2;
   }
 
@@ -421,7 +444,7 @@ int main(int argc, char** argv) {
     const std::string path = out_dir + "/BENCH_" + group + ".json";
     std::ofstream os(path);
     if (!os) {
-      std::cerr << "error: cannot open " << path << '\n';
+      GCR_LOG_ERROR("bench.io").msg("cannot open " + path);
       return 2;
     }
     perf::write_bench_report(os, group, results, opts, &session);
@@ -433,7 +456,7 @@ int main(int argc, char** argv) {
       const std::string ppath = out_dir + "/PROF_" + group + ".json";
       std::ofstream pos(ppath);
       if (!pos) {
-        std::cerr << "error: cannot open " << ppath << '\n';
+        GCR_LOG_ERROR("bench.io").msg("cannot open " + ppath);
         return 2;
       }
       prof::ProfileReportOptions po;
@@ -447,7 +470,8 @@ int main(int argc, char** argv) {
     }
   }
   if (written == 0) {
-    std::cerr << "no benchmarks matched filter '" << opts.filter << "'\n";
+    GCR_LOG_ERROR("bench.empty_filter")
+        .msg("no benchmarks matched filter '" + opts.filter + "'");
     return 1;
   }
   return 0;

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "log/logger.h"
 #include "obs/json.h"
 #include "perf/diff.h"
 #include "prof/report.h"
@@ -33,6 +34,25 @@ namespace fs = std::filesystem;
 using namespace gcr;
 
 namespace {
+
+/// Same default posture as gcr_bench: Warn floor, env opt-in via
+/// GCR_LOG / GCR_LOG_LEVEL; diagnostics travel the guard bridge + logger.
+struct LogScope {
+  LogScope() {
+    gcr::log::Options lopts;
+    lopts.level = gcr::log::Level::Warn;
+    if (const char* env = std::getenv("GCR_LOG_LEVEL"))
+      if (const auto l = gcr::log::parse_level(env)) lopts.level = *l;
+    lopts.stderr_level = gcr::log::Level::Warn;
+    if (const char* env = std::getenv("GCR_LOG")) lopts.json_path = env;
+    (void)gcr::log::Logger::instance().init(std::move(lopts));
+    gcr::log::install_guard_bridge();
+  }
+  ~LogScope() {
+    gcr::log::remove_guard_bridge();
+    gcr::log::Logger::instance().shutdown();
+  }
+};
 
 std::optional<std::string> read_file(const fs::path& p) {
   std::ifstream is(p, std::ios::binary);
@@ -85,13 +105,15 @@ int validate_mode(const std::vector<std::string>& files) {
   for (const std::string& f : files) {
     const std::optional<std::string> text = read_file(f);
     if (!text) {
-      std::cerr << f << ": cannot read\n";
+      GCR_LOG_ERROR("benchdiff.invalid_report").kv("file", f).msg("cannot read");
       ++bad;
       continue;
     }
     const std::optional<obs::json::Value> doc = obs::json::parse(*text);
     if (!doc) {
-      std::cerr << f << ": not valid JSON\n";
+      GCR_LOG_ERROR("benchdiff.invalid_report")
+          .kv("file", f)
+          .msg("not valid JSON");
       ++bad;
       continue;
     }
@@ -112,9 +134,10 @@ int validate_mode(const std::vector<std::string>& files) {
       // bug in a committed baseline).
       std::cout << f << ": ok\n";
       for (const std::string& w : perf::report_fingerprint_warnings(*doc))
-        std::cerr << f << ": warning: " << w << '\n';
+        GCR_LOG_WARN("benchdiff.fingerprint").kv("file", f).msg(w);
     } else {
-      for (const std::string& p : problems) std::cerr << f << ": " << p << '\n';
+      for (const std::string& p : problems)
+        GCR_LOG_ERROR("benchdiff.invalid_report").kv("file", f).msg(p);
       ++bad;
     }
   }
@@ -124,18 +147,23 @@ int validate_mode(const std::vector<std::string>& files) {
 std::optional<perf::LoadedReport> load(const fs::path& p) {
   const std::optional<std::string> text = read_file(p);
   if (!text) {
-    std::cerr << p.string() << ": cannot read\n";
+    GCR_LOG_ERROR("benchdiff.invalid_report")
+        .kv("file", p.string())
+        .msg("cannot read");
     return std::nullopt;
   }
   std::string error;
   std::optional<perf::LoadedReport> r = perf::load_bench_report(*text, &error);
-  if (!r) std::cerr << p.string() << ": " << error << '\n';
+  if (!r) {
+    GCR_LOG_ERROR("benchdiff.invalid_report").kv("file", p.string()).msg(error);
+  }
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  LogScope log_scope;
   std::vector<std::string> positional;
   perf::DiffOptions opts;
   bool report_only = false;
@@ -186,7 +214,9 @@ int main(int argc, char** argv) {
   if (fs::is_directory(old_path) && fs::is_directory(new_path)) {
     const std::vector<fs::path> old_files = report_files(old_path);
     if (old_files.empty()) {
-      std::cerr << old_path.string() << ": no BENCH_*.json files\n";
+      GCR_LOG_ERROR("benchdiff.invalid_report")
+          .kv("file", old_path.string())
+          .msg("no BENCH_*.json files");
       return 2;
     }
     for (const fs::path& of : old_files) {
@@ -203,7 +233,8 @@ int main(int argc, char** argv) {
   } else if (fs::is_regular_file(old_path) && fs::is_regular_file(new_path)) {
     pairs.emplace_back(old_path, new_path);
   } else {
-    std::cerr << "OLD and NEW must both be directories or both files\n";
+    GCR_LOG_ERROR("benchdiff.invalid_report")
+        .msg("OLD and NEW must both be directories or both files");
     return 2;
   }
 

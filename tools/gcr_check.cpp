@@ -30,6 +30,7 @@
 /// 4 internal error / invariant violation / harness failure.
 
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -45,6 +46,7 @@
 #include "guard/validate.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
+#include "log/logger.h"
 #include "verify/differential.h"
 #include "verify/generator.h"
 #include "verify/invariants.h"
@@ -69,6 +71,8 @@ struct Args {
   int partitions = 1;
   bool clustered = false;
   int threads = 0;
+  std::string log_json;   // JSONL event log ("" = GCR_LOG env or none)
+  std::string log_level;  // runtime floor ("" = GCR_LOG_LEVEL env or info)
 };
 
 void usage() {
@@ -86,6 +90,9 @@ void usage() {
          "  --clustered                      two-level construction\n"
          "  --threads N                      topology-build worker threads\n"
          "  --skew-bound PS                  skew budget (0 = exact)\n"
+         "  --log-json FILE                  structured gcr.event JSONL log\n"
+         "                                   (also via GCR_LOG=FILE)\n"
+         "  --log-level L                    trace|debug|info|warn|error|off\n"
          "exit codes: 0 ok, 1 usage, 2 invalid input, 3 resource/deadline,\n"
          "            4 internal error or invariant violation\n";
 }
@@ -138,6 +145,10 @@ std::optional<Args> parse(int argc, char** argv) {
     } else if (flag == "--threads") {
       if (const char* v = next()) a.threads = std::atoi(v);
       else return std::nullopt;
+    } else if (flag == "--log-json") {
+      if (const char* v = next()) a.log_json = v; else return std::nullopt;
+    } else if (flag == "--log-level") {
+      if (const char* v = next()) a.log_level = v; else return std::nullopt;
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -145,6 +156,39 @@ std::optional<Args> parse(int argc, char** argv) {
   }
   return a;
 }
+
+/// CLI logger bring-up (same contract as gcr_route): flags override the
+/// GCR_LOG / GCR_LOG_LEVEL environment; `debug` lowers both the runtime
+/// floor and the human stderr floor so per-design verify.* events show.
+bool init_cli_logger(const std::string& log_json, const std::string& log_level,
+                     bool debug) {
+  gcr::log::Options lopts;
+  std::string level = log_level;
+  if (level.empty())
+    if (const char* env = std::getenv("GCR_LOG_LEVEL")) level = env;
+  if (!level.empty()) {
+    if (const auto l = gcr::log::parse_level(level)) lopts.level = *l;
+  }
+  if (debug && static_cast<int>(lopts.level) >
+                   static_cast<int>(gcr::log::Level::Debug))
+    lopts.level = gcr::log::Level::Debug;
+  lopts.stderr_level =
+      debug ? gcr::log::Level::Debug : gcr::log::Level::Warn;
+  lopts.json_path = log_json;
+  if (lopts.json_path.empty())
+    if (const char* env = std::getenv("GCR_LOG")) lopts.json_path = env;
+  const bool ok = gcr::log::Logger::instance().init(std::move(lopts));
+  gcr::log::install_guard_bridge();
+  return ok;
+}
+
+/// Drains and closes the logger on every exit path out of main.
+struct LogScope {
+  ~LogScope() {
+    gcr::log::remove_guard_bridge();
+    gcr::log::Logger::instance().shutdown();
+  }
+};
 
 int report_diff(const verify::DiffStats& stats, bool replayed) {
   std::cout << "designs " << stats.designs << ", routes " << stats.routes
@@ -165,13 +209,14 @@ int report_diff(const verify::DiffStats& stats, bool replayed) {
 int run_tree_mode(const Args& a) {
   std::ifstream is(a.tree_file);
   if (!is) {
-    std::cerr << "error: cannot open " << a.tree_file << '\n';
+    GCR_LOG_ERROR("check.io").msg("cannot open " + a.tree_file);
     return guard::kExitInvalidInput;
   }
   guard::Diag diag;
   const std::optional<ct::RoutedTree> tree =
       io::read_routed_tree(is, diag, a.tree_file);
-  diag.print(std::cerr);
+  // Parse diagnostics already reached stderr + the event log through the
+  // guard bridge as they were reported.
   if (!tree) return diag.exit_code();
   const verify::Report rep =
       verify::verify_tree(*tree, tech::TechParams{}, a.skew_bound);
@@ -193,20 +238,15 @@ int run_file_mode(const Args& a) {
   if (!tf) diag.error(guard::Code::Io, "cannot open " + a.stream);
   std::optional<activity::InstructionStream> stream =
       tf ? io::read_stream(tf, diag, a.stream) : std::nullopt;
-  if (!sinks || !rtl || !stream) {
-    diag.print(std::cerr);
-    return diag.exit_code();
-  }
+  // Parse/validate diagnostics flow through the guard bridge; no
+  // diag.print side channel.
+  if (!sinks || !rtl || !stream) return diag.exit_code();
 
   core::Design design{sinks->die, std::move(sinks->sinks), std::move(*rtl),
                       std::move(*stream), {}};
   // Strict semantic validation before the router (and its analyzer, which
   // indexes by raw ids) ever sees the design.
-  if (!guard::validate_design(design, diag)) {
-    diag.print(std::cerr);
-    return diag.exit_code();
-  }
-  diag.print(std::cerr);  // surviving warnings
+  if (!guard::validate_design(design, diag)) return diag.exit_code();
   const core::GatedClockRouter router(std::move(design));
 
   core::RouterOptions opts;
@@ -214,7 +254,7 @@ int run_file_mode(const Args& a) {
   else if (a.style == "gated") opts.style = core::TreeStyle::Gated;
   else if (a.style == "reduced") opts.style = core::TreeStyle::GatedReduced;
   else {
-    std::cerr << "unknown style: " << a.style << '\n';
+    GCR_LOG_ERROR("cli.bad_flag").kv("flag", "--style").kv("value", a.style);
     return guard::kExitUsage;
   }
   if (a.topology == "swcap")
@@ -225,7 +265,9 @@ int run_file_mode(const Args& a) {
     opts.topology = core::TopologyScheme::ActivityOnly;
   else if (a.topology == "mmm") opts.topology = core::TopologyScheme::Mmm;
   else {
-    std::cerr << "unknown topology: " << a.topology << '\n';
+    GCR_LOG_ERROR("cli.bad_flag")
+        .kv("flag", "--topology")
+        .kv("value", a.topology);
     return guard::kExitUsage;
   }
   opts.controller_partitions = a.partitions;
@@ -268,6 +310,16 @@ struct DisarmOnExit {
 };
 
 int run_faults_mode(std::uint64_t seed, bool verbose) {
+  // The sweeps below report thousands of *intentional* diagnostics; with
+  // the guard bridge live each one would become a warn/error event and a
+  // stderr line. Detach the hook for the duration and restore it on exit
+  // so only the harness's own findings reach the log.
+  const guard::DiagHook prev_hook = guard::set_diag_hook(nullptr);
+  struct RestoreHook {
+    guard::DiagHook prev;
+    ~RestoreHook() { guard::set_diag_hook(prev); }
+  } restore_hook{prev_hook};
+
   // Reference payloads: a generated design's three text files plus a small
   // routed tree, all written by the library's own writers so every byte
   // offset is a legal cut point of a valid file.
@@ -309,8 +361,11 @@ int run_faults_mode(std::uint64_t seed, bool verbose) {
   const auto crash = [&](const char* kind, const Payload& p, std::size_t at,
                          const char* what) {
     ++crashes;
-    std::cerr << "CRASH [" << kind << "] payload=" << p.name << " at=" << at
-              << ": " << what << '\n';
+    GCR_LOG_ERROR("faults.crash")
+        .kv("kind", kind)
+        .kv("payload", p.name)
+        .kv("at", static_cast<std::uint64_t>(at))
+        .msg(what);
   };
 
   // Sweep 1+2: short reads. Cut each payload at evenly spaced byte offsets;
@@ -392,10 +447,13 @@ int run_faults_mode(std::uint64_t seed, bool verbose) {
   }
   inj.disarm();
 
-  if (verbose)
-    for (const Payload& p : payloads)
-      std::cerr << "payload " << p.name << ": " << p.text.size()
-                << " bytes\n";
+  if (verbose) {
+    for (const Payload& p : payloads) {
+      GCR_LOG_DEBUG("faults.payload")
+          .kv("name", p.name)
+          .kv("bytes", static_cast<std::uint64_t>(p.text.size()));
+    }
+  }
 
   // Every injected fault left a FaultHit event in the flight recorder;
   // dump the tail so a CI failure in this harness comes with the exact
@@ -403,18 +461,21 @@ int run_faults_mode(std::uint64_t seed, bool verbose) {
   {
     const std::string fr = "gcr_check_faults.flightrec.json";
     if (guard::postmortem_dump(fr)) {
-      guard::Diag diag;
-      diag.warning(guard::Code::FlightRecorder,
-                   "flight record written to " + fr);
-      diag.print(std::cerr);
+      GCR_LOG_WARN("faults.flightrec").kv("path", fr);
     }
   }
+  GCR_LOG_INFO("faults.summary")
+      .kv("trials", trials)
+      .kv("points", points)
+      .kv("fired", fired)
+      .kv("crashes", crashes);
   std::cout << "fault injection: " << trials << " trials, " << points
             << " injection points, " << fired << " faults fired, " << crashes
             << " crashes\n";
   if (crashes > 0) return guard::kExitInternal;
   if (points < 200) {
-    std::cerr << "fault harness exercised fewer than 200 injection points\n";
+    GCR_LOG_ERROR("faults.coverage")
+        .msg("fault harness exercised fewer than 200 injection points");
     return guard::kExitInternal;
   }
   std::cout << "all injected faults surfaced as diagnostics\n";
@@ -430,6 +491,13 @@ int main(int argc, char** argv) {
     return guard::kExitUsage;
   }
   const Args& a = *parsed;
+  // Replay is an interactive diagnosis loop: per-design debug events are
+  // the whole point, so it gets the verbose floor automatically.
+  const bool debug_floor = a.verbose || !a.replay.empty();
+  LogScope log_scope;
+  if (!init_cli_logger(a.log_json, a.log_level, debug_floor)) {
+    GCR_LOG_ERROR("cli.log_open_failed").kv("path", a.log_json);
+  }
   try {
     if (a.faults) return run_faults_mode(a.seed, a.verbose);
     if (!a.tree_file.empty()) return run_tree_mode(a);
@@ -453,24 +521,25 @@ int main(int argc, char** argv) {
       } else {
         std::ifstream is(a.replay);
         if (!is) {
-          std::cerr << "error: cannot open replay artifact " << a.replay
-                    << '\n';
+          GCR_LOG_ERROR("check.io")
+              .msg("cannot open replay artifact " + a.replay);
           return guard::kExitInvalidInput;
         }
         const guard::Result<verify::DesignSpec> spec =
             verify::load_design_artifact(is, a.replay);
         if (!spec) {
-          std::cerr << spec.status().to_string() << '\n';
+          GCR_LOG_ERROR("check.replay_artifact")
+              .msg(spec.status().to_string());
           return guard::exit_code_for(spec.status().code);
         }
         seed = spec.value().seed;
-        std::cerr << "replaying artifact " << a.replay << " (seed " << seed
-                  << ")\n";
+        GCR_LOG_INFO("check.replay")
+            .kv("artifact", a.replay)
+            .kv("seed", seed);
       }
       verify::DiffOptions opts;
       opts.explicit_seeds = {seed};
       opts.dump_dir = a.dump_dir;
-      opts.log = &std::cerr;
       return report_diff(verify::run_differential(opts), true);
     }
     if (a.index_diff_designs > 0) {
@@ -478,7 +547,6 @@ int main(int argc, char** argv) {
       opts.num_designs = a.index_diff_designs;
       opts.seed = a.seed;
       opts.dump_dir = a.dump_dir;
-      if (a.verbose) opts.log = &std::cerr;
       return report_diff(verify::run_index_differential(opts), false);
     }
     if (a.random_designs > 0) {
@@ -486,14 +554,13 @@ int main(int argc, char** argv) {
       opts.num_designs = a.random_designs;
       opts.seed = a.seed;
       opts.dump_dir = a.dump_dir;
-      if (a.verbose) opts.log = &std::cerr;
       return report_diff(verify::run_differential(opts), false);
     }
   } catch (const guard::GuardError& e) {
-    std::cerr << e.status().to_string() << '\n';
+    GCR_LOG_ERROR("cli.guard_error").msg(e.status().to_string());
     return guard::exit_code_for(e.status().code);
   } catch (const std::exception& e) {
-    std::cerr << "internal error: " << e.what() << '\n';
+    GCR_LOG_ERROR("cli.internal_error").msg(e.what());
     return guard::kExitInternal;
   }
   usage();

@@ -16,6 +16,7 @@
 /// 3 deadline/resource exhausted, 4 internal error or selftest violation.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,6 +34,8 @@
 #include "io/svg.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
+#include "log/logger.h"
+#include "log/telemetry.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/session.h"
@@ -66,6 +69,9 @@ struct Args {
   bool mem_stats = false;
   bool selftest = false;
   long deadline_ms = -1;  // < 0 = unlimited; 0 = expire immediately
+  std::string log_json;   // JSONL event log ("" = GCR_LOG env or none)
+  std::string log_level;  // runtime floor ("" = GCR_LOG_LEVEL env or info)
+  int telemetry_interval_ms = 0;  // 0 = no periodic snapshots
 };
 
 void usage() {
@@ -104,6 +110,13 @@ void usage() {
          "                                   that completed and exits 3\n"
          "  --selftest                       re-derive all paper invariants on\n"
          "                                   the result; exit 4 on violation\n"
+         "  --log-json FILE                  structured gcr.event JSONL log\n"
+         "                                   (also via GCR_LOG=FILE)\n"
+         "  --log-level L                    trace|debug|info|warn|error|off\n"
+         "                                   runtime floor (GCR_LOG_LEVEL env;\n"
+         "                                   default info)\n"
+         "  --telemetry-interval-ms MS       periodic gcr.snapshot telemetry\n"
+         "                                   lines in the JSONL log\n"
          "exit codes: 0 ok, 1 usage, 2 invalid input, 3 deadline/resource,\n"
          "            4 internal error or selftest violation\n";
 }
@@ -161,6 +174,12 @@ std::optional<Args> parse(int argc, char** argv) {
       a.selftest = true;
     } else if (flag == "--deadline-ms") {
       if (const char* v = next()) a.deadline_ms = std::atol(v); else return std::nullopt;
+    } else if (flag == "--log-json") {
+      if (const char* v = next()) a.log_json = v; else return std::nullopt;
+    } else if (flag == "--log-level") {
+      if (const char* v = next()) a.log_level = v; else return std::nullopt;
+    } else if (flag == "--telemetry-interval-ms") {
+      if (const char* v = next()) a.telemetry_interval_ms = std::atoi(v); else return std::nullopt;
     } else {
       std::cerr << "unknown flag: " << flag << '\n';
       return std::nullopt;
@@ -168,6 +187,42 @@ std::optional<Args> parse(int argc, char** argv) {
   }
   return a;
 }
+
+/// CLI logger bring-up: flags override the GCR_LOG / GCR_LOG_LEVEL
+/// environment; --verbose lowers both the runtime floor and the human
+/// stderr floor to debug. Returns false when the JSONL path could not be
+/// opened (the logger still runs with the remaining sinks).
+bool init_cli_logger(const std::string& log_json, const std::string& log_level,
+                     bool verbose) {
+  gcr::log::Options lopts;
+  std::string level = log_level;
+  if (level.empty())
+    if (const char* env = std::getenv("GCR_LOG_LEVEL")) level = env;
+  if (!level.empty()) {
+    if (const auto l = gcr::log::parse_level(level)) lopts.level = *l;
+  }
+  if (verbose && static_cast<int>(lopts.level) >
+                     static_cast<int>(gcr::log::Level::Debug))
+    lopts.level = gcr::log::Level::Debug;
+  lopts.stderr_level =
+      verbose ? gcr::log::Level::Debug : gcr::log::Level::Warn;
+  lopts.json_path = log_json;
+  if (lopts.json_path.empty())
+    if (const char* env = std::getenv("GCR_LOG")) lopts.json_path = env;
+  const bool ok = gcr::log::Logger::instance().init(std::move(lopts));
+  gcr::log::install_guard_bridge();
+  return ok;
+}
+
+/// Drains and closes the logger on every exit path out of main.
+struct LogScope {
+  gcr::log::TelemetryEmitter telemetry;
+  ~LogScope() {
+    if (telemetry.running()) (void)telemetry.stop();
+    gcr::log::remove_guard_bridge();
+    gcr::log::Logger::instance().shutdown();
+  }
+};
 
 int write_demo(const std::string& dir) {
   benchdata::RBenchSpec spec{"demo", 64, 10000.0, 0.005, 0.06, 11};
@@ -207,6 +262,11 @@ int main(int argc, char** argv) {
     return guard::kExitUsage;
   }
 
+  LogScope log_scope;
+  if (!init_cli_logger(a.log_json, a.log_level, a.verbose)) {
+    GCR_LOG_ERROR("cli.log_open_failed").kv("path", a.log_json);
+  }
+
   try {
     guard::Diag diag;
     std::ifstream sf(a.sinks);
@@ -221,21 +281,16 @@ int main(int argc, char** argv) {
     if (!tf) diag.error(guard::Code::Io, "cannot open " + a.stream);
     std::optional<activity::InstructionStream> stream =
         tf ? io::read_stream(tf, diag, a.stream) : std::nullopt;
-    if (!sinks || !rtl || !stream) {
-      diag.print(std::cerr);
-      return diag.exit_code();
-    }
+    // The guard bridge has already turned every Diag entry into a stderr
+    // line + structured event as it was reported; no diag.print here.
+    if (!sinks || !rtl || !stream) return diag.exit_code();
 
     core::Design design{sinks->die, std::move(sinks->sinks), std::move(*rtl),
                         std::move(*stream), {}};
     // Semantic validation must run before the router is constructed: the
     // activity analyzer indexes by raw stream/module ids, so a bad design
     // cannot be caught after the fact.
-    if (!guard::validate_design(design, diag)) {
-      diag.print(std::cerr);
-      return diag.exit_code();
-    }
-    diag.print(std::cerr);  // surviving warnings only
+    if (!guard::validate_design(design, diag)) return diag.exit_code();
 
     // Observability: bind a session before the router is constructed so
     // the activity-analysis phase inside the constructor is captured.
@@ -245,8 +300,9 @@ int main(int argc, char** argv) {
       if (perf::memhook::available())
         perf::memhook::enable();  // before any phase runs
       else
-        std::cerr << "--mem-stats: allocation hook unavailable on this "
-                     "platform; reporting peak RSS only\n";
+        GCR_LOG_WARN("route.memhook_unavailable")
+            .msg("--mem-stats: allocation hook unavailable on this "
+                 "platform; reporting peak RSS only");
     }
     obs::Session session;
     obs::MemoryTraceSink trace_sink;
@@ -274,7 +330,7 @@ int main(int argc, char** argv) {
     else if (a.style == "gated") opts.style = core::TreeStyle::Gated;
     else if (a.style == "reduced") opts.style = core::TreeStyle::GatedReduced;
     else {
-      std::cerr << "unknown style: " << a.style << '\n';
+      GCR_LOG_ERROR("cli.bad_flag").kv("flag", "--style").kv("value", a.style);
       return guard::kExitUsage;
     }
     if (a.topology == "swcap") opts.topology = core::TopologyScheme::MinSwitchedCap;
@@ -282,7 +338,9 @@ int main(int argc, char** argv) {
     else if (a.topology == "activity") opts.topology = core::TopologyScheme::ActivityOnly;
     else if (a.topology == "mmm") opts.topology = core::TopologyScheme::Mmm;
     else {
-      std::cerr << "unknown topology: " << a.topology << '\n';
+      GCR_LOG_ERROR("cli.bad_flag")
+          .kv("flag", "--topology")
+          .kv("value", a.topology);
       return guard::kExitUsage;
     }
     opts.controller_partitions = a.partitions;
@@ -298,6 +356,8 @@ int main(int argc, char** argv) {
         a.deadline_ms >= 0
             ? guard::Deadline::after_ms(static_cast<double>(a.deadline_ms))
             : guard::Deadline();
+    if (a.telemetry_interval_ms > 0)
+      log_scope.telemetry.start({a.telemetry_interval_ms});
     core::RouteOutcome out = router.route_guarded(opts, deadline);
     if (!out.ok()) {
       if (!a.profile.empty()) {
@@ -307,12 +367,17 @@ int main(int argc, char** argv) {
           out.diag.warning(guard::Code::FlightRecorder,
                            "flight record written to " + fr);
       }
-      out.diag.print(std::cerr);
+      // Every diag entry already went through the bridge; add the partial
+      // report so the truncated run stays diagnosable from the event log.
       if (out.cancelled) {
-        std::cerr << "partial report: phases completed [";
-        for (std::size_t i = 0; i < out.phases_completed.size(); ++i)
-          std::cerr << (i ? " " : "") << out.phases_completed[i];
-        std::cerr << "]; aborted in " << out.aborted_phase << '\n';
+        std::string done;
+        for (std::size_t i = 0; i < out.phases_completed.size(); ++i) {
+          if (i) done += ' ';
+          done += out.phases_completed[i];
+        }
+        GCR_LOG_WARN("route.partial")
+            .kv("phases_completed", done)
+            .kv("aborted_in", out.aborted_phase);
       }
       return out.exit_code();
     }
@@ -320,7 +385,10 @@ int main(int argc, char** argv) {
 
     if (a.selftest) {
       const verify::Report rep = verify::verify_result(router, opts, r);
-      std::cerr << "selftest: " << rep.summary() << '\n';
+      if (rep.ok())
+        GCR_LOG_INFO("route.selftest").kv("ok", true).msg(rep.summary());
+      else
+        GCR_LOG_ERROR("route.selftest").kv("ok", false).msg(rep.summary());
       if (!rep.ok()) return guard::kExitInternal;
     }
 
@@ -404,10 +472,10 @@ int main(int argc, char** argv) {
       io::write_routed_tree(os, r.tree);
     }
   } catch (const guard::GuardError& e) {
-    std::cerr << e.status().to_string() << '\n';
+    GCR_LOG_ERROR("cli.guard_error").msg(e.status().to_string());
     return guard::exit_code_for(e.status().code);
   } catch (const std::exception& e) {
-    std::cerr << "internal error: " << e.what() << '\n';
+    GCR_LOG_ERROR("cli.internal_error").msg(e.what());
     return guard::kExitInternal;
   }
   return guard::kExitOk;
