@@ -41,6 +41,17 @@ expect 2 "$BUILD"/tools/gcr_check --replay /nonexistent-artifact.json
 demo="$(mktemp -d)"
 trap 'rm -rf "$demo"' EXIT
 "$BUILD"/tools/gcr_route --demo "$demo" > /dev/null
+
+# ECO deltas ride the same contract: a syntactically broken .delta and a
+# semantically invalid one (sink index out of range) are both exit 2.
+printf 'delta\nmove 0 nan 5\n' > "$demo/bad_syntax.delta"
+printf 'delta\nmove 99999 5 5\n' > "$demo/bad_semantics.delta"
+expect 2 "$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" \
+  --rtl "$demo/demo.rtl" --stream "$demo/demo.stream" \
+  --eco "$demo/bad_syntax.delta"
+expect 2 "$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" \
+  --rtl "$demo/demo.rtl" --stream "$demo/demo.stream" \
+  --eco "$demo/bad_semantics.delta"
 expect 3 "$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" \
   --rtl "$demo/demo.rtl" --stream "$demo/demo.stream" \
   --auto-tune --deadline-ms 0

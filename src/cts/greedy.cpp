@@ -31,6 +31,24 @@ constexpr double kLbSlack = 1.0 - 1e-9;
 constexpr std::int64_t kRecomputeGrain = 16;  ///< items are O(front) scans
 constexpr std::int64_t kRefreshGrain = 64;    ///< items are one pair cost
 
+/// Width-aware serial cutover (docs/observability.md worked diagnosis):
+/// a pool dispatch costs ~29us of wakeup latency, lock traffic and
+/// straggler wait, so fanning out a scan whose total work is smaller than
+/// that just parks the caller while workers fight over crumbs -- the
+/// measured t>1 regression. Below the cutover the same chunks run inline
+/// on the calling thread (par::parallel_* with width 1), which by the
+/// determinism contract computes bit-identical results; the cutover may
+/// therefore depend on any estimate, however rough, without affecting the
+/// built topology. 2x the dispatch cost keeps the fan-out comfortably
+/// ahead of the overhead even at width 2.
+constexpr std::int64_t kDispatchOverheadNs = 29'000;
+constexpr std::int64_t kSerialCutoverNs = 2 * kDispatchOverheadNs;
+/// Rough per-item costs for the estimate: one exact Eq. 3 pair evaluation
+/// (closed-form balance split + a handful of flops), and one indexed
+/// best-partner query (bucket walk + a few surviving pair evaluations).
+constexpr std::int64_t kPairEvalNs = 60;
+constexpr std::int64_t kIndexQueryNs = 900;
+
 struct Candidate {
   int node{-1};  ///< topology node id
   ct::SubtreeTap tap;
@@ -200,7 +218,7 @@ class SeedGrid {
 
 class GreedyEngine {
  public:
-  GreedyEngine(std::span<const SeedSink> seeds,
+  GreedyEngine(std::span<const TapSeed> seeds,
                const activity::ActivityAnalyzer* analyzer,
                const BuildOptions& opts)
       : opts_(opts),
@@ -218,12 +236,16 @@ class GreedyEngine {
     best_.resize(cands_.size());
     pos_.assign(cands_.size(), -1);
 
+    // Seed bounding box over merging-segment centers. Centers suffice: the
+    // grid and the index only use the box for bucketing and clamp outliers
+    // to the border cells, never for correctness.
     double xlo = kInf, xhi = -kInf, ylo = kInf, yhi = -kInf;
-    for (const SeedSink& seed : seeds) {
-      xlo = std::min(xlo, seed.sink.loc.x);
-      xhi = std::max(xhi, seed.sink.loc.x);
-      ylo = std::min(ylo, seed.sink.loc.y);
-      yhi = std::max(yhi, seed.sink.loc.y);
+    for (const TapSeed& seed : seeds) {
+      const geom::Point c = seed.tap.ms.center();
+      xlo = std::min(xlo, c.x);
+      xhi = std::max(xhi, c.x);
+      ylo = std::min(ylo, c.y);
+      yhi = std::max(yhi, c.y);
     }
     // Distance tie term for ActivityOnly: every merging segment stays
     // inside the seed bounding box, so dist <= diag and the term stays
@@ -240,12 +262,10 @@ class GreedyEngine {
     }
 
     for (int i = 0; i < n; ++i) {
-      const SeedSink& seed = seeds[static_cast<std::size_t>(i)];
+      const TapSeed& seed = seeds[static_cast<std::size_t>(i)];
       Candidate& c = cands_[static_cast<std::size_t>(i)];
       c.node = i;
-      c.tap.ms = geom::TiltedRect::from_point(seed.sink.loc);
-      c.tap.delay = 0.0;
-      c.tap.cap = seed.sink.cap;
+      c.tap = seed.tap;
       c.alive = true;
       if (analyzer_) {
         c.mask = seed.mask;
@@ -338,6 +358,18 @@ class GreedyEngine {
     pos_[static_cast<std::size_t>(id)] = -1;
     if (prune_) grid_.remove(id);
     if (indexed_) index_.remove(id);
+  }
+
+  /// Effective width for a sharded scan whose estimated total work is
+  /// `items * ns_per_item` nanoseconds: 1 (inline on the caller, no pool
+  /// dispatch) below the serial cutover, the full configured width above
+  /// it. Chunk boundaries depend only on the range and the grain, so the
+  /// inline and fanned-out runs compute bit-identical results -- the
+  /// estimate only trades wall time, never the topology.
+  [[nodiscard]] int scan_width(std::int64_t items,
+                               std::int64_t ns_per_item) const {
+    if (width_ <= 1) return 1;
+    return items * ns_per_item < kSerialCutoverNs ? 1 : width_;
   }
 
   /// Cost of merging two live candidates. Deliberately uninstrumented --
@@ -514,7 +546,7 @@ class GreedyEngine {
   /// then serially linked in id order.
   void init_index_bests() {
     const auto n = static_cast<std::int64_t>(active_.size());
-    par::parallel_for(width_, 0, n, kRecomputeGrain,
+    par::parallel_for(scan_width(n, kIndexQueryNs), 0, n, kRecomputeGrain,
                       [&](std::int64_t b, std::int64_t e) {
                         for (std::int64_t p = b; p < e; ++p)
                           index_recompute(active_[static_cast<std::size_t>(p)]);
@@ -602,9 +634,20 @@ class GreedyEngine {
     // Phase 1: refresh stale / invalidated best-partner entries, sharded
     // across the pool. Each item writes only best_[active_[pos]]; all
     // shared state (cands_, active_, the grid) is read-only here.
+    // The width estimate counts the entries a chunk would actually
+    // recompute (a cheap flag scan), each an O(front) rescan: late in the
+    // run -- and on every merge that invalidates only a couple of cached
+    // partners -- the whole phase is smaller than one pool dispatch.
     const auto num_active = static_cast<std::int64_t>(active_.size());
+    std::int64_t stale = 0;
+    for (const int i : active_) {
+      const BestPartner& bp = best_[static_cast<std::size_t>(i)];
+      if (bp.stale || !cands_[static_cast<std::size_t>(bp.partner)].alive)
+        ++stale;
+    }
     par::parallel_for(
-        width_, 0, num_active, kRecomputeGrain,
+        scan_width(stale * num_active, kPairEvalNs), 0, num_active,
+        kRecomputeGrain,
         [&](std::int64_t b, std::int64_t e) {
           for (std::int64_t p = b; p < e; ++p) {
             const int i = active_[static_cast<std::size_t>(p)];
@@ -722,7 +765,8 @@ class GreedyEngine {
     };
     const auto num_active = static_cast<std::int64_t>(active_.size());
     const ChunkBest total = par::parallel_reduce(
-        width_, 0, num_active, kRefreshGrain, ChunkBest{},
+        scan_width(num_active, kPairEvalNs), 0, num_active, kRefreshGrain,
+        ChunkBest{},
         [&](std::int64_t bpos, std::int64_t epos) {
           ChunkBest cb_local;
           for (std::int64_t p = bpos; p < epos; ++p) {
@@ -802,9 +846,9 @@ class GreedyEngine {
 
 }  // namespace
 
-BuildResult build_topology_seeded(std::span<const SeedSink> seeds,
-                                  const activity::ActivityAnalyzer* analyzer,
-                                  const BuildOptions& opts) {
+BuildResult build_topology_taps(std::span<const TapSeed> seeds,
+                                const activity::ActivityAnalyzer* analyzer,
+                                const BuildOptions& opts) {
   if (seeds.empty()) return BuildResult{ct::Topology(0), {}, {}, {}};
   if (seeds.size() == 1) {
     BuildResult out{ct::Topology(1), {}, {}, {}};
@@ -817,6 +861,22 @@ BuildResult build_topology_seeded(std::span<const SeedSink> seeds,
   }
   GreedyEngine engine(seeds, analyzer, opts);
   return engine.run();
+}
+
+BuildResult build_topology_seeded(std::span<const SeedSink> seeds,
+                                  const activity::ActivityAnalyzer* analyzer,
+                                  const BuildOptions& opts) {
+  std::vector<TapSeed> taps;
+  taps.reserve(seeds.size());
+  for (const SeedSink& s : seeds) {
+    TapSeed t;
+    t.tap.ms = geom::TiltedRect::from_point(s.sink.loc);
+    t.tap.delay = 0.0;
+    t.tap.cap = s.sink.cap;
+    t.mask = s.mask;
+    taps.push_back(std::move(t));
+  }
+  return build_topology_taps(taps, analyzer, opts);
 }
 
 BuildResult build_topology(std::span<const ct::Sink> sinks,

@@ -136,6 +136,24 @@ struct SeedSink {
     std::span<const SeedSink> seeds,
     const activity::ActivityAnalyzer* analyzer, const BuildOptions& opts);
 
+/// A starting candidate that is already a merged subtree: its electrical
+/// tap (merging segment, zero-skew delay, downstream cap) plus activation
+/// mask. This is the ECO re-entry surface (src/eco/): preserved subtrees
+/// of a previous route enter the greedy front exactly as the engine's own
+/// internal candidates would, so the spine re-merge prices them with the
+/// same Eq. 3 terms as a from-scratch run.
+struct TapSeed {
+  ct::SubtreeTap tap;
+  activity::ActivationMask mask;
+};
+
+/// Build a topology over subtree-valued seeds; leaf i of the result is
+/// seed i. Same contract as build_topology_seeded (empty span -> empty
+/// result, `analyzer` nullable only for NearestNeighbor cost).
+[[nodiscard]] BuildResult build_topology_taps(
+    std::span<const TapSeed> seeds,
+    const activity::ActivityAnalyzer* analyzer, const BuildOptions& opts);
+
 /// Identity sink->module map helper.
 [[nodiscard]] std::vector<int> identity_modules(int num_sinks);
 

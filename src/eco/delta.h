@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "activity/stream.h"
+#include "clocktree/sink.h"
+#include "core/design.h"
+#include "geom/point.h"
+#include "guard/status.h"
+
+/// \file delta.h
+/// ECO design deltas: the edit set an incremental re-route consumes
+/// (docs/incremental.md). A delta names its edits against the *base*
+/// design's sink indices; `apply_delta` realizes the post-ECO design and
+/// `sink_index_map` gives the survivor renumbering (removals compact the
+/// sink list, adds append). The on-disk `.delta` text format lives in
+/// io/delta_io.h.
+
+namespace gcr::eco {
+
+/// Relocate base sink `sink` to `to` (load cap unchanged).
+struct SinkMove {
+  int sink{-1};
+  geom::Point to;
+};
+
+/// Append a new sink driven by an existing RTL module.
+struct SinkAdd {
+  ct::Sink sink;
+  int module{-1};
+};
+
+struct DesignDelta {
+  std::vector<SinkMove> moves;
+  std::vector<int> removes;  ///< base sink indices, removed from the design
+  std::vector<SinkAdd> adds;
+  /// Workload drift: when set, replaces the base design's instruction
+  /// stream. Activation masks are RTL-derived and unchanged; every node
+  /// probability is recomputed from the new stream.
+  std::optional<activity::InstructionStream> stream;
+
+  [[nodiscard]] bool empty() const {
+    return moves.empty() && removes.empty() && adds.empty() &&
+           !stream.has_value();
+  }
+  /// True when the delta changes the sink set (and hence the topology
+  /// cone); a pure stream replacement preserves the whole tree structure.
+  [[nodiscard]] bool structural() const {
+    return !(moves.empty() && removes.empty() && adds.empty());
+  }
+};
+
+/// Semantic validation against the base design: indices in range, each
+/// sink touched at most once (two moves of one sink, or a move plus a
+/// removal, is an error), finite coordinates and caps, known modules,
+/// in-range stream instruction ids, and a non-empty post-ECO sink set.
+/// Reports every finding into `diag`; returns false when any is an error.
+[[nodiscard]] bool validate_delta(const core::Design& base,
+                                  const DesignDelta& delta, guard::Diag& diag);
+
+/// The post-ECO design: moves applied in place, removed sinks erased with
+/// the survivors' order preserved (compaction), added sinks appended. The
+/// sink->module map is materialized whenever removals or adds would break
+/// the implicit identity mapping. Requires validate_delta to have passed.
+[[nodiscard]] core::Design apply_delta(const core::Design& base,
+                                       const DesignDelta& delta);
+
+/// base sink index -> post-ECO sink index; -1 for removed sinks.
+[[nodiscard]] std::vector<int> sink_index_map(const core::Design& base,
+                                              const DesignDelta& delta);
+
+}  // namespace gcr::eco

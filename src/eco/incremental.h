@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "core/router.h"
+#include "eco/delta.h"
+#include "guard/deadline.h"
+
+/// \file incremental.h
+/// Incremental ECO re-routing (docs/incremental.md): given a finished
+/// route of the base design and a DesignDelta, rebuild only the
+/// *invalidation cone* -- the merge path from each touched sink to the
+/// root -- and splice everything else from the previous tree unchanged.
+///
+/// The algorithm:
+///   1. Mark the previous tree's dirty nodes: every moved/removed leaf
+///      and all of its ancestors. Clean is downward-closed, so the clean
+///      nodes form maximal preserved subtrees.
+///   2. Replay the preserved merges into a fresh topology (ascending old
+///      id = valid bottom-up order) and recompute their construction taps
+///      (merging segment, zero-skew delay, cap) bottom-up -- closed-form
+///      zero-skew merges, no embedding.
+///   3. Re-merge the *spine*: the preserved subtree roots plus moved and
+///      added leaves enter the greedy engine as cts::TapSeed candidates,
+///      priced by the same Eq. 3 terms (through the same PartnerIndex) as
+///      a from-scratch run.
+///   4. Re-run gate reduction on the cone only (gating::reduce_gates_cone
+///      copies the previous gate bits elsewhere) and re-embed.
+///
+/// Outside the cone every bottom-up field of the result (edge lengths,
+/// caps, delays, gate bits and sizes) is bit-identical to the previous
+/// route, because each is a pure function of subtree structure, sinks and
+/// gate bits -- all unchanged there. Embedded *locations* are top-down
+/// (each node placed nearest its placed parent) and may legitimately
+/// shift when a spine ancestor moves; they are excluded from the
+/// preservation contract. `gcr_check --eco-diff` enforces both halves of
+/// the contract (verify::run_eco_differential).
+
+namespace gcr::eco {
+
+/// Provenance and statistics of one incremental re-route, for the
+/// differential checker and for telemetry.
+struct EcoInfo {
+  /// new tree node id -> previous tree node id for nodes carried over
+  /// (surviving leaves and replayed preserved merges); -1 for added
+  /// leaves and re-merged spine nodes.
+  std::vector<int> old_of;
+  /// new tree node id -> inside the invalidation cone (re-merged spine,
+  /// touched leaves, preserved-subtree roots, activity-dirty nodes).
+  /// Gate decisions are recomputed exactly here; everything else copies
+  /// the previous route.
+  std::vector<bool> in_cone;
+  int dirty_leaves{0};      ///< moved + removed + added sinks
+  int preserved_merges{0};  ///< internal merges replayed from the prev tree
+  int spine_seeds{0};       ///< candidates entering the re-merge engine
+  int spine_merges{0};      ///< merges the engine re-decided
+};
+
+/// Incrementally re-route `router`'s design under `delta`, starting from
+/// `prev` (a finished result of router.route(opts) on the *base* design).
+/// Mirrors route_guarded: validates the delta, installs `deadline` as the
+/// ambient deadline, converts guard errors and cancellation into
+/// diagnostics on the outcome. opts.auto_tune_reduction is not supported
+/// incrementally (the sweep would re-reduce the whole tree); it falls
+/// back to opts.reduction. When `info` is non-null it receives the cone
+/// provenance of the run.
+[[nodiscard]] core::RouteOutcome route_incremental(
+    const core::GatedClockRouter& router, const core::RouterResult& prev,
+    const DesignDelta& delta, const core::RouterOptions& opts,
+    EcoInfo* info = nullptr,
+    const guard::Deadline& deadline = guard::Deadline());
+
+}  // namespace gcr::eco

@@ -25,10 +25,18 @@ GateReductionParams GateReductionParams::from_strength(double s) {
   return p;
 }
 
-std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
-                               const std::vector<double>& p_en,
-                               const tech::TechParams& tech,
-                               const GateReductionParams& params) {
+namespace {
+
+/// Shared single ascending pass. `in_cone`/`prev_gated` are null for the
+/// full reduction; when set, out-of-cone nodes copy prev_gated and skip
+/// the rules (the acc[] state is still maintained for them, so in-cone
+/// parents see the same accumulated-capacitance inputs a full pass would).
+std::vector<bool> reduce_pass(const ct::RoutedTree& fully_gated,
+                              const std::vector<double>& p_en,
+                              const tech::TechParams& tech,
+                              const GateReductionParams& params,
+                              const std::vector<bool>* in_cone,
+                              const std::vector<bool>* prev_gated) {
   const obs::ScopedTimer obs_timer("reduce");
   obs::TraceSink* trace = obs::active_trace();
   std::uint64_t removed = 0, forced = 0;
@@ -50,10 +58,13 @@ std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
     const double edge_swcap =
         (tech.wire_cap(node.edge_len) + node.down_cap) * p;
 
+    const bool scoped_out =
+        in_cone != nullptr && !(*in_cone)[static_cast<std::size_t>(id)];
     const bool rule1 = p >= params.theta_activity;
     const bool rule2 = edge_swcap < params.theta_swcap;
     const bool rule3 = (p_parent - p) < params.theta_parent;
-    bool remove = rule1 || rule2 || rule3;
+    bool remove = scoped_out ? !(*prev_gated)[static_cast<std::size_t>(id)]
+                             : (rule1 || rule2 || rule3);
 
     double below = 0.0;
     if (node.is_leaf()) {
@@ -68,9 +79,12 @@ std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
     const double branch_cap = tech.wire_cap(node.edge_len) + below;
 
     // Forced insertion: never let an ungated subtree grow past the cap a
-    // single gate is allowed to drive.
+    // single gate is allowed to drive. Copied out-of-cone decisions embed
+    // the previous run's forced insertions already, so the guard only
+    // applies to freshly-decided nodes.
     const bool force =
-        remove && branch_cap >= params.force_cap_multiple * tech.gate_input_cap;
+        !scoped_out && remove &&
+        branch_cap >= params.force_cap_multiple * tech.gate_input_cap;
     if (force) remove = false;
 
     gated[static_cast<std::size_t>(id)] = !remove;
@@ -79,7 +93,7 @@ std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
 
     removed += remove ? 1 : 0;
     forced += force ? 1 : 0;
-    if (trace) {
+    if (trace && !scoped_out) {
       obs::Session* s = obs::current();
       obs::TraceEvent e;
       e.name = "reduce";
@@ -107,6 +121,26 @@ std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
     reg.counter("reduction.passes").inc();
   }
   return gated;
+}
+
+}  // namespace
+
+std::vector<bool> reduce_gates(const ct::RoutedTree& fully_gated,
+                               const std::vector<double>& p_en,
+                               const tech::TechParams& tech,
+                               const GateReductionParams& params) {
+  return reduce_pass(fully_gated, p_en, tech, params, nullptr, nullptr);
+}
+
+std::vector<bool> reduce_gates_cone(const ct::RoutedTree& fully_gated,
+                                    const std::vector<double>& p_en,
+                                    const tech::TechParams& tech,
+                                    const GateReductionParams& params,
+                                    const std::vector<bool>& in_cone,
+                                    const std::vector<bool>& prev_gated) {
+  assert(static_cast<int>(in_cone.size()) == fully_gated.num_nodes());
+  assert(static_cast<int>(prev_gated.size()) == fully_gated.num_nodes());
+  return reduce_pass(fully_gated, p_en, tech, params, &in_cone, &prev_gated);
 }
 
 }  // namespace gcr::gating

@@ -45,4 +45,19 @@ struct GateReductionParams {
                                              const tech::TechParams& tech,
                                              const GateReductionParams& params);
 
+/// Cone-scoped reduction for incremental re-routes (src/eco/): nodes with
+/// `in_cone[id]` set get the full rule-1/2/3 + forced-insertion decision;
+/// every other node keeps `prev_gated[id]` verbatim. The accumulated
+/// ungated-capacitance state is recomputed everywhere with the same
+/// formula, so outside the cone -- where the subtree geometry and P(EN)
+/// are unchanged by construction -- the copied bit equals what the full
+/// pass would re-derive, and the ECO contract's "bit-identical outside
+/// the cone" holds for the gate set. Inside the cone (re-merged spine,
+/// preserved-subtree roots whose parent edge changed, activity-dirty
+/// nodes) the decision is recomputed against the current inputs.
+[[nodiscard]] std::vector<bool> reduce_gates_cone(
+    const ct::RoutedTree& fully_gated, const std::vector<double>& p_en,
+    const tech::TechParams& tech, const GateReductionParams& params,
+    const std::vector<bool>& in_cone, const std::vector<bool>& prev_gated);
+
 }  // namespace gcr::gating

@@ -1,0 +1,187 @@
+#include "io/delta_io.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "guard/lexer.h"
+#include "guard/validate.h"
+
+namespace gcr::io {
+
+namespace {
+
+using guard::Code;
+using guard::Diag;
+using guard::Lexer;
+using guard::LineCursor;
+
+}  // namespace
+
+void write_delta(std::ostream& os, const eco::DesignDelta& delta) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# gcr design delta\n";
+  os << "delta\n";
+  for (const eco::SinkMove& mv : delta.moves)
+    os << "move " << mv.sink << ' ' << mv.to.x << ' ' << mv.to.y << '\n';
+  for (const int r : delta.removes) os << "remove " << r << '\n';
+  for (const eco::SinkAdd& add : delta.adds)
+    os << "add " << add.sink.loc.x << ' ' << add.sink.loc.y << ' '
+       << add.sink.cap << ' ' << add.module << '\n';
+  if (delta.stream.has_value()) {
+    os << "stream";
+    for (const activity::InstrId id : delta.stream->seq) os << ' ' << id;
+    os << '\n';
+  }
+}
+
+std::optional<eco::DesignDelta> read_delta(std::istream& is, guard::Diag& diag,
+                                           const std::string& filename) {
+  const std::size_t errors_before = diag.error_count();
+  Lexer lx(is, filename);
+  if (!lx.ok()) {
+    diag.report(lx.load_status());
+    return std::nullopt;
+  }
+  if (lx.num_lines() == 0) {
+    diag.error(Code::Header, "expected 'delta' header", lx.end_loc());
+    return std::nullopt;
+  }
+  {
+    LineCursor c = lx.cursor(0);
+    std::string_view tag;
+    if (!c.next_token(tag) || tag != "delta") {
+      diag.error(Code::Header, "expected 'delta' header", c.loc());
+      return std::nullopt;
+    }
+    if (!c.at_end())
+      diag.error(Code::Parse, "trailing garbage after delta header", c.loc());
+  }
+
+  eco::DesignDelta d;
+  for (std::size_t i = 1; i < lx.num_lines(); ++i) {
+    LineCursor c = lx.cursor(i);
+    std::string_view tag;
+    if (!c.next_token(tag)) continue;
+    if (tag == "move") {
+      eco::SinkMove mv;
+      if (!c.next_int(mv.sink) || !c.next_double(mv.to.x) ||
+          !c.next_double(mv.to.y)) {
+        diag.error(Code::Parse, "malformed move (need 'move sink x y')",
+                   c.loc());
+        continue;
+      }
+      if (!c.at_end()) {
+        diag.error(Code::Parse, "trailing garbage after move target", c.loc());
+        continue;
+      }
+      if (mv.sink < 0) {
+        diag.error(Code::Range, "move names a negative sink index",
+                   lx.line_loc(i));
+        continue;
+      }
+      if (!guard::finite_normal(mv.to.x) || !guard::finite_normal(mv.to.y)) {
+        diag.error(Code::NonFinite,
+                   "move target is NaN, infinite or denormal", lx.line_loc(i));
+        continue;
+      }
+      d.moves.push_back(mv);
+    } else if (tag == "remove") {
+      int sink = 0;
+      if (!c.next_int(sink)) {
+        diag.error(Code::Parse, "malformed remove (need 'remove sink')",
+                   c.loc());
+        continue;
+      }
+      if (!c.at_end()) {
+        diag.error(Code::Parse, "trailing garbage after removed sink",
+                   c.loc());
+        continue;
+      }
+      if (sink < 0) {
+        diag.error(Code::Range, "remove names a negative sink index",
+                   lx.line_loc(i));
+        continue;
+      }
+      d.removes.push_back(sink);
+    } else if (tag == "add") {
+      eco::SinkAdd add;
+      if (!c.next_double(add.sink.loc.x) || !c.next_double(add.sink.loc.y) ||
+          !c.next_double(add.sink.cap) || !c.next_int(add.module)) {
+        diag.error(Code::Parse, "malformed add (need 'add x y cap module')",
+                   c.loc());
+        continue;
+      }
+      if (!c.at_end()) {
+        diag.error(Code::Parse, "trailing garbage after added sink's module",
+                   c.loc());
+        continue;
+      }
+      if (!guard::finite_normal(add.sink.loc.x) ||
+          !guard::finite_normal(add.sink.loc.y) ||
+          !guard::finite_normal(add.sink.cap)) {
+        diag.error(Code::NonFinite,
+                   "added sink has a NaN, infinite or denormal field",
+                   lx.line_loc(i));
+        continue;
+      }
+      if (add.sink.cap <= 0.0) {
+        diag.error(Code::BadCap, "added sink's load cap must be positive",
+                   lx.line_loc(i));
+        continue;
+      }
+      if (add.module < 0) {
+        diag.error(Code::Range, "added sink names a negative module id",
+                   lx.line_loc(i));
+        continue;
+      }
+      d.adds.push_back(add);
+    } else if (tag == "stream") {
+      if (d.stream.has_value()) {
+        diag.error(Code::Duplicate,
+                   "delta declares more than one replacement stream",
+                   lx.line_loc(i));
+        continue;
+      }
+      activity::InstructionStream s;
+      bool bad = false;
+      while (!c.at_end()) {
+        int id = 0;
+        if (!c.next_int(id)) {
+          diag.error(Code::Parse,
+                     "stream entry '" + std::string(c.last_token()) +
+                         "' is not an instruction id",
+                     c.loc());
+          bad = true;
+          break;  // rest of the line is unreliable
+        }
+        if (id < 0) {
+          diag.error(Code::Range, "negative instruction id", c.loc());
+          bad = true;
+          continue;
+        }
+        s.seq.push_back(id);
+      }
+      if (!bad) d.stream = std::move(s);
+    } else {
+      diag.error(Code::Parse,
+                 "unknown delta edit '" + std::string(tag) +
+                     "' (expected move/remove/add/stream)",
+                 c.loc());
+    }
+  }
+  if (diag.error_count() != errors_before) return std::nullopt;
+  return d;
+}
+
+eco::DesignDelta read_delta(std::istream& is) {
+  guard::Diag diag;
+  auto v = read_delta(is, diag, "<delta>");
+  if (!v) throw guard::GuardError(diag.first_error());
+  return std::move(*v);
+}
+
+}  // namespace gcr::io

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "eco/delta.h"
+#include "guard/status.h"
+
+/// \file delta_io.h
+/// Plain-text persistence for ECO design deltas (docs/incremental.md).
+///
+/// Format (whitespace-separated, '#' comments allowed):
+///   delta
+///   move <sink> <x> <y>
+///   remove <sink>
+///   add <x> <y> <cap> <module>
+///   stream <id> <id> ...
+///
+/// The first non-comment line must be the literal header 'delta'. Edit
+/// rows may appear in any order and any multiplicity except 'stream',
+/// which may appear at most once (it *replaces* the base design's
+/// instruction stream wholesale; a bare 'stream' row replaces it with an
+/// empty one). The reader checks syntax and design-independent ranges
+/// (negative sink/module ids, non-finite values); semantic validation
+/// against a concrete base design is eco::validate_delta's job.
+///
+/// Like the text_io.h readers, the Diag overload collects every problem
+/// with file:line:col locations and returns nullopt on any error; the
+/// throwing overload raises guard::GuardError carrying the first error.
+
+namespace gcr::io {
+
+void write_delta(std::ostream& os, const eco::DesignDelta& delta);
+[[nodiscard]] std::optional<eco::DesignDelta> read_delta(
+    std::istream& is, guard::Diag& diag,
+    const std::string& filename = "<delta>");
+[[nodiscard]] eco::DesignDelta read_delta(std::istream& is);
+
+}  // namespace gcr::io

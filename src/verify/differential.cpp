@@ -7,6 +7,8 @@
 
 #include "activity/brute_force.h"
 #include "core/router.h"
+#include "eco/delta.h"
+#include "eco/incremental.h"
 #include "log/logger.h"
 #include "obs/metrics.h"
 
@@ -258,6 +260,208 @@ DiffStats run_differential(const DiffOptions& opts) {
     for (int i = 0; i < opts.num_designs; ++i) {
       driver.run_design(design_seed(opts.seed, i));
     }
+  }
+  return std::move(driver.stats);
+}
+
+namespace {
+
+/// Draw a random ECO delta for `base`. The design index rotates through
+/// the edit families so every sweep covers single moves, removals,
+/// additions, mixed structural edits and workload (stream) replacement;
+/// the touched-sink sets are kept disjoint (validate_delta's contract).
+eco::DesignDelta random_delta(const core::Design& base, int index,
+                              std::mt19937_64& rng) {
+  eco::DesignDelta d;
+  const int n = base.num_sinks();
+  std::uniform_real_distribution<double> px(base.die.xlo, base.die.xhi);
+  std::uniform_real_distribution<double> py(base.die.ylo, base.die.yhi);
+  std::uniform_real_distribution<double> pcap(0.005, 0.06);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  std::uniform_int_distribution<int> pmod(0, base.rtl.num_modules() - 1);
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  const auto fresh = [&] {
+    int s = pick(rng);
+    while (used[static_cast<std::size_t>(s)]) s = (s + 1) % n;
+    used[static_cast<std::size_t>(s)] = 1;
+    return s;
+  };
+  const auto add_move = [&] { d.moves.push_back({fresh(), {px(rng), py(rng)}}); };
+  const auto add_sink = [&] {
+    d.adds.push_back({{{px(rng), py(rng)}, pcap(rng)}, pmod(rng)});
+  };
+  switch (index % 5) {
+    case 0:
+      add_move();
+      break;
+    case 1:
+      if (n >= 2)
+        d.removes.push_back(fresh());
+      else
+        add_move();
+      break;
+    case 2:
+      add_sink();
+      break;
+    case 3:
+      add_move();
+      if (n >= 3) d.removes.push_back(fresh());
+      add_sink();
+      break;
+    default: {
+      activity::InstructionStream s;
+      const int len = std::max(1, base.stream.length() / 2);
+      std::uniform_int_distribution<int> instr(
+          0, base.rtl.num_instructions() - 1);
+      s.seq.reserve(static_cast<std::size_t>(len));
+      for (int t = 0; t < len; ++t) s.seq.push_back(instr(rng));
+      d.stream = std::move(s);
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+DiffStats run_eco_differential(const EcoDiffOptions& opts) {
+  DiffOptions dopts;
+  dopts.dump_dir = opts.dump_dir;
+  Driver driver{dopts, {}};
+  using Scheme = core::TopologyScheme;
+  for (int i = 0; i < opts.num_designs; ++i) {
+    const std::uint64_t dseed = design_seed(opts.seed, i);
+    const DesignSpec spec = random_spec(dseed);
+    const core::Design base = generate_design(spec);
+    const core::GatedClockRouter router(base);
+    ++driver.stats.designs;
+    std::mt19937_64 rng(mix(dseed ^ 0xec0ull));
+    const eco::DesignDelta delta = random_delta(base, i, rng);
+    GCR_LOG_DEBUG("verify.eco_diff_design")
+        .kv("index", i)
+        .kv("seed", spec.seed)
+        .kv("sinks", spec.num_sinks)
+        .kv("moves", static_cast<int>(delta.moves.size()))
+        .kv("removes", static_cast<int>(delta.removes.size()))
+        .kv("adds", static_cast<int>(delta.adds.size()))
+        .kv("stream_replaced", delta.stream.has_value());
+    {
+      guard::Diag diag;
+      if (!eco::validate_delta(base, delta, diag)) {
+        driver.fail(spec, "eco-diff:delta",
+                    "generated delta failed validation: " +
+                        diag.first_error().message);
+        continue;
+      }
+    }
+    const core::GatedClockRouter next_router(eco::apply_delta(base, delta));
+
+    const auto check_config = [&](Scheme scheme, const char* name,
+                                  core::TreeStyle style,
+                                  const char* style_name) {
+      core::RouterOptions ropts;
+      ropts.style = style;
+      ropts.topology = scheme;
+      ropts.num_threads = 1;
+      const std::string stage =
+          std::string("eco-diff:") + name + ":" + style_name;
+      const core::RouterResult prev = router.route(ropts);
+      ++driver.stats.routes;
+      eco::EcoInfo info;
+      const core::RouteOutcome inc = eco::route_incremental(
+          router, prev, delta, ropts, &info);
+      ++driver.stats.routes;
+      if (!inc.result.has_value()) {
+        driver.fail(spec, stage,
+                    "incremental route failed: " +
+                        (inc.diag.error_count() > 0
+                             ? inc.diag.first_error().message
+                             : std::string("no result")));
+        return;
+      }
+      const ct::RoutedTree& tree = inc.result->tree;
+
+      // The gcr::par determinism contract extends to the spine re-merge.
+      core::RouterOptions wide = ropts;
+      wide.num_threads = 4;
+      const core::RouteOutcome inc4 =
+          eco::route_incremental(router, prev, delta, wide);
+      ++driver.stats.routes;
+      if (!inc4.result.has_value() ||
+          !trees_identical(tree, inc4.result->tree)) {
+        driver.fail(spec, stage + ":threads",
+                    "incremental trees differ between 1 and 4 worker "
+                    "threads");
+      }
+
+      // The incremental result must verify exactly like a from-scratch
+      // route of the applied design.
+      Report rep = verify_result(next_router, ropts, *inc.result);
+      if (!rep.ok()) {
+        driver.fail(spec, stage + ":invariants",
+                    "incremental result violates invariants",
+                    std::move(rep));
+        return;
+      }
+
+      // Equivalence-or-bounded-delta arm against a from-scratch route.
+      const core::RouterResult scratch = next_router.route(ropts);
+      ++driver.stats.routes;
+      if (!trees_identical(tree, scratch.tree)) {
+        const double a = inc.result->swcap.total_swcap();
+        const double b = scratch.swcap.total_swcap();
+        const double ratio =
+            std::max(a, b) / std::max(std::min(a, b), 1e-30);
+        GCR_LOG_DEBUG("verify.eco_swcap_ratio")
+            .kv("seed", spec.seed)
+            .kv("stage", stage)
+            .kv("ratio", ratio);
+        if (!(ratio <= opts.max_swcap_ratio)) {
+          driver.fail(spec, stage + ":swcap",
+                      "incremental tree differs from scratch and the "
+                      "total-swcap ratio " +
+                          std::to_string(ratio) + " exceeds " +
+                          std::to_string(opts.max_swcap_ratio));
+        }
+      }
+
+      // Preservation: outside the cone every carried-over node keeps its
+      // bottom-up fields bit-for-bit (structural deltas; a stream
+      // replacement re-decides gates wherever probabilities moved, so the
+      // cone itself is the contract there).
+      if (!delta.stream.has_value()) {
+        for (int id = 0; id < tree.num_nodes(); ++id) {
+          if (info.in_cone[static_cast<std::size_t>(id)]) continue;
+          const int old = info.old_of[static_cast<std::size_t>(id)];
+          if (old < 0) continue;
+          const ct::RoutedNode& x = tree.node(id);
+          const ct::RoutedNode& y = prev.tree.node(old);
+          const char* field = nullptr;
+          if (x.edge_len != y.edge_len) field = "edge_len";
+          else if (x.gated != y.gated) field = "gated";
+          else if (x.gate_size != y.gate_size) field = "gate_size";
+          else if (x.down_cap != y.down_cap) field = "down_cap";
+          else if (x.delay != y.delay) field = "delay";
+          if (field != nullptr) {
+            driver.fail(spec, stage + ":preserve",
+                        "out-of-cone node " + std::to_string(id) +
+                            " (prev " + std::to_string(old) +
+                            ") was not preserved bit-identically: " + field);
+            break;
+          }
+        }
+      }
+    };
+
+    for (const auto& [scheme, name] :
+         {std::pair{Scheme::MinSwitchedCap, "swcap"},
+          std::pair{Scheme::NearestNeighbor, "nn"},
+          std::pair{Scheme::ActivityOnly, "activity"},
+          std::pair{Scheme::Mmm, "mmm"}}) {
+      check_config(scheme, name, core::TreeStyle::Gated, "gated");
+    }
+    check_config(Scheme::MinSwitchedCap, "swcap",
+                 core::TreeStyle::GatedReduced, "reduced");
   }
   return std::move(driver.stats);
 }

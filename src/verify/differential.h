@@ -108,4 +108,35 @@ struct IndexDiffOptions {
 
 [[nodiscard]] DiffStats run_index_differential(const IndexDiffOptions& opts);
 
+/// Options for the incremental-ECO differential (gcr_check --eco-diff).
+/// For each random design a random DesignDelta is drawn (rotating through
+/// single-move, removal, addition, mixed structural and stream-replacement
+/// edits) and, for every greedy TopologyScheme plus the GatedReduced
+/// cone-reduction leg, eco::route_incremental is cross-checked against a
+/// from-scratch route of the applied design:
+///
+///   * the incremental result passes the full invariant catalogue;
+///   * incremental == from-scratch (trees_identical), or -- when the spine
+///     re-merge legitimately picks a different order -- the symmetric
+///     total-swcap ratio stays within `max_swcap_ratio` (the documented
+///     equivalence-or-bounded-delta contract, docs/incremental.md);
+///   * every out-of-cone carried-over node preserves its bottom-up fields
+///     (edge length, gate bit/size, cap, delay) bit-for-bit from the
+///     previous route (structural deltas; placement is excluded);
+///   * 1 vs 4 worker threads produce bit-identical incremental trees.
+struct EcoDiffOptions {
+  int num_designs{25};
+  std::uint64_t seed{2026};
+  std::string dump_dir;  ///< write failing artifacts here ("" = off)
+  /// Bounded-delta arm: when the trees differ, the larger total switched
+  /// capacitance may exceed the smaller by at most this factor. The
+  /// generator's adversarial corner designs (a handful of sinks, where one
+  /// re-decided merge near the root shifts W(S) wholesale) reach ~2.6x
+  /// over hundreds of design sweeps; realistic regimes stay close to 1
+  /// (the eco bench group pins the n=2048/16384 behaviour separately).
+  double max_swcap_ratio{3.0};
+};
+
+[[nodiscard]] DiffStats run_eco_differential(const EcoDiffOptions& opts);
+
 }  // namespace gcr::verify

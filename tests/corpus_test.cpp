@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "guard/status.h"
+#include "io/delta_io.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
 #include "test_seed.h"
@@ -22,9 +23,9 @@
 ///
 /// (`line 0` means the error carries no line, e.g. whole-file structural
 /// findings). The parser is picked by extension (.sinks/.rtl/.stream/
-/// .tree). A second suite round-trips the three text formats over the
-/// seeded design generator: write -> read must reproduce the design
-/// exactly and without diagnostics.
+/// .tree/.delta). A second suite round-trips the text formats over the
+/// seeded design generator: write -> read must reproduce the design (and
+/// a derived ECO delta) exactly and without diagnostics.
 
 namespace fs = std::filesystem;
 using namespace gcr;
@@ -59,6 +60,7 @@ bool parse_file(const fs::path& p, guard::Diag& diag) {
   if (ext == ".rtl") return io::read_rtl(is, diag, name).has_value();
   if (ext == ".stream") return io::read_stream(is, diag, name).has_value();
   if (ext == ".tree") return io::read_routed_tree(is, diag, name).has_value();
+  if (ext == ".delta") return io::read_delta(is, diag, name).has_value();
   ADD_FAILURE() << "corpus file with unknown extension: " << name;
   return true;
 }
@@ -147,6 +149,66 @@ TEST_P(RoundTripFuzz, AllThreeTextFormats) {
       EXPECT_EQ(a, b) << "instruction " << i << ", seed " << GetParam();
     }
   }
+  EXPECT_FALSE(diag.has_errors());
+}
+
+TEST_P(RoundTripFuzz, DesignDelta) {
+  const verify::DesignSpec spec = verify::random_spec(GetParam());
+  const core::Design d = verify::generate_design(spec);
+  const int n = static_cast<int>(d.sinks.size());
+
+  // A delta exercising every edit kind, derived deterministically from the
+  // design so each seed round-trips different payloads (including awkward
+  // doubles straight out of the generator).
+  eco::DesignDelta delta;
+  delta.moves.push_back({0, {d.die.xhi * 0.25 + 0.125, d.die.yhi * 0.75}});
+  if (n >= 2) delta.removes.push_back(n - 1);
+  eco::SinkAdd add;
+  add.sink.loc = {d.sinks[0].loc.x + 1.0, d.sinks[0].loc.y + 1.0};
+  add.sink.cap = d.sinks[0].cap;
+  add.module = 0;
+  delta.adds.push_back(add);
+  delta.stream.emplace();
+  for (std::size_t i = 0; i < d.stream.seq.size(); i += 2)
+    delta.stream->seq.push_back(d.stream.seq[i]);
+
+  guard::Diag diag;
+  std::ostringstream os;
+  io::write_delta(os, delta);
+  std::istringstream is(os.str());
+  const std::optional<eco::DesignDelta> back =
+      io::read_delta(is, diag, "rt.delta");
+  ASSERT_TRUE(back.has_value()) << "seed " << GetParam();
+  EXPECT_FALSE(diag.has_errors());
+  ASSERT_EQ(back->moves.size(), delta.moves.size());
+  for (std::size_t i = 0; i < delta.moves.size(); ++i) {
+    EXPECT_EQ(back->moves[i].sink, delta.moves[i].sink);
+    EXPECT_EQ(back->moves[i].to.x, delta.moves[i].to.x);
+    EXPECT_EQ(back->moves[i].to.y, delta.moves[i].to.y);
+  }
+  EXPECT_EQ(back->removes, delta.removes);
+  ASSERT_EQ(back->adds.size(), delta.adds.size());
+  for (std::size_t i = 0; i < delta.adds.size(); ++i) {
+    EXPECT_EQ(back->adds[i].sink.loc.x, delta.adds[i].sink.loc.x);
+    EXPECT_EQ(back->adds[i].sink.loc.y, delta.adds[i].sink.loc.y);
+    EXPECT_EQ(back->adds[i].sink.cap, delta.adds[i].sink.cap);
+    EXPECT_EQ(back->adds[i].module, delta.adds[i].module);
+  }
+  ASSERT_TRUE(back->stream.has_value());
+  EXPECT_EQ(back->stream->seq, delta.stream->seq);
+
+  // An empty stream row is a real edit (replace with the empty stream) and
+  // must survive the trip distinct from "no stream row at all".
+  eco::DesignDelta wipe;
+  wipe.stream.emplace();
+  std::ostringstream os2;
+  io::write_delta(os2, wipe);
+  std::istringstream is2(os2.str());
+  const std::optional<eco::DesignDelta> back2 =
+      io::read_delta(is2, diag, "rt2.delta");
+  ASSERT_TRUE(back2.has_value());
+  ASSERT_TRUE(back2->stream.has_value());
+  EXPECT_TRUE(back2->stream->seq.empty());
   EXPECT_FALSE(diag.has_errors());
 }
 

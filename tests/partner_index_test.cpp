@@ -219,8 +219,81 @@ void run_sequence(cts::PartnerIndex::Metric metric, std::uint64_t seed,
   }
 }
 
+/// ECO-style churn: the incremental re-router (eco::route_incremental)
+/// detaches preserved subtrees and feeds their roots back into the engine
+/// as fresh candidates -- an item leaves the index and a new id re-enters
+/// later at the *same* coordinates and coefficients. This sequence drives
+/// exactly that shape: removals whose items are remembered, verbatim
+/// re-insertions under fresh ids (duplicating a live item's position is
+/// legal and must still tie-break to the smallest id), and merges in
+/// between, with the brute-force exactness check after every step.
+void run_eco_churn(cts::PartnerIndex::Metric metric, std::uint64_t seed,
+                   bool quantized) {
+  std::mt19937_64 rng(seed);
+  const double side = 1000.0;
+  const int n0 = 32;
+  const int steps = 140;
+  Model m(metric, /*capacity=*/n0 + 2 * steps + 8, side);
+  for (int i = 0; i < n0; ++i) m.insert(random_item(rng, side, quantized));
+
+  std::vector<cts::PartnerIndex::Item> graveyard;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int step = 0; step < steps; ++step) {
+    const double c = coin(rng);
+    if (c < 0.35 && m.live.size() >= 2) {
+      std::uniform_int_distribution<std::size_t> pick(0, m.live.size() - 1);
+      const int id = m.live[pick(rng)];
+      graveyard.push_back(m.items[static_cast<std::size_t>(id)]);
+      m.remove(id);
+      m.index.maybe_rebuild();
+    } else if (c < 0.70 && !graveyard.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, graveyard.size() - 1);
+      const std::size_t g = pick(rng);
+      m.insert(graveyard[g]);
+      graveyard[g] = graveyard.back();
+      graveyard.pop_back();
+    } else if (m.live.size() >= 2) {
+      std::uniform_int_distribution<std::size_t> pick(0, m.live.size() - 1);
+      const int a = m.live[pick(rng)];
+      int b = a;
+      while (b == a) b = m.live[pick(rng)];
+      const auto ia = m.items[static_cast<std::size_t>(a)];
+      const auto ib = m.items[static_cast<std::size_t>(b)];
+      m.remove(a);
+      m.remove(b);
+      cts::PartnerIndex::Item merged;
+      merged.center = {0.5 * (ia.center.x + ib.center.x),
+                       0.5 * (ia.center.y + ib.center.y)};
+      merged.reach = quantized ? 0.0 : std::max(ia.reach, ib.reach);
+      merged.self_cost = quantized
+                             ? std::round(ia.self_cost + ib.self_cost)
+                             : ia.self_cost + ib.self_cost;
+      merged.p_floor = quantized ? 0.5 : std::max(ia.p_floor, ib.p_floor);
+      merged.a_coef = quantized ? 0.0 : ia.a_coef + ib.a_coef;
+      merged.b_coef = quantized ? 0.05 : std::max(ia.b_coef, ib.b_coef);
+      m.insert(merged);
+      m.index.maybe_rebuild();
+    } else {
+      m.insert(random_item(rng, side, quantized));
+    }
+    ASSERT_EQ(m.index.size(), static_cast<int>(m.live.size()));
+    if (!m.live.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, m.live.size() - 1);
+      for (int k = 0; k < 3; ++k) expect_exact(m, m.live[pick(rng)]);
+    }
+  }
+}
+
 TEST_P(PartnerIndexFuzz, SwitchedCapMatchesBruteForceAtEveryStep) {
   run_sequence(cts::PartnerIndex::Metric::SwitchedCap, GetParam(), false);
+}
+
+TEST_P(PartnerIndexFuzz, EcoChurnRemoveReinsertMatchesBruteForce) {
+  run_eco_churn(cts::PartnerIndex::Metric::SwitchedCap, GetParam(), false);
+  // Quantized: re-inserted duplicates collide in cost constantly, so the
+  // smallest-id tie-break is exercised on every query.
+  run_eco_churn(cts::PartnerIndex::Metric::SwitchedCap,
+                GetParam() ^ 0x5ca1ab1eull, true);
 }
 
 TEST_P(PartnerIndexFuzz, DistanceMatchesBruteForceAtEveryStep) {
@@ -237,6 +310,26 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PartnerIndexFuzz,
                          ::testing::ValuesIn(gcr::test::fuzz_seeds(
                              {11, 2026, 424242})),
                          gcr::test::SeedParamName{});
+
+TEST(PartnerIndex, RemoveThenReinsertSameCoordinateIsExact) {
+  // The minimal ECO re-entry: an item leaves and an identical item comes
+  // back under a fresh id. The index must treat the newcomer as a full
+  // citizen -- findable, returned as a partner, exact against brute force.
+  Model m(cts::PartnerIndex::Metric::SwitchedCap, /*capacity=*/16, 1000.0);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 6; ++i) m.insert(random_item(rng, 1000.0, false));
+  const cts::PartnerIndex::Item departed = m.items[2];
+  m.remove(2);
+  m.index.maybe_rebuild();
+  for (const int id : m.live) expect_exact(m, id);
+  const int back = m.insert(departed);  // same coordinates, new id
+  EXPECT_EQ(back, 6);
+  for (const int id : m.live) expect_exact(m, id);
+  // A second verbatim copy: duplicate positions are legal and the
+  // smallest-id tie-break decides between them.
+  m.insert(departed);
+  for (const int id : m.live) expect_exact(m, id);
+}
 
 TEST(PartnerIndex, SingleItemHasNoPartner) {
   tech::TechParams tech;

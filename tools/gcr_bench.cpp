@@ -42,6 +42,8 @@
 #include "core/router.h"
 #include "cts/clustered.h"
 #include "cts/greedy.h"
+#include "eco/delta.h"
+#include "eco/incremental.h"
 #include "gating/gate_reduction.h"
 #include "log/logger.h"
 #include "obs/metrics.h"
@@ -304,29 +306,85 @@ void register_route(Groups& g, bool quick) {
 // --- route_par: thread scaling of the parallel topology build --------------
 
 void register_route_par(Groups& g, bool quick, int threads_override) {
-  // One design size per tier, routed gated (no reduction pass, so the
-  // timed section is dominated by the Eq. 3 greedy the pool shards); the
-  // thread sweep makes the scaling visible in one sidecar. The routed
-  // tree is identical at every width -- only the time may differ.
-  const int n = quick ? 512 : 2048;
+  // Routed gated (no reduction pass, so the timed section is dominated by
+  // the Eq. 3 greedy the pool shards); the thread sweep makes the scaling
+  // visible in one sidecar. The routed tree is identical at every width
+  // -- only the time may differ. Two full-tier sizes: since the indexed
+  // engine (PR 7) an n=2048 front is mostly below the serial-cutover
+  // threshold, so only the n=16384 rows genuinely shard work across the
+  // pool; the small rows instead pin that t>1 stays free of dispatch
+  // overhead.
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{512} : std::vector<int>{2048, 16384};
   std::vector<int> widths = quick ? std::vector<int>{1, 4}
                                   : std::vector<int>{1, 2, 4};
   if (threads_override > 0) widths = {1, threads_override};
-  for (const int t : widths) {
-    g["route_par"].add(
-        "route_par/gated/n=" + std::to_string(n) + "/t=" + std::to_string(t),
-        [n, t] {
-          auto inst = make_instance(n, 19);
-          auto router =
-              std::make_shared<const core::GatedClockRouter>(inst->design);
-          return [router, t] {
-            core::RouterOptions opts;
-            opts.style = core::TreeStyle::Gated;
-            opts.num_threads = t;
-            const core::RouterResult r = router->route(opts);
-            perf::do_not_optimize(r.swcap.total_swcap());
-          };
-        });
+  for (const int n : sizes) {
+    for (const int t : widths) {
+      g["route_par"].add(
+          "route_par/gated/n=" + std::to_string(n) + "/t=" + std::to_string(t),
+          [n, t] {
+            auto inst = make_instance(n, 19);
+            auto router =
+                std::make_shared<const core::GatedClockRouter>(inst->design);
+            return [router, t] {
+              core::RouterOptions opts;
+              opts.style = core::TreeStyle::Gated;
+              opts.num_threads = t;
+              const core::RouterResult r = router->route(opts);
+              perf::do_not_optimize(r.swcap.total_swcap());
+            };
+          });
+    }
+  }
+}
+
+// --- eco: incremental ECO re-route vs a full rebuild -----------------------
+
+void register_eco(Groups& g, bool quick) {
+  // Single-sink move: the canonical ECO. Setup routes the base design
+  // once; the `move1` rows time eco::route_incremental (invalidation cone
+  // + spine re-merge + re-embed) and the `rebuild` rows time a
+  // from-scratch route of the *applied* design -- the cost the
+  // incremental path avoids. Both use the fully-gated style so the timed
+  // sections compare the same pipeline.
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{512} : std::vector<int>{2048, 16384};
+  for (const int n : sizes) {
+    const auto make_delta = [](const core::Design& d) {
+      eco::DesignDelta delta;
+      const geom::Point c = d.die.center();
+      delta.moves.push_back({0, {c.x * 0.75, c.y * 1.25}});
+      return delta;
+    };
+    g["eco"].add("eco/move1/n=" + std::to_string(n), [n, make_delta] {
+      auto inst = make_instance(n, 23);
+      auto router =
+          std::make_shared<const core::GatedClockRouter>(inst->design);
+      core::RouterOptions opts;
+      opts.style = core::TreeStyle::Gated;
+      auto prev =
+          std::make_shared<const core::RouterResult>(router->route(opts));
+      auto delta = std::make_shared<const eco::DesignDelta>(
+          make_delta(router->design()));
+      return [router, prev, delta, opts] {
+        const core::RouteOutcome out =
+            eco::route_incremental(*router, *prev, *delta, opts);
+        perf::do_not_optimize(out.result->swcap.total_swcap());
+      };
+    });
+    g["eco"].add("eco/rebuild/n=" + std::to_string(n), [n, make_delta] {
+      auto inst = make_instance(n, 23);
+      const core::GatedClockRouter base(inst->design);
+      auto router = std::make_shared<const core::GatedClockRouter>(
+          eco::apply_delta(base.design(), make_delta(base.design())));
+      return [router] {
+        core::RouterOptions opts;
+        opts.style = core::TreeStyle::Gated;
+        const core::RouterResult r = router->route(opts);
+        perf::do_not_optimize(r.swcap.total_swcap());
+      };
+    });
   }
 }
 
@@ -396,6 +454,7 @@ int main(int argc, char** argv) {
   register_reduction(groups, opts.quick);
   register_route(groups, opts.quick);
   register_route_par(groups, opts.quick, threads_override);
+  register_eco(groups, opts.quick);
   register_scale(groups, opts.quick);
 
   if (list) {

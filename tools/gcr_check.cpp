@@ -25,6 +25,13 @@
 ///       TopologyScheme x {flat, clustered} x {1, 4 threads} routed with
 ///       the dynamic partner index on and off; the trees must be
 ///       bit-identical (docs/ALGORITHMS.md).
+///   gcr_check --eco-diff N [--seed S] [--dump DIR] [--verbose]
+///       incremental-ECO differential: N random designs with random
+///       deltas (moves/removals/adds/stream swaps); every scheme's
+///       eco::route_incremental result must verify clean, preserve
+///       out-of-cone nodes bit-identically, stay deterministic across
+///       thread counts, and match a from-scratch route exactly or within
+///       the documented switched-cap bound (docs/incremental.md).
 ///
 /// Exit codes: 0 ok, 1 usage, 2 invalid input, 3 resource/deadline,
 /// 4 internal error / invariant violation / harness failure.
@@ -58,6 +65,7 @@ namespace {
 struct Args {
   int random_designs = 0;
   int index_diff_designs = 0;
+  int eco_diff_designs = 0;
   std::uint64_t seed = 2026;
   std::string replay;  // decimal seed or artifact path
   std::string dump_dir;
@@ -79,6 +87,7 @@ void usage() {
   std::cerr
       << "usage: gcr_check --random N [--seed S] [--dump DIR] [--verbose]\n"
          "       gcr_check --index-diff N [--seed S] [--dump DIR] [--verbose]\n"
+         "       gcr_check --eco-diff N [--seed S] [--dump DIR] [--verbose]\n"
          "       gcr_check --replay SEED|ARTIFACT.json [--dump DIR]\n"
          "       gcr_check --tree FILE [--skew-bound B]\n"
          "       gcr_check --sinks F --rtl F --stream F [options]\n"
@@ -109,6 +118,9 @@ std::optional<Args> parse(int argc, char** argv) {
       else return std::nullopt;
     } else if (flag == "--index-diff") {
       if (const char* v = next()) a.index_diff_designs = std::atoi(v);
+      else return std::nullopt;
+    } else if (flag == "--eco-diff") {
+      if (const char* v = next()) a.eco_diff_designs = std::atoi(v);
       else return std::nullopt;
     } else if (flag == "--seed") {
       if (const char* v = next()) a.seed = std::strtoull(v, nullptr, 10);
@@ -548,6 +560,13 @@ int main(int argc, char** argv) {
       opts.seed = a.seed;
       opts.dump_dir = a.dump_dir;
       return report_diff(verify::run_index_differential(opts), false);
+    }
+    if (a.eco_diff_designs > 0) {
+      verify::EcoDiffOptions opts;
+      opts.num_designs = a.eco_diff_designs;
+      opts.seed = a.seed;
+      opts.dump_dir = a.dump_dir;
+      return report_diff(verify::run_eco_differential(opts), false);
     }
     if (a.random_designs > 0) {
       verify::DiffOptions opts;

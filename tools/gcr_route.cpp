@@ -26,11 +26,14 @@
 #include "benchdata/rbench.h"
 #include "benchdata/workload.h"
 #include "core/router.h"
+#include "eco/delta.h"
+#include "eco/incremental.h"
 #include "eval/table.h"
 #include "guard/deadline.h"
 #include "guard/postmortem.h"
 #include "guard/status.h"
 #include "guard/validate.h"
+#include "io/delta_io.h"
 #include "io/svg.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
@@ -62,6 +65,7 @@ struct Args {
   int threads = 0;
   bool sizing = false;
   double skew_bound = 0.0;
+  std::string eco;  // .delta file: incremental re-route after the base route
   std::string svg, tree_out, demo_dir;
   bool csv = false;
   std::string report, trace, profile;
@@ -90,6 +94,10 @@ void usage() {
          "                                   result identical at any N)\n"
          "  --size-gates                     per-merge gate sizing\n"
          "  --skew-bound PS                  skew budget (0 = exact zero skew)\n"
+         "  --eco FILE                       apply the .delta file to the routed\n"
+         "                                   design via incremental ECO re-route\n"
+         "                                   (io/delta_io.h format); all outputs\n"
+         "                                   describe the post-ECO tree\n"
          "  --svg FILE                       write layout drawing\n"
          "  --tree FILE                      write routed tree (text format)\n"
          "  --csv                            machine-readable report\n"
@@ -146,6 +154,8 @@ std::optional<Args> parse(int argc, char** argv) {
       a.sizing = true;
     } else if (flag == "--skew-bound") {
       if (const char* v = next()) a.skew_bound = std::atof(v); else return std::nullopt;
+    } else if (flag == "--eco") {
+      if (const char* v = next()) a.eco = v; else return std::nullopt;
     } else if (flag == "--partitions") {
       if (const char* v = next()) a.partitions = std::atoi(v); else return std::nullopt;
     } else if (flag == "--strength") {
@@ -381,10 +391,34 @@ int main(int argc, char** argv) {
       }
       return out.exit_code();
     }
-    const core::RouterResult& r = *out.result;
+
+    // Incremental ECO: re-route the delta on top of the finished base
+    // result; everything downstream (selftest, reports, drawings, the
+    // metric table) describes the post-ECO tree.
+    std::optional<core::GatedClockRouter> eco_router;
+    std::optional<core::RouteOutcome> eco_out;
+    eco::EcoInfo eco_info;
+    if (!a.eco.empty()) {
+      std::ifstream ef(a.eco);
+      if (!ef) {
+        GCR_LOG_ERROR("cli.io").msg("cannot open " + a.eco);
+        return guard::kExitInvalidInput;
+      }
+      guard::Diag ediag;
+      const std::optional<eco::DesignDelta> delta =
+          io::read_delta(ef, ediag, a.eco);
+      if (!delta) return ediag.exit_code();
+      eco_out = eco::route_incremental(router, *out.result, *delta, opts,
+                                       &eco_info, deadline);
+      if (!eco_out->ok()) return eco_out->exit_code();
+      eco_router.emplace(eco::apply_delta(router.design(), *delta));
+    }
+    const core::RouterResult& r = eco_out ? *eco_out->result : *out.result;
+    const core::GatedClockRouter& result_router =
+        eco_router ? *eco_router : router;
 
     if (a.selftest) {
-      const verify::Report rep = verify::verify_result(router, opts, r);
+      const verify::Report rep = verify::verify_result(result_router, opts, r);
       if (rep.ok())
         GCR_LOG_INFO("route.selftest").kv("ok", true).msg(rep.summary());
       else
@@ -459,13 +493,19 @@ int main(int argc, char** argv) {
     t.add_row({"gate reduction %", eval::Table::num(r.gate_reduction_pct(), 1)});
     t.add_row({"max delay", eval::Table::num(r.delays.max_delay, 2)});
     t.add_row({"skew", eval::Table::num(r.delays.skew(), 9)});
+    if (eco_out) {
+      t.add_row({"eco dirty sinks", std::to_string(eco_info.dirty_leaves)});
+      t.add_row(
+          {"eco preserved merges", std::to_string(eco_info.preserved_merges)});
+      t.add_row({"eco spine merges", std::to_string(eco_info.spine_merges)});
+    }
     if (a.csv) t.print_csv(std::cout); else t.print(std::cout);
 
     if (!a.svg.empty()) {
       std::ofstream os(a.svg);
-      const gating::ControllerPlacement ctrl(router.design().die,
+      const gating::ControllerPlacement ctrl(result_router.design().die,
                                              a.partitions);
-      io::write_svg(os, r.tree, router.design().die, ctrl);
+      io::write_svg(os, r.tree, result_router.design().die, ctrl);
     }
     if (!a.tree_out.empty()) {
       std::ofstream os(a.tree_out);
