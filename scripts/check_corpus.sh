@@ -29,6 +29,8 @@ expect() {
 }
 
 expect 1 "$BUILD"/tools/gcr_check --bogus-flag
+expect 1 "$BUILD"/tools/gcr_serve --bogus-flag
+expect 1 "$BUILD"/tools/gcr_serve  # neither --reqs nor --stdin
 expect 1 "$BUILD"/tools/gcr_route --bogus-flag
 expect 1 "$BUILD"/tools/gcr_bench --bogus-flag
 expect 1 "$BUILD"/tools/gcr_benchdiff --bogus-flag
@@ -55,5 +57,35 @@ expect 2 "$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" \
 expect 3 "$BUILD"/tools/gcr_route --sinks "$demo/demo.sinks" \
   --rtl "$demo/demo.rtl" --stream "$demo/demo.stream" \
   --auto-tune --deadline-ms 0
+
+# gcr_serve speaks the same contract per request; the batch exit is the
+# worst request's code (docs/serving.md).
+{
+  echo "reqs"
+  echo "good sinks=demo.sinks rtl=demo.rtl stream=demo.stream"
+} > "$demo/good.reqs"
+{
+  echo "reqs"
+  echo "ghost sinks=no_such.sinks rtl=demo.rtl stream=demo.stream"
+} > "$demo/ghost.reqs"
+# 64 requests against a 1-deep queue and one busy lane: submission is
+# orders of magnitude faster than a route, so the overflow sheds with
+# GCR_E_OVERLOAD deterministically.
+{
+  echo "reqs"
+  for i in $(seq -w 1 64); do
+    echo "q$i sinks=demo.sinks rtl=demo.rtl stream=demo.stream"
+  done
+} > "$demo/flood.reqs"
+expect 2 "$BUILD"/tools/gcr_serve --reqs "$REPO/tests/corpus/bad_option.reqs"
+expect 2 "$BUILD"/tools/gcr_serve --reqs /nonexistent.reqs
+expect 0 "$BUILD"/tools/gcr_serve --reqs "$demo/good.reqs"
+expect 2 "$BUILD"/tools/gcr_serve --reqs "$demo/ghost.reqs"
+expect 3 "$BUILD"/tools/gcr_serve --reqs "$demo/good.reqs" --deadline-ms 0
+expect 3 "$BUILD"/tools/gcr_serve --reqs "$demo/flood.reqs" \
+  --workers 1 --queue-depth 1
+# --faults 1 fires the serve.enqueue admission fault point on the first
+# (only) submission: the request sheds with GCR_E_OVERLOAD.
+expect 3 "$BUILD"/tools/gcr_serve --reqs "$demo/good.reqs" --faults 1
 
 exit $fail

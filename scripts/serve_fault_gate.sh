@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Serve fault-isolation gate (docs/serving.md): drive a 50-request batch
+# through gcr_serve under a seeded sweep of >= 200 injected faults,
+# short reads and deadline expiries, and require
+#
+#   1. zero daemon crashes -- every run exits through the contract
+#      (0/2/3/4), never a signal death or usage error,
+#   2. every submitted request ends in a contract state (one outcome
+#      line per submission, no silent drops),
+#   3. every request that still completes routes bit-identically to a
+#      one-shot gcr_route run of the same design + options -- fault
+#      isolation must not leak into neighbouring requests' results.
+#
+# Usage: scripts/serve_fault_gate.sh [build-dir]
+set -uo pipefail
+
+BUILD="${1:-build}"
+SERVE="$BUILD/tools/gcr_serve"
+ROUTE="$BUILD/tools/gcr_route"
+fail=0
+total_faults=0
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+"$ROUTE" --demo "$work" > /dev/null || { echo "FAIL: --demo" >&2; exit 1; }
+printf 'delta\nmove 3 4200 4700\nmove 11 100 9900\n' > "$work/demo.delta"
+
+# The 50-request batch: one shared design, seven option combos (the id
+# prefix names the combo so outcomes map back to their reference tree).
+# Repeats are deliberate -- they exercise the result cache under faults.
+batch="$work/batch.reqs"
+{
+  echo "reqs"
+  design="sinks=demo.sinks rtl=demo.rtl stream=demo.stream"
+  for i in $(seq -w 1 10); do echo "def$i $design"; done
+  for i in $(seq -w 1 8); do echo "bnn$i $design style=buffered topology=nn"; done
+  for i in $(seq -w 1 8); do echo "gact$i $design style=gated topology=activity"; done
+  for i in $(seq -w 1 8); do echo "mmm$i $design topology=mmm strength=0.5"; done
+  for i in $(seq -w 1 6); do echo "str$i $design strength=0.25"; done
+  for i in $(seq -w 1 4); do echo "atn$i $design auto_tune=1"; done
+  for i in $(seq -w 1 6); do echo "eco$i $design eco=demo.delta"; done
+} > "$batch"
+[ "$(tail -n +2 "$batch" | grep -c .)" -eq 50 ] || { echo "FAIL: batch size" >&2; exit 1; }
+
+# One-shot references, one per combo, through the ordinary CLI.
+ref() {
+  "$ROUTE" --sinks "$work/demo.sinks" --rtl "$work/demo.rtl" \
+    --stream "$work/demo.stream" --tree "$work/ref_$1.tree" "${@:2}" \
+    > /dev/null || { echo "FAIL: reference $1" >&2; fail=1; }
+}
+ref def
+ref bnn --style buffered --topology nn
+ref gact --style gated --topology activity
+ref mmm --topology mmm --strength 0.5
+ref str --strength 0.25
+ref atn --auto-tune
+ref eco --eco "$work/demo.delta"
+
+# run <tag> <allowed-exit-regex> <serve-args...>: one gcr_serve run over
+# the batch. Checks the exit contract, outcome-per-request completeness,
+# and every written tree against its combo reference; accumulates the
+# run's injected-fault count into total_faults.
+run() {
+  local tag="$1" allowed="$2"
+  shift 2
+  local trees="$work/trees_$tag" out="$work/out_$tag.txt"
+  mkdir -p "$trees"
+  "$SERVE" --reqs "$batch" --trees "$trees" "$@" > "$out" 2> /dev/null
+  local got=$?
+  if ! [[ "$got" =~ ^($allowed)$ ]]; then
+    echo "FAIL($tag): exit $got not in {$allowed}" >&2
+    fail=1
+    return
+  fi
+  local submitted outcomes
+  submitted="$(sed -n 's/^serve: \([0-9]*\) submitted.*/\1/p' "$out")"
+  outcomes="$(grep -c '^req id=' "$out")"
+  if [ -z "$submitted" ] || [ "$outcomes" -ne "$submitted" ]; then
+    echo "FAIL($tag): $outcomes outcomes for ${submitted:-?} submissions" >&2
+    fail=1
+  fi
+  if grep '^req id=' "$out" |
+      grep -qv 'state=\(done\|shed\|expired\|invalid\|error\) '; then
+    echo "FAIL($tag): outcome outside the contract states" >&2
+    fail=1
+  fi
+  local fired
+  fired="$(sed -n 's/.*faults fired \([0-9]*\)$/\1/p' "$out")"
+  total_faults=$((total_faults + ${fired:-0}))
+  # Expiries count toward the sweep too: each is a deadline fault.
+  total_faults=$((total_faults + $(grep -c 'state=expired' "$out")))
+  local t combo
+  for t in "$trees"/*.tree; do
+    [ -e "$t" ] || continue
+    combo="$(basename "$t" .tree)"
+    combo="${combo//[0-9]/}"
+    if ! cmp -s "$t" "$work/ref_$combo.tree"; then
+      echo "FAIL($tag): $(basename "$t") differs from ref_$combo.tree" >&2
+      fail=1
+    fi
+  done
+  echo "ok($tag): exit $got, $outcomes outcomes, faults ${fired:-0}"
+}
+
+# Clean pass: everything must complete and match.
+run clean 0 --workers 2
+if ! ls "$work"/trees_clean/*.tree > /dev/null 2>&1 ||
+    [ "$(ls "$work"/trees_clean/*.tree | wc -l)" -ne 50 ]; then
+  echo "FAIL(clean): expected 50 trees" >&2
+  fail=1
+fi
+
+# Exact-nth sweep: one fault per run, marching through admission, file
+# reads (short-read equivalent: serve.read fails the slurp), the lexer
+# and arena sites. 40 runs = 40 single faults at distinct visit counts.
+for nth in $(seq 1 40); do
+  run "nth$nth" '0|2|3|4' --workers 2 --faults "$nth"
+done
+
+# Probability sweeps: Bernoulli fire across every visited site, several
+# seeds, two rates -- the bulk of the >= 200 faults.
+for seed in 101 202 303 404 505; do
+  run "p2s$seed" '0|2|3|4' --workers 2 --faults "$seed" --fault-prob 0.02
+  run "p10s$seed" '0|2|3|4' --workers 2 --faults "$seed" --fault-prob 0.10
+done
+
+# Deadline expiries: a 0ms budget expires every request at dequeue.
+run dl0 3 --workers 2 --deadline-ms 0
+
+if [ "$total_faults" -lt 200 ]; then
+  echo "FAIL: sweep injected only $total_faults faults (< 200)" >&2
+  fail=1
+else
+  echo "sweep total: $total_faults injected faults/expiries"
+fi
+
+exit $fail

@@ -310,7 +310,14 @@ RouterResult build_result(const core::Design& next, const RouterResult& prev,
     // the fixed params; callers wanting a re-tuned operating point run a
     // full route.
     if (opts.auto_tune_reduction) {
-      GCR_LOG_WARN("eco.auto_tune_ignored")
+      // Structured so serve/telemetry consumers can see *how much* of the
+      // tree kept a potentially stale operating point: outside the cone
+      // the previous sweep's gate bits are preserved verbatim.
+      std::int64_t cone_nodes = 0;
+      for (const bool b : plan.in_cone) cone_nodes += b ? 1 : 0;
+      GCR_LOG_WARN("eco.autotune_fallback")
+          .kv("cone_nodes", cone_nodes)
+          .kv("total_nodes", static_cast<std::int64_t>(plan.in_cone.size()))
           .msg("auto_tune_reduction is not incremental; using fixed params");
     }
     const ct::RoutedTree full = do_embed(gated);

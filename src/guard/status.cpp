@@ -30,6 +30,8 @@ std::string_view code_name(Code c) {
     case Code::DetachedMerge: return "GCR_W_DETACHED_MERGE";
     case Code::EmptyStream: return "GCR_W_EMPTY_STREAM";
     case Code::FlightRecorder: return "GCR_W_FLIGHTREC";
+    case Code::Overload: return "GCR_E_OVERLOAD";
+    case Code::CacheEvict: return "GCR_W_CACHE_EVICT";
   }
   return "GCR_E_INTERNAL";
 }
@@ -65,6 +67,7 @@ int exit_code_for(Code c) {
     case Code::DetachedMerge:
     case Code::EmptyStream:
     case Code::FlightRecorder:
+    case Code::CacheEvict:
       return kExitOk;
     case Code::Usage:
       return kExitUsage;
@@ -84,6 +87,7 @@ int exit_code_for(Code c) {
       return kExitInvalidInput;
     case Code::Resource:
     case Code::Deadline:
+    case Code::Overload:
       return kExitResource;
     case Code::Internal:
       return kExitInternal;

@@ -60,6 +60,9 @@ enum class Code {
   DetachedMerge,   ///< GCR_W_DETACHED_MERGE  zero-skew fallback events
   EmptyStream,     ///< GCR_W_EMPTY_STREAM    stream has no cycles
   FlightRecorder,  ///< GCR_W_FLIGHTREC       flight-recorder dump written
+  // -- serving (codes append; values above stay stable) --------------------
+  Overload,        ///< GCR_E_OVERLOAD    admission queue full, request shed
+  CacheEvict,      ///< GCR_W_CACHE_EVICT bounded cache evicted an entry
 };
 
 [[nodiscard]] std::string_view code_name(Code c);

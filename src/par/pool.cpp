@@ -200,6 +200,12 @@ void ThreadPool::run_chunks(int width, std::int64_t num_chunks,
     for (std::int64_t c = 0; c < num_chunks; ++c) job(c);
     return;
   }
+  // One construct owns the worker set at a time. Concurrent callers (the
+  // serve lanes routing independent requests) park here until the current
+  // job fully drains; chunk state below is therefore never shared between
+  // two live jobs. Nested constructs never reach this lock -- t_in_worker
+  // sent them down the serial fallback above -- so it cannot self-deadlock.
+  const std::lock_guard<std::mutex> dispatch(dispatch_mu_);
   const std::uint64_t t0 = mono_ns();
   {
     const std::lock_guard<std::mutex> lk(mu_);

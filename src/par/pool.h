@@ -111,6 +111,10 @@ class ThreadPool {
   /// Run job(c) for every chunk c in [0, num_chunks) using up to `width`
   /// threads including the caller; blocks until every chunk ran. The first
   /// exception thrown by a chunk is rethrown here after completion.
+  /// Safe to call from multiple threads concurrently (the gcr::serve
+  /// request lanes do): constructs serialize in arrival order on an
+  /// internal dispatch lock, so each job owns the worker set exclusively
+  /// -- latecomers block, they never corrupt a live job's chunk state.
   void run_chunks(int width, std::int64_t num_chunks,
                   const std::function<void(std::int64_t)>& job);
 
@@ -136,6 +140,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> dispatch_ns_{0};
 
+  std::mutex dispatch_mu_;  ///< held for a whole construct; serializes jobs
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers park here between jobs
   std::condition_variable done_cv_;  ///< the caller waits here

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+/// \file cache.h
+/// Bounded content-hash caches for the serving layer (docs/serving.md).
+/// The batch service keeps two of these: parsed designs + their activity
+/// engine keyed by the content hash of the (sinks, rtl, stream) files,
+/// and finished route results keyed by (design hash, option fingerprint).
+/// Capacity is bounded with LRU eviction so a hostile or merely large
+/// batch cannot turn the cache into a memory leak, and every entry can be
+/// invalidated by key -- a poisoned intermediate is dropped, never
+/// re-served to later requests.
+///
+/// Hit/miss/eviction counts are kept per cache and mirrored into
+/// `gcr::obs` counters (`<name>.hits` / `.misses` / `.evictions`) when
+/// metrics are enabled, so serve telemetry snapshots carry cache
+/// effectiveness next to queue depth.
+
+namespace gcr::serve {
+
+/// FNV-1a over a byte range; the serving layer's content hash. Not
+/// cryptographic -- it keys a cache, a collision costs correctness of
+/// *reuse* only for adversarial inputs that also collide in length and
+/// parse identically, which the per-request validation still bounds.
+[[nodiscard]] inline std::uint64_t hash_bytes(std::string_view bytes,
+                                              std::uint64_t seed = 0) {
+  std::uint64_t h = 14695981039346656037ull ^ seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t hash_combine(std::uint64_t a,
+                                                std::uint64_t b) {
+  // splitmix64-style finalizer keeps combined keys well distributed.
+  std::uint64_t x = a + 0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct CacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t evictions{0};
+  std::size_t entries{0};
+  std::size_t capacity{0};
+};
+
+/// Thread-safe bounded LRU map from a 64-bit content key to a shared,
+/// immutable value. Values are handed out as shared_ptr<const V>, so an
+/// eviction or invalidation never invalidates a request mid-flight --
+/// the entry just stops being findable.
+template <typename V>
+class LruCache {
+ public:
+  /// `name` prefixes the mirrored obs counters ("serve.design_cache").
+  /// `capacity` 0 disables the cache entirely (every get misses, puts
+  /// are dropped) -- the degraded mode for memory-constrained serving.
+  LruCache(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  [[nodiscard]] std::shared_ptr<const V> get(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      bump("misses");
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    bump("hits");
+    return it->second->value;
+  }
+
+  /// Insert (or refresh) `key`. Returns true when a *different* entry was
+  /// evicted to make room; `evicted_key` then names it so the caller can
+  /// surface a GCR_W_CACHE_EVICT warning with the victim's identity.
+  bool put(std::uint64_t key, std::shared_ptr<const V> value,
+           std::uint64_t* evicted_key = nullptr) {
+    if (capacity_ == 0) return false;
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      it->second->value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return false;
+    }
+    order_.push_front(Entry{key, std::move(value)});
+    index_[key] = order_.begin();
+    if (index_.size() <= capacity_) return false;
+    const Entry& victim = order_.back();
+    if (evicted_key != nullptr) *evicted_key = victim.key;
+    index_.erase(victim.key);
+    order_.pop_back();
+    ++evictions_;
+    bump("evictions");
+    return true;
+  }
+
+  /// Drop `key` if present (poisoned-entry recovery). True when dropped.
+  bool invalidate(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lk(mu_);
+    order_.clear();
+    index_.clear();
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return CacheStats{hits_, misses_, evictions_, index_.size(), capacity_};
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::shared_ptr<const V> value;
+  };
+
+  void bump(const char* what) {
+    if (obs::metrics_enabled()) [[unlikely]]
+      obs::Registry::global().counter(name_ + "." + what).inc();
+  }
+
+  std::string name_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator>
+      index_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
+};
+
+}  // namespace gcr::serve

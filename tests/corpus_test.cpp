@@ -9,6 +9,7 @@
 
 #include "guard/status.h"
 #include "io/delta_io.h"
+#include "io/reqs_io.h"
 #include "io/text_io.h"
 #include "io/tree_io.h"
 #include "test_seed.h"
@@ -61,6 +62,7 @@ bool parse_file(const fs::path& p, guard::Diag& diag) {
   if (ext == ".stream") return io::read_stream(is, diag, name).has_value();
   if (ext == ".tree") return io::read_routed_tree(is, diag, name).has_value();
   if (ext == ".delta") return io::read_delta(is, diag, name).has_value();
+  if (ext == ".reqs") return io::read_reqs(is, diag, name).has_value();
   ADD_FAILURE() << "corpus file with unknown extension: " << name;
   return true;
 }
@@ -210,6 +212,54 @@ TEST_P(RoundTripFuzz, DesignDelta) {
   ASSERT_TRUE(back2->stream.has_value());
   EXPECT_TRUE(back2->stream->seq.empty());
   EXPECT_FALSE(diag.has_errors());
+}
+
+// The .reqs batch format round-trips exactly, including every optional
+// key, and defaults stay implicit (a written default-valued request reads
+// back as defaults without emitting the keys).
+TEST(ReqsRoundTrip, WriteReadIsIdentity) {
+  std::vector<io::RouteRequest> reqs(2);
+  reqs[0].id = "warm-1";
+  reqs[0].sinks = "d/a.sinks";
+  reqs[0].rtl = "d/a.rtl";
+  reqs[0].stream = "d/a.stream";
+  reqs[1].id = "drift-2";
+  reqs[1].sinks = "d/b.sinks";
+  reqs[1].rtl = "d/b.rtl";
+  reqs[1].stream = "d/b.stream";
+  reqs[1].style = "gated";
+  reqs[1].topology = "nn";
+  reqs[1].strength = 0.375;
+  reqs[1].auto_tune = false;
+  reqs[1].deadline_ms = 1500.5;
+  reqs[1].threads = 4;
+  reqs[1].eco = "d/b.delta";
+
+  std::ostringstream os;
+  io::write_reqs(os, reqs);
+  std::istringstream is(os.str());
+  guard::Diag diag;
+  const std::optional<std::vector<io::RouteRequest>> back =
+      io::read_reqs(is, diag, "rt.reqs");
+  ASSERT_TRUE(back.has_value()) << os.str();
+  EXPECT_FALSE(diag.has_errors());
+  ASSERT_EQ(back->size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ((*back)[i].id, reqs[i].id);
+    EXPECT_EQ((*back)[i].sinks, reqs[i].sinks);
+    EXPECT_EQ((*back)[i].rtl, reqs[i].rtl);
+    EXPECT_EQ((*back)[i].stream, reqs[i].stream);
+    EXPECT_EQ((*back)[i].style, reqs[i].style);
+    EXPECT_EQ((*back)[i].topology, reqs[i].topology);
+    EXPECT_EQ((*back)[i].strength.has_value(), reqs[i].strength.has_value());
+    if (reqs[i].strength) {
+      EXPECT_EQ(*(*back)[i].strength, *reqs[i].strength);
+    }
+    EXPECT_EQ((*back)[i].auto_tune, reqs[i].auto_tune);
+    EXPECT_EQ((*back)[i].deadline_ms, reqs[i].deadline_ms);
+    EXPECT_EQ((*back)[i].threads, reqs[i].threads);
+    EXPECT_EQ((*back)[i].eco, reqs[i].eco);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzz,

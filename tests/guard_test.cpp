@@ -33,6 +33,8 @@ TEST(GuardStatus, CodeNamesAreStable) {
   EXPECT_EQ(guard::code_name(Code::Resource), "GCR_E_RESOURCE");
   EXPECT_EQ(guard::code_name(Code::Deadline), "GCR_E_DEADLINE");
   EXPECT_EQ(guard::code_name(Code::DetachedMerge), "GCR_W_DETACHED_MERGE");
+  EXPECT_EQ(guard::code_name(Code::Overload), "GCR_E_OVERLOAD");
+  EXPECT_EQ(guard::code_name(Code::CacheEvict), "GCR_W_CACHE_EVICT");
 }
 
 TEST(GuardStatus, ToStringCarriesLocation) {
@@ -48,8 +50,10 @@ TEST(GuardStatus, ExitCodeMapping) {
   EXPECT_EQ(guard::exit_code_for(Code::OutOfDie), 2);
   EXPECT_EQ(guard::exit_code_for(Code::Resource), 3);
   EXPECT_EQ(guard::exit_code_for(Code::Deadline), 3);
+  EXPECT_EQ(guard::exit_code_for(Code::Overload), 3);
   EXPECT_EQ(guard::exit_code_for(Code::Internal), 4);
   EXPECT_EQ(guard::exit_code_for(Code::DetachedMerge), 0);  // warning
+  EXPECT_EQ(guard::exit_code_for(Code::CacheEvict), 0);     // warning
 }
 
 TEST(GuardDiag, CollectsAndRanks) {

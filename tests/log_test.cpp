@@ -198,13 +198,26 @@ TEST_F(LogTest, EventsCarryPhasePathAndWorkerOrdinal) {
   EXPECT_EQ(bare[0].phase, "");
   EXPECT_EQ(bare[0].worker, 0);
 
-  // At width 4 at least one chunk must have run on a pool lane; events
-  // emitted there carry that lane's 1-based ordinal (a global pool lane
-  // index, so it can exceed the job's width).
   const std::vector<log::Record> pool = events_named(sink, "ctx.pool");
   EXPECT_EQ(pool.size(), 64u);
+
+  // Events emitted on a pool lane carry that lane's 1-based ordinal (a
+  // global pool lane index, so it can exceed the job's width). The
+  // caller is a lane too and can drain every chunk before a worker
+  // wakes on a loaded machine, so retry with slow chunks until a
+  // worker-lane event lands.
   int max_worker = 0;
   for (const log::Record& r : pool) max_worker = std::max(max_worker, r.worker);
+  for (int attempt = 0; attempt < 50 && max_worker == 0; ++attempt) {
+    par::parallel_for(4, 0, 64, 1, [&](std::int64_t b, std::int64_t e) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      for (std::int64_t i = b; i < e; ++i)
+        GCR_LOG_INFO("ctx.pool_retry").kv("i", static_cast<std::int64_t>(i));
+    });
+    log::Logger::instance().flush();
+    for (const log::Record& r : events_named(sink, "ctx.pool_retry"))
+      max_worker = std::max(max_worker, r.worker);
+  }
   EXPECT_GT(max_worker, 0);
 }
 

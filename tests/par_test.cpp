@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/router.h"
@@ -91,6 +92,36 @@ TEST(Par, NestedConstructsSerializeWithoutDeadlock) {
   });
   EXPECT_EQ(inner_total.load(), 80);
   EXPECT_FALSE(par::in_worker());
+}
+
+// Concurrent *callers* (the gcr::serve request lanes) each dispatching
+// their own parallel constructs must serialize on the pool's dispatch
+// lock instead of corrupting each other's chunk state: every caller's
+// reduction must come back exact.
+TEST(Par, ConcurrentCallersEachGetCorrectResults) {
+  constexpr int kCallers = 4;
+  constexpr std::int64_t kN = 4000;
+  std::vector<std::int64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&sums, t] {
+      for (int rep = 0; rep < 20; ++rep) {
+        const std::int64_t s = par::parallel_reduce<std::int64_t>(
+            4, 0, kN, 64, 0,
+            [](std::int64_t b, std::int64_t e) {
+              std::int64_t acc = 0;
+              for (std::int64_t i = b; i < e; ++i) acc += i;
+              return acc;
+            },
+            [](std::int64_t a, std::int64_t b) { return a + b; });
+        sums[static_cast<std::size_t>(t)] = s;
+      }
+    });
+  }
+  for (std::thread& th : callers) th.join();
+  for (int t = 0; t < kCallers; ++t)
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)], kN * (kN - 1) / 2);
 }
 
 TEST(Par, ExceptionFromChunkPropagates) {

@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -48,9 +49,12 @@
 #include "log/logger.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
+#include "io/reqs_io.h"
+#include "io/text_io.h"
 #include "perf/memhook.h"
 #include "perf/report.h"
 #include "perf/runner.h"
+#include "serve/service.h"
 #include "prof/hwcounters.h"
 #include "prof/report.h"
 #include "prof/sampler.h"
@@ -388,6 +392,120 @@ void register_eco(Groups& g, bool quick) {
   }
 }
 
+// --- serve: batch service throughput, cache effect, admission -------------
+
+/// Write `inst`'s design under a bench scratch dir and return a request
+/// naming the files. File content is deterministic per (n, seed), so the
+/// serve content-hash cache behaves identically run to run.
+io::RouteRequest write_serve_design(const Instance& inst, int n,
+                                    std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "gcr_bench_serve";
+  fs::create_directories(dir);
+  const std::string stem =
+      "d" + std::to_string(n) + "_" + std::to_string(seed);
+  {
+    std::ofstream os(dir / (stem + ".sinks"));
+    io::write_sinks(os, inst.design.die, inst.design.sinks);
+  }
+  {
+    std::ofstream os(dir / (stem + ".rtl"));
+    io::write_rtl(os, inst.design.rtl);
+  }
+  {
+    std::ofstream os(dir / (stem + ".stream"));
+    io::write_stream(os, inst.design.stream);
+  }
+  io::RouteRequest req;
+  req.id = stem;
+  req.sinks = (dir / (stem + ".sinks")).string();
+  req.rtl = (dir / (stem + ".rtl")).string();
+  req.stream = (dir / (stem + ".stream")).string();
+  return req;
+}
+
+/// One timed serve op: submit `batch` requests of the same design and
+/// wait for all outcomes. `cold` disables the caches, so every request
+/// pays file load + parse + route; warm requests pay hash + lookup only
+/// (the cache-warm >= 2x cache-cold acceptance line in docs/serving.md).
+void register_serve(Groups& g, bool quick) {
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{256} : std::vector<int>{512, 2048};
+  constexpr int kBatch = 8;
+  for (const int n : sizes) {
+    for (const bool cold : {true, false}) {
+      const std::string name = std::string("serve/") +
+                               (cold ? "cold" : "warm") +
+                               "/n=" + std::to_string(n);
+      g["serve"].add(name, [n, cold] {
+        auto inst = make_instance(n, 31);
+        const io::RouteRequest req = write_serve_design(*inst, n, 31);
+        serve::ServeOptions sopts;
+        sopts.workers = 2;
+        if (cold) {
+          sopts.design_cache_capacity = 0;
+          sopts.result_cache_capacity = 0;
+        }
+        auto service = std::make_shared<serve::BatchService>(sopts);
+        service->start();
+        if (!cold) {  // pre-warm outside the timed section
+          (void)service->submit(req);
+          service->wait_idle();
+          (void)service->take_outcomes();
+        }
+        return [service, req] {
+          for (int i = 0; i < kBatch; ++i) (void)service->submit(req);
+          service->wait_idle();
+          perf::do_not_optimize(service->take_outcomes().size());
+        };
+      });
+    }
+  }
+
+  // Admission-path ops/sec: a full queue with no lanes draining it, so
+  // every timed submit walks the whole shed path (seq assignment, outcome
+  // record, GCR_E_OVERLOAD event) and none routes.
+  g["serve"].add("serve/shed/submit64", [] {
+    auto inst = make_instance(64, 33);
+    const io::RouteRequest req = write_serve_design(*inst, 64, 33);
+    serve::ServeOptions sopts;
+    sopts.queue_capacity = 1;
+    auto service = std::make_shared<serve::BatchService>(sopts);
+    (void)service->submit(req);  // plug the queue; lanes never start
+    return [service, req] {
+      for (int i = 0; i < 64; ++i) (void)service->submit(req);
+      perf::do_not_optimize(service->take_outcomes().size());
+    };
+  });
+
+  // Concurrent-submit stress: 4 racing submitters against 2 lanes on a
+  // warm cache -- admission lock traffic plus cache lookups under real
+  // contention, the --race shape of the CLI.
+  const int race_n = quick ? 256 : 512;
+  g["serve"].add("serve/race/n=" + std::to_string(race_n), [race_n] {
+    auto inst = make_instance(race_n, 35);
+    const io::RouteRequest req = write_serve_design(*inst, race_n, 35);
+    serve::ServeOptions sopts;
+    sopts.workers = 2;
+    auto service = std::make_shared<serve::BatchService>(sopts);
+    service->start();
+    (void)service->submit(req);
+    service->wait_idle();
+    (void)service->take_outcomes();
+    return [service, req] {
+      std::vector<std::thread> racers;
+      racers.reserve(4);
+      for (int t = 0; t < 4; ++t)
+        racers.emplace_back([&service, &req] {
+          for (int i = 0; i < kBatch; ++i) (void)service->submit(req);
+        });
+      for (std::thread& t : racers) t.join();
+      service->wait_idle();
+      perf::do_not_optimize(service->take_outcomes().size());
+    };
+  });
+}
+
 void usage() {
   std::cerr << "usage: gcr_bench [--quick] [--filter SUBSTR] [--out DIR]"
                " [--list] [--no-mem] [--threads N] [--profile]\n"
@@ -456,6 +574,7 @@ int main(int argc, char** argv) {
   register_route_par(groups, opts.quick, threads_override);
   register_eco(groups, opts.quick);
   register_scale(groups, opts.quick);
+  register_serve(groups, opts.quick);
 
   if (list) {
     for (const auto& [group, runner] : groups)
